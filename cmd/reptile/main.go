@@ -1,0 +1,77 @@
+// Command reptile corrects substitution errors in short-read FASTQ data
+// using the representative-tiling algorithm of Chapter 2.
+//
+// Usage:
+//
+//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] [-workers N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/fastq"
+	"repro/internal/reptile"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reptile: ")
+	var (
+		in        = flag.String("in", "", "input FASTQ (required)")
+		out       = flag.String("out", "", "output FASTQ (required)")
+		k         = flag.Int("k", 0, "kmer length (0 = derive from genome length)")
+		d         = flag.Int("d", 1, "max Hamming distance per constituent kmer")
+		genomeLen = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
+		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	flag.Parse()
+	if *in == "" || *out == "" {
+		log.Fatal("-in and -out are required")
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reads, err := fastq.NewReader(f).ReadAll()
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	params := reptile.DefaultParams(reads, *genomeLen)
+	if *k > 0 {
+		params.K = *k
+		params.C = min(params.K, params.D+4)
+	}
+	params.D = *d
+	if params.C <= params.D {
+		params.C = params.D + 2
+	}
+	start := time.Now()
+	c, err := reptile.New(reads, params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	build := time.Since(start)
+	corrected := c.CorrectAll(reads, *workers)
+	total := time.Since(start)
+	o, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer o.Close()
+	if err := fastq.Write(o, corrected); err != nil {
+		log.Fatal(err)
+	}
+	changed := 0
+	for i := range reads {
+		if string(reads[i].Seq) != string(corrected[i].Seq) {
+			changed++
+		}
+	}
+	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles) in %v (build %v)\n",
+		changed, len(reads), c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), total.Round(time.Millisecond), build.Round(time.Millisecond))
+}

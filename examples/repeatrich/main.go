@@ -1,0 +1,59 @@
+// Repeat-rich correction: the Chapter 3 scenario. As genome repeat content
+// grows from 20% to 80%, conventional correction (Reptile) loses ground
+// while REDEEM's repeat-aware EM model holds up — the Table 3.4 crossover.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/simulate"
+)
+
+func main() {
+	model := simulate.IlluminaModel(36, 0.01, simulate.EcoliBias)
+	kmerModel, err := simulate.KmerModelFromReadModel(model, 11)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("%-8s %10s %10s\n", "repeats", "reptile", "redeem")
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		ds, err := simulate.BuildDataset(simulate.DatasetSpec{
+			Name:         "repeat",
+			GenomeLen:    30_000,
+			RepeatFrac:   frac,
+			ReadLen:      36,
+			Coverage:     80,
+			ErrorRate:    0.01,
+			Bias:         simulate.EcoliBias,
+			QualityNoise: 2,
+			Seed:         int64(100 * frac),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		reads := simulate.Reads(ds.Sim)
+		gains := map[core.Method]float64{}
+		for _, m := range []core.Method{core.MethodReptile, core.MethodRedeem} {
+			corrected, _, err := core.Correct(reads, core.CorrectOptions{
+				Method:      m,
+				GenomeLen:   len(ds.Genome),
+				RedeemK:     11,
+				RedeemModel: kmerModel,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			stats, err := core.EvaluateAgainstTruth(ds.Sim, corrected)
+			if err != nil {
+				log.Fatal(err)
+			}
+			gains[m] = stats.Gain()
+		}
+		fmt.Printf("%7.0f%% %9.1f%% %9.1f%%\n", 100*frac,
+			100*gains[core.MethodReptile], 100*gains[core.MethodRedeem])
+	}
+	fmt.Println("\nExpected shape (Table 3.4): reptile degrades with repeat content;")
+	fmt.Println("redeem models the kmer neighborhood and stays strong at 80% repeats.")
+}

@@ -1,0 +1,157 @@
+package align
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+func TestSemiGlobalIdentical(t *testing.T) {
+	a := []byte("ACGTACGTAC")
+	res, err := SemiGlobal(a, a, DefaultScoring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != len(a) || res.Matches != len(a) || res.Identity() != 1 {
+		t.Errorf("self alignment = %+v", res)
+	}
+}
+
+func TestSemiGlobalEmptyInput(t *testing.T) {
+	if _, err := SemiGlobal(nil, []byte("A"), DefaultScoring, 0); err == nil {
+		t.Error("expected error for empty sequence")
+	}
+}
+
+func TestSemiGlobalSubstitution(t *testing.T) {
+	a := []byte("ACGTACGTAC")
+	b := []byte("ACGTTCGTAC")
+	res, err := SemiGlobal(a, b, DefaultScoring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 9 || res.Length != 10 {
+		t.Errorf("substitution alignment = %+v", res)
+	}
+	if res.Identity() != 0.9 {
+		t.Errorf("identity = %v", res.Identity())
+	}
+}
+
+func TestSemiGlobalOverhangsFree(t *testing.T) {
+	// b is a shifted window of the same sequence: overlap aligns with no
+	// penalty for the overhangs.
+	full := []byte("AAAACCCCGGGGTTTTACGTACGT")
+	a := full[:16]
+	b := full[8:]
+	res, err := SemiGlobal(a, b, DefaultScoring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 8 || res.Identity() != 1 {
+		t.Errorf("overlap alignment = %+v", res)
+	}
+}
+
+func TestSemiGlobalContainment(t *testing.T) {
+	outer := []byte("TTTTTACGTACGTACGTTTTTT")
+	inner := []byte("ACGTACGTACGT")
+	res, err := SemiGlobal(inner, outer, DefaultScoring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != len(inner) || res.Identity() != 1 {
+		t.Errorf("containment alignment = %+v", res)
+	}
+}
+
+func TestSemiGlobalIndel(t *testing.T) {
+	a := []byte("ACGTACGTACGT")
+	b := []byte("ACGTAGTACGT") // one deletion
+	res, err := SemiGlobal(a, b, DefaultScoring, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Matches != 11 {
+		t.Errorf("indel alignment matches = %d want 11 (%+v)", res.Matches, res)
+	}
+}
+
+func TestBandedMatchesFullWhenInBand(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	base, _ := simulate.RandomGenome(300, simulate.UniformProfile, rng)
+	for trial := 0; trial < 20; trial++ {
+		a := append([]byte(nil), base[rng.Intn(50):250]...)
+		b := append([]byte(nil), base[rng.Intn(50):260]...)
+		// A few substitutions.
+		for i := 0; i < 5; i++ {
+			p := rng.Intn(len(b))
+			b[p] = "ACGT"[rng.Intn(4)]
+		}
+		full, err := SemiGlobal(a, b, DefaultScoring, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banded, err := SemiGlobal(a, b, DefaultScoring, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if full.Score != banded.Score {
+			t.Fatalf("trial %d: banded score %d != full %d", trial, banded.Score, full.Score)
+		}
+	}
+}
+
+func TestOverlapIdentityOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	marker, _ := simulate.RandomGenome(600, simulate.UniformProfile, rng)
+	same := append([]byte(nil), marker[100:500]...)
+	mutated := append([]byte(nil), same...)
+	for i := 0; i < 8; i++ { // 2% divergence
+		p := rng.Intn(len(mutated))
+		mutated[p] = "ACGT"[rng.Intn(4)]
+	}
+	unrelated, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	simSame := OverlapIdentity(same, mutated)
+	simOther := OverlapIdentity(same, unrelated)
+	if simSame < 0.95 {
+		t.Errorf("2%%-diverged identity = %v, too low", simSame)
+	}
+	if simOther > 0.7 {
+		t.Errorf("unrelated identity = %v, too high", simOther)
+	}
+	if simSame <= simOther {
+		t.Error("identity does not order by relatedness")
+	}
+}
+
+func TestOverlapIdentitySymmetryish(t *testing.T) {
+	a := []byte("ACGTACGTACGTACGTACGTACGTACGTACGT")
+	b := []byte("ACGTACGAACGTACGTACGTACGAACGTACGT")
+	ab := OverlapIdentity(a, b)
+	ba := OverlapIdentity(b, a)
+	if ab != ba {
+		t.Errorf("asymmetric identity: %v vs %v", ab, ba)
+	}
+}
+
+func BenchmarkSemiGlobalFull(b *testing.B) {
+	rng := rand.New(rand.NewSource(5))
+	x, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	y, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiGlobal(x, y, DefaultScoring, 0)
+	}
+}
+
+func BenchmarkSemiGlobalBanded(b *testing.B) {
+	rng := rand.New(rand.NewSource(6))
+	x, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	y := append([]byte(nil), x...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		SemiGlobal(x, y, DefaultScoring, 16)
+	}
+}

@@ -1,0 +1,423 @@
+package closet
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/mapreduce"
+)
+
+// Cluster is a γ-quasi-clique: a vertex set and the similarity edges
+// supporting it (Algorithm 4's <key = vertices, value = edges> pairs).
+// Vertices and Edges are kept sorted; clusters may overlap — a read can
+// belong to several clusters when the similarity evidence is ambiguous
+// (§4.1's deliberate departure from hard partitioning).
+type Cluster struct {
+	Verts []int32
+	Edges [][2]int32
+}
+
+// Density returns |E| / C(|V|, 2).
+func (c Cluster) Density() float64 {
+	n := len(c.Verts)
+	if n < 2 {
+		return 0
+	}
+	return float64(len(c.Edges)) / (float64(n) * float64(n-1) / 2)
+}
+
+// key identifies the vertex set for deduplication (Task 8's hash h).
+func (c Cluster) key() uint64 {
+	h := uint64(1469598103934665603) // FNV offset
+	for _, v := range c.Verts {
+		h ^= uint64(uint32(v))
+		h *= 1099511628211
+	}
+	return h
+}
+
+// sameVerts reports exact vertex-set equality (guards hash collisions).
+func sameVerts(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// mergeClusters unions two clusters' vertices and edges.
+func mergeClusters(a, b Cluster) Cluster {
+	return Cluster{
+		Verts: unionSorted(a.Verts, b.Verts),
+		Edges: unionSortedPairs(a.Edges, b.Edges),
+	}
+}
+
+func unionSorted(a, b []int32) []int32 {
+	out := make([]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && a[i] < b[j]):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || b[j] < a[i]:
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+func pairLess(a, b [2]int32) bool {
+	if a[0] != b[0] {
+		return a[0] < b[0]
+	}
+	return a[1] < b[1]
+}
+
+func unionSortedPairs(a, b [][2]int32) [][2]int32 {
+	out := make([][2]int32, 0, len(a)+len(b))
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		switch {
+		case j == len(b) || (i < len(a) && pairLess(a[i], b[j])):
+			out = append(out, a[i])
+			i++
+		case i == len(a) || pairLess(b[j], a[i]):
+			out = append(out, b[j])
+			j++
+		default:
+			out = append(out, a[i])
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// adjacency indexes the filtered edge set for induced-subgraph queries.
+type adjacency map[int32]map[int32]bool
+
+func buildAdjacency(edges []Edge) adjacency {
+	adj := make(adjacency)
+	add := func(a, b int32) {
+		m := adj[a]
+		if m == nil {
+			m = make(map[int32]bool)
+			adj[a] = m
+		}
+		m[b] = true
+	}
+	for _, e := range edges {
+		add(e.I, e.J)
+		add(e.J, e.I)
+	}
+	return adj
+}
+
+// inducedEdgeCount counts edges of the filtered graph inside the sorted
+// vertex set — the |{(r,s) ∈ T×T : F(r,s) >= t}| of the §4.1 cluster
+// definition.
+func (adj adjacency) inducedEdgeCount(verts []int32) int {
+	set := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		set[v] = true
+	}
+	n := 0
+	for _, v := range verts {
+		for u := range adj[v] {
+			if u > v && set[u] {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// inducedEdges materializes the induced edge list, sorted.
+func (adj adjacency) inducedEdges(verts []int32) [][2]int32 {
+	set := make(map[int32]bool, len(verts))
+	for _, v := range verts {
+		set[v] = true
+	}
+	var out [][2]int32
+	for _, v := range verts {
+		for u := range adj[v] {
+			if u > v && set[u] {
+				out = append(out, [2]int32{v, u})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return pairLess(out[i], out[j]) })
+	return out
+}
+
+// enumerateQuasiCliques is Algorithm 4 over one threshold level: seed
+// two-cliques from the filtered edges, join with the clusters carried from
+// the previous (higher) threshold, then iterate Task 7 (merge clusters
+// sharing vertices when the union stays a γ-quasi-clique) and Task 8
+// (deduplicate by vertex set) until no change or the round bound. Density
+// is evaluated on the subgraph induced by the union vertex set, per the
+// formal cluster definition of §4.1.
+// It returns the final clusters and the total number of clusters processed
+// (generated and examined) — the Table 4.2 "clusters processed" quantity.
+func enumerateQuasiCliques(carried []Cluster, edges []Edge, cfg Config, mrCfg mapreduce.Config, res *Result) ([]Cluster, int, error) {
+	adj := buildAdjacency(edges)
+	current := make([]Cluster, 0, len(carried)+len(edges))
+	current = append(current, carried...)
+	for _, e := range edges {
+		current = append(current, Cluster{
+			Verts: []int32{e.I, e.J},
+			Edges: [][2]int32{{e.I, e.J}},
+		})
+	}
+	current = dedupeClusters(current)
+	processed := len(current)
+
+	for round := 0; round < cfg.MaxMergeRounds; round++ {
+		before := clusterKeySet(current)
+		// Task 7: route each cluster to one of its vertices — rotating the
+		// anchor across rounds so clusters sharing any vertex eventually
+		// co-locate — and greedily merge co-resident clusters when the
+		// union remains a γ-quasi-clique. (The dissertation routes every
+		// cluster to all of its vertices; anchoring on one vertex per
+		// round keeps the same fixpoint semantics while avoiding the
+		// duplicated-variant blow-up its Table 4.2 "clusters processed"
+		// column records.)
+		mrCfg.Name = fmt.Sprintf("task7-merge-round%d", round)
+		merged, st7, err := mapreduce.Run(mrCfg, current,
+			func(c Cluster, emit mapreduce.Emitter[int32, Cluster]) {
+				emit(c.Verts[round%len(c.Verts)], c)
+			},
+			func(_ int32, cs []Cluster, emit func(Cluster)) {
+				for _, c := range mergeGroup(cs, cfg.Gamma, adj) {
+					emit(c)
+				}
+			},
+			mapreduce.HashInt32,
+		)
+		if err != nil {
+			return nil, processed, err
+		}
+		res.Jobs = append(res.Jobs, st7)
+		processed += len(merged)
+
+		// Task 8: deduplicate clusters sharing the same vertex set,
+		// unioning their edges.
+		mrCfg.Name = fmt.Sprintf("task8-dedupe-round%d", round)
+		deduped, st8, err := mapreduce.Run(mrCfg, merged,
+			func(c Cluster, emit mapreduce.Emitter[uint64, Cluster]) {
+				emit(c.key(), c)
+			},
+			func(_ uint64, cs []Cluster, emit func(Cluster)) {
+				for _, c := range dedupeClusters(cs) {
+					emit(c)
+				}
+			},
+			mapreduce.HashUint64,
+		)
+		if err != nil {
+			return nil, processed, err
+		}
+		res.Jobs = append(res.Jobs, st8)
+		current = dropAbsorbed(deduped)
+		if keySetEqual(before, clusterKeySet(current)) {
+			break
+		}
+	}
+	// Materialize the final induced edge sets.
+	for i := range current {
+		current[i].Edges = adj.inducedEdges(current[i].Verts)
+	}
+	sortClusters(current)
+	return current, processed, nil
+}
+
+// mergeGroup greedily merges clusters sharing a reducer vertex when the
+// union's induced subgraph remains a γ-quasi-clique (Algorithm 4 lines
+// 10–15, density per the §4.1 definition). Larger clusters are tried first
+// so growth is monotone and deterministic.
+func mergeGroup(cs []Cluster, gamma float64, adj adjacency) []Cluster {
+	sorted := append([]Cluster(nil), cs...)
+	sort.Slice(sorted, func(i, j int) bool {
+		if len(sorted[i].Verts) != len(sorted[j].Verts) {
+			return len(sorted[i].Verts) > len(sorted[j].Verts)
+		}
+		return lessVerts(sorted[i].Verts, sorted[j].Verts)
+	})
+	out := make([]Cluster, 0, len(sorted))
+	for _, c := range sorted {
+		mergedIn := false
+		for i := range out {
+			verts := unionSorted(out[i].Verts, c.Verts)
+			if len(verts) == len(out[i].Verts) {
+				// c is a vertex subset of out[i]: absorbed outright.
+				mergedIn = true
+				break
+			}
+			n := len(verts)
+			need := gamma * float64(n) * float64(n-1) / 2
+			if float64(adj.inducedEdgeCount(verts)) >= need {
+				out[i] = Cluster{Verts: verts}
+				mergedIn = true
+				break
+			}
+		}
+		if !mergedIn {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+func lessVerts(a, b []int32) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}
+
+// dedupeClusters collapses clusters with identical vertex sets, unioning
+// their edge sets.
+func dedupeClusters(cs []Cluster) []Cluster {
+	byKey := make(map[uint64][]Cluster)
+	var order []uint64
+	for _, c := range cs {
+		k := c.key()
+		if _, ok := byKey[k]; !ok {
+			order = append(order, k)
+		}
+		byKey[k] = append(byKey[k], c)
+	}
+	var out []Cluster
+	for _, k := range order {
+		group := byKey[k]
+		for len(group) > 0 {
+			acc := group[0]
+			rest := group[:0]
+			for _, c := range group[1:] {
+				if sameVerts(acc.Verts, c.Verts) {
+					acc.Edges = unionSortedPairs(acc.Edges, c.Edges)
+				} else {
+					rest = append(rest, c) // hash collision: keep separate
+				}
+			}
+			out = append(out, acc)
+			group = rest
+		}
+	}
+	return out
+}
+
+// dropAbsorbed removes clusters whose vertex set is a strict subset of
+// another cluster's (maximality of the enumerated quasi-cliques).
+func dropAbsorbed(cs []Cluster) []Cluster {
+	sort.Slice(cs, func(i, j int) bool { return len(cs[i].Verts) > len(cs[j].Verts) })
+	memberOf := make(map[int32][]int) // vertex -> indices of kept clusters
+	var kept []Cluster
+	for _, c := range cs {
+		absorbed := false
+		// A superset cluster must contain c's first vertex.
+		for _, ki := range memberOf[c.Verts[0]] {
+			if subsetSorted(c.Verts, kept[ki].Verts) {
+				absorbed = true
+				break
+			}
+		}
+		if absorbed {
+			continue
+		}
+		idx := len(kept)
+		kept = append(kept, c)
+		for _, v := range c.Verts {
+			memberOf[v] = append(memberOf[v], idx)
+		}
+	}
+	return kept
+}
+
+// subsetSorted reports whether sorted a ⊆ sorted b.
+func subsetSorted(a, b []int32) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	i := 0
+	for _, x := range a {
+		for i < len(b) && b[i] < x {
+			i++
+		}
+		if i == len(b) || b[i] != x {
+			return false
+		}
+		i++
+	}
+	return true
+}
+
+func clusterKeySet(cs []Cluster) map[uint64]bool {
+	m := make(map[uint64]bool, len(cs))
+	for _, c := range cs {
+		m[c.key()] = true
+	}
+	return m
+}
+
+func keySetEqual(a, b map[uint64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortClusters(cs []Cluster) {
+	sort.Slice(cs, func(i, j int) bool {
+		if len(cs[i].Verts) != len(cs[j].Verts) {
+			return len(cs[i].Verts) > len(cs[j].Verts)
+		}
+		return lessVerts(cs[i].Verts, cs[j].Verts)
+	})
+}
+
+// PartitionLabels resolves the (possibly overlapping) clusters into a hard
+// partition for ARI evaluation: each read joins its largest containing
+// cluster; reads in no cluster become singletons. This is the conversion
+// §4.5.2 notes is required before ARI can be applied.
+func PartitionLabels(clusters []Cluster, nReads int) []int {
+	labels := make([]int, nReads)
+	for i := range labels {
+		labels[i] = -1
+	}
+	ordered := append([]Cluster(nil), clusters...)
+	sortClusters(ordered)
+	for ci, c := range ordered {
+		for _, v := range c.Verts {
+			if int(v) < nReads && labels[v] < 0 {
+				labels[v] = ci
+			}
+		}
+	}
+	next := len(ordered)
+	for i := range labels {
+		if labels[i] < 0 {
+			labels[i] = next
+			next++
+		}
+	}
+	return labels
+}

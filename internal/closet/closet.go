@@ -1,0 +1,386 @@
+// Package closet implements CLOSET (CLoud Open SequencE clusTering),
+// Chapter 4: metagenomic read clustering by sketch-based edge construction
+// (Algorithm 3, MapReduce Tasks 1–5) followed by incremental maximal
+// γ-quasi-clique enumeration over a decreasing ladder of similarity
+// thresholds (Algorithm 4, Tasks 6–8). Every stage runs on the in-process
+// MapReduce engine, reporting the per-stage timings and data quantities of
+// Tables 4.2 and 4.3.
+package closet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/mapreduce"
+	"repro/internal/seq"
+	"repro/internal/sketch"
+)
+
+// Config drives the whole pipeline.
+type Config struct {
+	Sketch sketch.Params
+	// Cmax postpones sketch values shared by more than this many reads —
+	// high-frequency substrings common to many rRNAs do not discriminate
+	// and would throw the pair generation back to O(n^2) (§4.3.1).
+	Cmax int
+	// Cmin is the candidate-pair similarity cutoff (the paper's default
+	// de-novo setting is 0.60).
+	Cmin float64
+	// Thresholds is the decreasing similarity ladder T = (t1 > t2 > ...).
+	Thresholds []float64
+	// Gamma is the quasi-clique density γ (default 2/3).
+	Gamma float64
+	// Nodes is the simulated Hadoop cluster size (the paper uses 32).
+	Nodes int
+	// MaxMergeRounds bounds the Task 7/8 iteration per threshold.
+	MaxMergeRounds int
+	// Validate applies the exact similarity function to candidate pairs
+	// (Algorithm 3 line 18). When false the sketch estimate is trusted
+	// directly, the standalone mode §4.3.1 describes.
+	Validate bool
+	// SimilarityFn is the user-defined similarity function F of §4.1
+	// applied during validation (e.g. align.OverlapIdentity for pairwise
+	// alignment identity). nil uses the exact shared-shingle containment
+	// similarity, the standalone default.
+	SimilarityFn func(a, b []byte) float64
+}
+
+// DefaultConfig mirrors §4.5.1's experimental settings.
+func DefaultConfig(meanReadLen int) Config {
+	return Config{
+		Sketch:         sketch.DefaultParams(meanReadLen),
+		Cmax:           200,
+		Cmin:           0.60,
+		Thresholds:     []float64{0.95, 0.92, 0.90},
+		Gamma:          2.0 / 3.0,
+		Nodes:          32,
+		MaxMergeRounds: 8,
+		Validate:       true,
+	}
+}
+
+func (c Config) validate() error {
+	if err := c.Sketch.Validate(); err != nil {
+		return err
+	}
+	if c.Cmax < 2 {
+		return fmt.Errorf("closet: Cmax must be at least 2")
+	}
+	if c.Cmin <= 0 || c.Cmin > 1 {
+		return fmt.Errorf("closet: Cmin must be in (0,1], got %v", c.Cmin)
+	}
+	if c.Gamma <= 0 || c.Gamma > 1 {
+		return fmt.Errorf("closet: gamma must be in (0,1], got %v", c.Gamma)
+	}
+	if c.Nodes < 1 {
+		return fmt.Errorf("closet: need at least one node")
+	}
+	for i := 1; i < len(c.Thresholds); i++ {
+		if c.Thresholds[i] >= c.Thresholds[i-1] {
+			return fmt.Errorf("closet: thresholds must strictly decrease")
+		}
+	}
+	if len(c.Thresholds) == 0 {
+		return fmt.Errorf("closet: need at least one threshold")
+	}
+	if c.MaxMergeRounds < 1 {
+		return fmt.Errorf("closet: need at least one merge round")
+	}
+	return nil
+}
+
+// Edge is a validated similarity edge between two reads (i < j).
+type Edge struct {
+	I, J int32
+	F    float64
+}
+
+// StageTiming records one pipeline stage's wall clock (Table 4.3 rows).
+type StageTiming struct {
+	Stage    string
+	Duration time.Duration
+}
+
+// ThresholdResult is the clustering outcome at one similarity level.
+type ThresholdResult struct {
+	Threshold         float64
+	EdgesUsed         int
+	ClustersProcessed int // clusters generated and examined during merging
+	Clusters          []Cluster
+}
+
+// Result aggregates everything the experiments report.
+type Result struct {
+	// Table 4.2 quantities.
+	PredictedEdges int // candidate pairs generated across all rounds
+	UniqueEdges    int // after deduplication
+	ConfirmedEdges int // after exact validation
+	Edges          []Edge
+	ByThreshold    []ThresholdResult
+	// Table 4.3 rows.
+	Timings []StageTiming
+	// MapReduce job statistics in execution order.
+	Jobs []mapreduce.Stats
+}
+
+// Run executes the full CLOSET pipeline on the reads.
+func Run(reads []seq.Read, cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	res := &Result{}
+	mrCfg := mapreduce.Config{Nodes: cfg.Nodes}
+
+	// Precompute every read's full shingle set once; sketches per round
+	// derive from it by the modulo rule.
+	shingles := make([][]uint64, len(reads))
+	for i, r := range reads {
+		shingles[i] = sketch.Shingles(r.Seq, cfg.Sketch.K)
+	}
+
+	start := time.Now()
+	candidates, predicted, err := buildCandidates(shingles, cfg, mrCfg, res)
+	if err != nil {
+		return nil, err
+	}
+	res.PredictedEdges = predicted
+	res.UniqueEdges = len(candidates)
+	res.Timings = append(res.Timings, StageTiming{"sketching", time.Since(start)})
+
+	start = time.Now()
+	edges, err := validateEdges(candidates, reads, shingles, cfg, mrCfg, res)
+	if err != nil {
+		return nil, err
+	}
+	res.Edges = edges
+	res.ConfirmedEdges = len(edges)
+	res.Timings = append(res.Timings, StageTiming{"validation", time.Since(start)})
+
+	// Phase II: incremental clustering over the threshold ladder.
+	var carried []Cluster
+	for _, t := range cfg.Thresholds {
+		startF := time.Now()
+		filtered, err := filterEdges(edges, t, mrCfg, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings = append(res.Timings, StageTiming{fmt.Sprintf("filtering@%.2f", t), time.Since(startF)})
+
+		startC := time.Now()
+		clusters, processed, err := enumerateQuasiCliques(carried, filtered, cfg, mrCfg, res)
+		if err != nil {
+			return nil, err
+		}
+		res.Timings = append(res.Timings, StageTiming{fmt.Sprintf("clustering@%.2f", t), time.Since(startC)})
+		res.ByThreshold = append(res.ByThreshold, ThresholdResult{
+			Threshold:         t,
+			EdgesUsed:         len(filtered),
+			ClustersProcessed: processed,
+			Clusters:          clusters,
+		})
+		carried = clusters
+	}
+	return res, nil
+}
+
+// pairKey orders a read pair canonically.
+func pairKey(a, b int32) [2]int32 {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]int32{a, b}
+}
+
+// buildCandidates runs Tasks 1–3 for each sketch round and returns the
+// deduplicated candidate pair list plus the raw (pre-dedup) pair count.
+func buildCandidates(shingles [][]uint64, cfg Config, mrCfg mapreduce.Config, res *Result) ([][2]int32, int, error) {
+	type pairCount struct {
+		pair  [2]int32
+		count int
+	}
+	seen := make(map[[2]int32]bool)
+	var unique [][2]int32
+	predicted := 0
+	readIDs := make([]int32, len(shingles))
+	for i := range readIDs {
+		readIDs[i] = int32(i)
+	}
+	for round := 0; round < cfg.Sketch.Rounds; round++ {
+		// Task 1: sketch selection — emit <sketch value, read id>, group,
+		// and split groups into usable (<= Cmax) and postponed (rem).
+		type group struct {
+			rem   bool
+			reads []int32
+		}
+		mrCfg.Name = fmt.Sprintf("task1-sketch-round%d", round)
+		groups, st1, err := mapreduce.Run(mrCfg, readIDs,
+			func(rid int32, emit mapreduce.Emitter[uint64, int32]) {
+				for _, h := range sketch.Select(shingles[rid], cfg.Sketch.M, round) {
+					emit(h, rid)
+				}
+			},
+			func(_ uint64, rids []int32, emit func(group)) {
+				if len(rids) < 2 {
+					return
+				}
+				g := group{reads: append([]int32(nil), rids...)}
+				g.rem = len(rids) > cfg.Cmax
+				emit(g)
+			},
+			mapreduce.HashUint64,
+		)
+		if err != nil {
+			return nil, 0, err
+		}
+		res.Jobs = append(res.Jobs, st1)
+
+		// Postponed high-frequency groups: membership index for Task 2's
+		// count adjustment (§4.3.1 line 14).
+		remMembership := make(map[int32][]int32) // read -> rem group ids
+		var usable []group
+		remID := int32(0)
+		for _, g := range groups {
+			if g.rem {
+				for _, r := range g.reads {
+					remMembership[r] = append(remMembership[r], remID)
+				}
+				remID++
+			} else {
+				usable = append(usable, g)
+			}
+		}
+
+		// Task 2: edge generation — every pair within a usable group gets
+		// a unit count; the reducer aggregates, adds back rem co-occurrence,
+		// and applies the Cmin filter on the estimated similarity J.
+		mrCfg.Name = fmt.Sprintf("task2-edges-round%d", round)
+		sketchSize := func(rid int32) int {
+			return len(sketch.Select(shingles[rid], cfg.Sketch.M, round))
+		}
+		pairs, st2, err := mapreduce.Run(mrCfg, usable,
+			func(g group, emit mapreduce.Emitter[[2]int32, int]) {
+				for x := 0; x < len(g.reads); x++ {
+					for y := x + 1; y < len(g.reads); y++ {
+						if g.reads[x] != g.reads[y] {
+							emit(pairKey(g.reads[x], g.reads[y]), 1)
+						}
+					}
+				}
+			},
+			func(pk [2]int32, ones []int, emit func(pairCount)) {
+				count := len(ones)
+				count += sharedSorted(remMembership[pk[0]], remMembership[pk[1]])
+				mi := min(sketchSize(pk[0]), sketchSize(pk[1]))
+				if mi == 0 {
+					return
+				}
+				if float64(count)/float64(mi) >= cfg.Cmin {
+					emit(pairCount{pair: pk, count: count})
+				}
+			},
+			mapreduce.HashInt32Pair,
+		)
+		if err != nil {
+			return nil, 0, err
+		}
+		res.Jobs = append(res.Jobs, st2)
+		predicted += len(pairs)
+
+		// Task 3: merge this round's survivors into the global unique set.
+		for _, pc := range pairs {
+			if !seen[pc.pair] {
+				seen[pc.pair] = true
+				unique = append(unique, pc.pair)
+			}
+		}
+	}
+	sort.Slice(unique, func(i, j int) bool {
+		if unique[i][0] != unique[j][0] {
+			return unique[i][0] < unique[j][0]
+		}
+		return unique[i][1] < unique[j][1]
+	})
+	return unique, predicted, nil
+}
+
+// sharedSorted counts common elements of two ascending id lists.
+func sharedSorted(a, b []int32) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}
+
+// validateEdges is Tasks 4–5: compute the exact similarity for every
+// candidate pair — the user-defined F when configured, the shared-shingle
+// containment similarity otherwise — and keep those at or above Cmin.
+func validateEdges(cands [][2]int32, reads []seq.Read, shingles [][]uint64, cfg Config, mrCfg mapreduce.Config, res *Result) ([]Edge, error) {
+	similarity := func(i, j int32) float64 {
+		if cfg.SimilarityFn != nil {
+			return cfg.SimilarityFn(reads[i].Seq, reads[j].Seq)
+		}
+		return sketch.Similarity(shingles[i], shingles[j])
+	}
+	mrCfg.Name = "task5-validate"
+	edges, st, err := mapreduce.Run(mrCfg, cands,
+		func(pk [2]int32, emit mapreduce.Emitter[[2]int32, struct{}]) {
+			emit(pk, struct{}{})
+		},
+		func(pk [2]int32, _ []struct{}, emit func(Edge)) {
+			f := similarity(pk[0], pk[1])
+			if !cfg.Validate || f >= cfg.Cmin {
+				emit(Edge{I: pk[0], J: pk[1], F: f})
+			}
+		},
+		mapreduce.HashInt32Pair,
+	)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = append(res.Jobs, st)
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].I != edges[j].I {
+			return edges[i].I < edges[j].I
+		}
+		return edges[i].J < edges[j].J
+	})
+	return edges, nil
+}
+
+// filterEdges is Task 6: keep edges with similarity at or above t.
+func filterEdges(edges []Edge, t float64, mrCfg mapreduce.Config, res *Result) ([]Edge, error) {
+	mrCfg.Name = fmt.Sprintf("task6-filter@%.2f", t)
+	out, st, err := mapreduce.Run(mrCfg, edges,
+		func(e Edge, emit mapreduce.Emitter[[2]int32, Edge]) {
+			if e.F >= t {
+				emit([2]int32{e.I, e.J}, e)
+			}
+		},
+		func(_ [2]int32, es []Edge, emit func(Edge)) {
+			emit(es[0])
+		},
+		mapreduce.HashInt32Pair,
+	)
+	if err != nil {
+		return nil, err
+	}
+	res.Jobs = append(res.Jobs, st)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].I != out[j].I {
+			return out[i].I < out[j].I
+		}
+		return out[i].J < out[j].J
+	})
+	return out, nil
+}

@@ -1,0 +1,339 @@
+package closet
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/eval"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func metaSample(t *testing.T, nReads int, seed int64) (*simulate.Taxonomy, []simulate.MetaRead) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	tax, err := simulate.NewTaxonomy(simulate.DefaultTaxonomyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads, err := simulate.SampleMetagenome(tax, simulate.DefaultMetagenomeConfig(nReads), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tax, reads
+}
+
+func smallConfig() Config {
+	cfg := DefaultConfig(375)
+	cfg.Nodes = 8
+	return cfg
+}
+
+func TestConfigValidation(t *testing.T) {
+	mods := []func(*Config){
+		func(c *Config) { c.Cmax = 1 },
+		func(c *Config) { c.Cmin = 0 },
+		func(c *Config) { c.Cmin = 1.5 },
+		func(c *Config) { c.Gamma = 0 },
+		func(c *Config) { c.Nodes = 0 },
+		func(c *Config) { c.Thresholds = nil },
+		func(c *Config) { c.Thresholds = []float64{0.9, 0.95} },
+		func(c *Config) { c.MaxMergeRounds = 0 },
+		func(c *Config) { c.Sketch.K = 0 },
+	}
+	for i, mod := range mods {
+		cfg := DefaultConfig(375)
+		mod(&cfg)
+		if _, err := Run(nil, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestPipelineClustersSpecies(t *testing.T) {
+	tax, meta := metaSample(t, 1200, 1)
+	_ = tax
+	res, err := Run(simulate.MetaReads(meta), smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UniqueEdges == 0 || res.ConfirmedEdges == 0 {
+		t.Fatalf("no edges built: %+v", res)
+	}
+	if res.PredictedEdges < res.UniqueEdges {
+		t.Errorf("predicted %d < unique %d", res.PredictedEdges, res.UniqueEdges)
+	}
+	if res.UniqueEdges < res.ConfirmedEdges {
+		t.Errorf("unique %d < confirmed %d", res.UniqueEdges, res.ConfirmedEdges)
+	}
+	if len(res.ByThreshold) != 3 {
+		t.Fatalf("threshold results: %d", len(res.ByThreshold))
+	}
+	// Edges within a species should dominate the confirmed set.
+	intra, inter := 0, 0
+	for _, e := range res.Edges {
+		if meta[e.I].Taxon.Species == meta[e.J].Taxon.Species {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter*3 {
+		t.Errorf("edge purity weak: intra=%d inter=%d", intra, inter)
+	}
+	// Timings must cover all stages.
+	if len(res.Timings) < 2+2*len(res.ByThreshold) {
+		t.Errorf("missing stage timings: %v", res.Timings)
+	}
+}
+
+func TestLowerThresholdsGrowClusters(t *testing.T) {
+	_, meta := metaSample(t, 800, 2)
+	cfg := smallConfig()
+	cfg.Thresholds = []float64{0.95, 0.80, 0.65}
+	res, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Lower thresholds admit more edges.
+	for i := 1; i < len(res.ByThreshold); i++ {
+		if res.ByThreshold[i].EdgesUsed < res.ByThreshold[i-1].EdgesUsed {
+			t.Errorf("edges shrank when threshold dropped: %d -> %d",
+				res.ByThreshold[i-1].EdgesUsed, res.ByThreshold[i].EdgesUsed)
+		}
+	}
+	// The largest cluster should not shrink as the threshold loosens.
+	maxSize := func(cs []Cluster) int {
+		m := 0
+		for _, c := range cs {
+			m = max(m, len(c.Verts))
+		}
+		return m
+	}
+	first := maxSize(res.ByThreshold[0].Clusters)
+	last := maxSize(res.ByThreshold[len(res.ByThreshold)-1].Clusters)
+	if last < first {
+		t.Errorf("largest cluster shrank: %d -> %d", first, last)
+	}
+}
+
+func TestClusteringRecoversTaxonomyARI(t *testing.T) {
+	// Amplicon-style sampling: reads come from one 450bp hypervariable
+	// window, so same-species reads mutually overlap — the regime where
+	// clustering can be validated against taxonomy (Table 4.4).
+	rng := rand.New(rand.NewSource(3))
+	tax, err := simulate.NewTaxonomy(simulate.DefaultTaxonomyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mcfg := simulate.DefaultMetagenomeConfig(1500)
+	mcfg.RegionStart, mcfg.RegionLen = 400, 450
+	mcfg.MeanLen, mcfg.SDLen, mcfg.MinLen = 400, 30, 300
+	meta, err := simulate.SampleMetagenome(tax, mcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig()
+	cfg.Thresholds = []float64{0.95, 0.85, 0.70}
+	res, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make([]int, len(meta))
+	for i, r := range meta {
+		truth[i] = r.Taxon.Species
+	}
+	best := -1.0
+	for _, tr := range res.ByThreshold {
+		labels := PartitionLabels(tr.Clusters, len(meta))
+		ari, err := eval.ARI(truth, labels)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("t=%.2f: clusters=%d ARI=%.3f", tr.Threshold, len(tr.Clusters), ari)
+		best = max(best, ari)
+	}
+	if best < 0.5 {
+		t.Errorf("best ARI %.3f, clustering failed to recover species", best)
+	}
+}
+
+func TestClusterDensityInvariant(t *testing.T) {
+	_, meta := metaSample(t, 800, 4)
+	cfg := smallConfig()
+	res, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range res.ByThreshold {
+		for _, c := range tr.Clusters {
+			if len(c.Verts) < 2 {
+				t.Fatalf("degenerate cluster: %+v", c)
+			}
+			if c.Density() < cfg.Gamma-1e-9 {
+				t.Fatalf("cluster below gamma: density=%.3f verts=%d", c.Density(), len(c.Verts))
+			}
+			// Vertices sorted; edges reference member vertices.
+			for i := 1; i < len(c.Verts); i++ {
+				if c.Verts[i] <= c.Verts[i-1] {
+					t.Fatal("vertices not sorted-distinct")
+				}
+			}
+			for _, e := range c.Edges {
+				if !containsSorted(c.Verts, e[0]) || !containsSorted(c.Verts, e[1]) {
+					t.Fatalf("edge %v references non-member vertex", e)
+				}
+			}
+		}
+	}
+}
+
+func containsSorted(vs []int32, x int32) bool {
+	lo, hi := 0, len(vs)-1
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		switch {
+		case vs[mid] < x:
+			lo = mid + 1
+		case vs[mid] > x:
+			hi = mid - 1
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	_, meta := metaSample(t, 600, 5)
+	cfg := smallConfig()
+	a, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.UniqueEdges != b.UniqueEdges || a.ConfirmedEdges != b.ConfirmedEdges {
+		t.Errorf("edge counts differ: %d/%d vs %d/%d", a.UniqueEdges, a.ConfirmedEdges, b.UniqueEdges, b.ConfirmedEdges)
+	}
+	for i := range a.ByThreshold {
+		ka := clusterKeySet(a.ByThreshold[i].Clusters)
+		kb := clusterKeySet(b.ByThreshold[i].Clusters)
+		if !keySetEqual(ka, kb) {
+			t.Errorf("threshold %v: cluster sets differ (%d vs %d)",
+				a.ByThreshold[i].Threshold, len(ka), len(kb))
+		}
+	}
+}
+
+func TestMergeGroupRespectsGamma(t *testing.T) {
+	// Two 2-cliques sharing a vertex: union has 3 verts, 2 edges,
+	// density 2/3 — mergeable at gamma=2/3 but not at gamma=0.9.
+	cs := []Cluster{
+		{Verts: []int32{1, 2}, Edges: [][2]int32{{1, 2}}},
+		{Verts: []int32{2, 3}, Edges: [][2]int32{{2, 3}}},
+	}
+	adj := buildAdjacency([]Edge{{I: 1, J: 2}, {I: 2, J: 3}})
+	merged := mergeGroup(cs, 2.0/3.0, adj)
+	if len(merged) != 1 || len(merged[0].Verts) != 3 {
+		t.Errorf("gamma=2/3 merge failed: %+v", merged)
+	}
+	kept := mergeGroup(cs, 0.9, adj)
+	if len(kept) != 2 {
+		t.Errorf("gamma=0.9 should not merge: %+v", kept)
+	}
+	// With the closing edge present, even gamma=1 merges.
+	adjFull := buildAdjacency([]Edge{{I: 1, J: 2}, {I: 2, J: 3}, {I: 1, J: 3}})
+	full := mergeGroup(cs, 1.0, adjFull)
+	if len(full) != 1 {
+		t.Errorf("triangle should merge at gamma=1: %+v", full)
+	}
+}
+
+func TestDropAbsorbed(t *testing.T) {
+	cs := []Cluster{
+		{Verts: []int32{1, 2, 3}, Edges: [][2]int32{{1, 2}, {2, 3}}},
+		{Verts: []int32{1, 2}, Edges: [][2]int32{{1, 2}}},
+		{Verts: []int32{4, 5}, Edges: [][2]int32{{4, 5}}},
+	}
+	out := dropAbsorbed(cs)
+	if len(out) != 2 {
+		t.Fatalf("got %d clusters want 2: %+v", len(out), out)
+	}
+	for _, c := range out {
+		if len(c.Verts) == 2 && c.Verts[0] == 1 {
+			t.Error("subset cluster survived")
+		}
+	}
+}
+
+func TestPartitionLabels(t *testing.T) {
+	clusters := []Cluster{
+		{Verts: []int32{0, 1, 2}, Edges: [][2]int32{{0, 1}, {1, 2}}},
+		{Verts: []int32{2, 3}, Edges: [][2]int32{{2, 3}}},
+	}
+	labels := PartitionLabels(clusters, 6)
+	if labels[0] != labels[1] || labels[1] != labels[2] {
+		t.Errorf("large cluster split: %v", labels)
+	}
+	if labels[3] == labels[2] {
+		t.Errorf("overlap not resolved to largest cluster: %v", labels)
+	}
+	if labels[4] == labels[5] {
+		t.Errorf("singletons share a label: %v", labels)
+	}
+}
+
+func TestSubsetSorted(t *testing.T) {
+	if !subsetSorted([]int32{1, 3}, []int32{1, 2, 3}) {
+		t.Error("subset not detected")
+	}
+	if subsetSorted([]int32{1, 4}, []int32{1, 2, 3}) {
+		t.Error("non-subset accepted")
+	}
+	if subsetSorted([]int32{1, 2, 3}, []int32{1, 2}) {
+		t.Error("longer-than accepted")
+	}
+}
+
+func TestRunEmptyInput(t *testing.T) {
+	res, err := Run([]seq.Read{}, smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConfirmedEdges != 0 || len(res.ByThreshold) != 3 {
+		t.Errorf("empty input result: %+v", res)
+	}
+}
+
+func TestAlignmentSimilarityFn(t *testing.T) {
+	// Plugging the alignment-based F (§4.1's user-defined similarity slot)
+	// changes edge weights but preserves the structure: intra-species edges
+	// still dominate, and higher-identity pairs score higher than the
+	// containment estimate would suggest for partially-overlapping reads.
+	_, meta := metaSample(t, 400, 6)
+	cfg := smallConfig()
+	cfg.SimilarityFn = align.OverlapIdentity
+	cfg.Thresholds = []float64{0.95, 0.85, 0.70}
+	res, err := Run(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConfirmedEdges == 0 {
+		t.Fatal("no edges confirmed with alignment similarity")
+	}
+	intra, inter := 0, 0
+	for _, e := range res.Edges {
+		if meta[e.I].Taxon.Species == meta[e.J].Taxon.Species {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	if intra <= inter*3 {
+		t.Errorf("alignment-F edge purity weak: intra=%d inter=%d", intra, inter)
+	}
+}

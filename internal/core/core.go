@@ -1,0 +1,147 @@
+// Package core is the high-level facade over the dissertation's three
+// systems: Reptile (Chapter 2) and REDEEM (Chapter 3) for short-read error
+// correction, and CLOSET (Chapter 4) for metagenomic read clustering. It
+// wires the substrates together behind task-shaped entry points so that
+// command-line tools, examples and benchmarks share one code path.
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/closet"
+	"repro/internal/eval"
+	"repro/internal/mapper"
+	"repro/internal/redeem"
+	"repro/internal/reptile"
+	"repro/internal/seq"
+	"repro/internal/shrec"
+	"repro/internal/simulate"
+)
+
+// Method selects an error correction algorithm.
+type Method string
+
+// Supported correction methods.
+const (
+	MethodReptile Method = "reptile"
+	MethodRedeem  Method = "redeem"
+	MethodShrec   Method = "shrec"
+)
+
+// CorrectOptions configures Correct.
+type CorrectOptions struct {
+	Method Method
+	// GenomeLen is the (estimated) genome length used for parameter
+	// selection; 0 means unknown.
+	GenomeLen int
+	// Workers bounds parallelism; <= 0 uses all cores.
+	Workers int
+
+	// Reptile overrides; zero values take data-derived defaults.
+	Reptile reptile.Params
+
+	// RedeemK is REDEEM's kmer length (default 11).
+	RedeemK int
+	// RedeemModel supplies the kmer error model; nil falls back to a
+	// uniform model at RedeemErrorRate.
+	RedeemModel *simulate.KmerErrorModel
+	// RedeemErrorRate parameterizes the fallback uniform model.
+	RedeemErrorRate float64
+
+	// Shrec overrides; zero value takes DefaultConfig(GenomeLen).
+	Shrec shrec.Config
+}
+
+// CorrectReport describes a correction run.
+type CorrectReport struct {
+	Method   Method
+	Duration time.Duration
+	// Threshold is REDEEM's inferred kmer threshold (0 for other methods).
+	Threshold float64
+	// Corrections is SHREC's applied-change count (0 for other methods).
+	Corrections int
+}
+
+// Correct runs the selected error corrector over the reads and returns
+// corrected copies.
+func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport, error) {
+	start := time.Now()
+	rep := &CorrectReport{Method: opts.Method}
+	switch opts.Method {
+	case MethodReptile, "":
+		p := opts.Reptile
+		if p.K == 0 {
+			p = reptile.DefaultParams(reads, opts.GenomeLen)
+		}
+		c, err := reptile.New(reads, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		out := c.CorrectAll(reads, opts.Workers)
+		rep.Method = MethodReptile
+		rep.Duration = time.Since(start)
+		return out, rep, nil
+	case MethodRedeem:
+		k := opts.RedeemK
+		if k == 0 {
+			k = 11
+		}
+		model := opts.RedeemModel
+		if model == nil {
+			rate := opts.RedeemErrorRate
+			if rate == 0 {
+				rate = 0.01
+			}
+			model = simulate.NewUniformKmerModel(k, rate)
+		}
+		m, err := redeem.New(reads, model, redeem.DefaultConfig(k))
+		if err != nil {
+			return nil, nil, err
+		}
+		m.Run()
+		thr, _, err := m.InferThreshold(1, 3)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Threshold = thr
+		out := m.CorrectReads(reads, thr, opts.Workers)
+		rep.Duration = time.Since(start)
+		return out, rep, nil
+	case MethodShrec:
+		cfg := opts.Shrec
+		if cfg.FromLevel == 0 {
+			cfg = shrec.DefaultConfig(opts.GenomeLen)
+		}
+		out, st, err := shrec.Correct(reads, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		rep.Corrections = st.Corrections
+		rep.Duration = time.Since(start)
+		return out, rep, nil
+	default:
+		return nil, nil, fmt.Errorf("core: unknown correction method %q", opts.Method)
+	}
+}
+
+// Cluster runs the CLOSET pipeline with the given configuration.
+func Cluster(reads []seq.Read, cfg closet.Config) (*closet.Result, error) {
+	return closet.Run(reads, cfg)
+}
+
+// EvaluateAgainstTruth scores corrected reads against simulation truth.
+func EvaluateAgainstTruth(sim []simulate.SimRead, corrected []seq.Read) (eval.CorrectionStats, error) {
+	return eval.EvaluateCorrection(sim, corrected)
+}
+
+// EvaluateByMapping scores reads against a reference genome through the
+// RMAP-style mapper when no simulation truth exists: it reports the mapping
+// summary before and after correction, the paper's §2.4 protocol.
+func EvaluateByMapping(genome []byte, before, after []seq.Read, maxMismatches int) (pre, post mapper.Summary, err error) {
+	idx, err := mapper.NewIndex(genome, 12)
+	if err != nil {
+		return pre, post, err
+	}
+	return idx.MapAll(before, maxMismatches), idx.MapAll(after, maxMismatches), nil
+}

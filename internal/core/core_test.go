@@ -1,0 +1,113 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/closet"
+	"repro/internal/simulate"
+)
+
+func smallDataset(t *testing.T, seed int64) *simulate.Dataset {
+	t.Helper()
+	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
+		Name: "t", GenomeLen: 10000, ReadLen: 36, Coverage: 50,
+		ErrorRate: 0.008, Bias: simulate.EcoliBias, QualityNoise: 2, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestCorrectAllMethodsImproveReads(t *testing.T) {
+	ds := smallDataset(t, 11)
+	reads := simulate.Reads(ds.Sim)
+	model := simulate.IlluminaModel(36, 0.008, simulate.EcoliBias)
+	km, err := simulate.KmerModelFromReadModel(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodReptile, MethodRedeem, MethodShrec} {
+		out, rep, err := Correct(reads, CorrectOptions{
+			Method:      m,
+			GenomeLen:   len(ds.Genome),
+			Workers:     1,
+			RedeemK:     11,
+			RedeemModel: km,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", m, err)
+		}
+		stats, err := EvaluateAgainstTruth(ds.Sim, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%s (%v): %v", m, rep.Duration.Round(1e6), stats)
+		if stats.Gain() <= 0 {
+			t.Errorf("%s: non-positive gain %.3f", m, stats.Gain())
+		}
+		if rep.Method == "" || rep.Duration <= 0 {
+			t.Errorf("%s: incomplete report %+v", m, rep)
+		}
+	}
+}
+
+func TestCorrectDefaultsToReptile(t *testing.T) {
+	ds := smallDataset(t, 12)
+	_, rep, err := Correct(simulate.Reads(ds.Sim), CorrectOptions{GenomeLen: len(ds.Genome), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Method != MethodReptile {
+		t.Errorf("default method = %q", rep.Method)
+	}
+}
+
+func TestCorrectUnknownMethod(t *testing.T) {
+	if _, _, err := Correct(nil, CorrectOptions{Method: "nope"}); err == nil {
+		t.Error("expected error for unknown method")
+	}
+}
+
+func TestClusterFacade(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tax, err := simulate.NewTaxonomy(simulate.DefaultTaxonomyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	meta, err := simulate.SampleMetagenome(tax, simulate.DefaultMetagenomeConfig(400), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := closet.DefaultConfig(375)
+	cfg.Nodes = 4
+	res, err := Cluster(simulate.MetaReads(meta), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ConfirmedEdges == 0 {
+		t.Error("no edges confirmed")
+	}
+}
+
+func TestEvaluateByMapping(t *testing.T) {
+	ds := smallDataset(t, 14)
+	reads := simulate.Reads(ds.Sim)
+	out, _, err := Correct(reads, CorrectOptions{GenomeLen: len(ds.Genome), Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, post, err := EvaluateByMapping(ds.Genome, reads, out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Correction should increase the mappable fraction and reduce the
+	// estimated error rate (the §2.4 improvement signal).
+	if post.UniqueFraction() < pre.UniqueFraction() {
+		t.Errorf("unique mapping dropped: %.3f -> %.3f", pre.UniqueFraction(), post.UniqueFraction())
+	}
+	if post.ErrorRate() >= pre.ErrorRate() {
+		t.Errorf("mapped error rate did not drop: %.4f -> %.4f", pre.ErrorRate(), post.ErrorRate())
+	}
+}

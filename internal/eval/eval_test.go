@@ -1,0 +1,172 @@
+package eval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func simPair(truth, called string) simulate.SimRead {
+	return simulate.SimRead{
+		Read: seq.Read{ID: "r", Seq: []byte(called)},
+		True: []byte(truth),
+	}
+}
+
+func TestEvaluateCorrectionCategories(t *testing.T) {
+	// truth:  ACGTA
+	// called: ACTTA  (error at pos 2: G->T)
+	// fixed:  ACGTA  -> TP at pos 2, TN elsewhere
+	sim := []simulate.SimRead{simPair("ACGTA", "ACTTA")}
+	stats, err := EvaluateCorrection(sim, []seq.Read{{Seq: []byte("ACGTA")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.TP != 1 || stats.TN != 4 || stats.FP+stats.FN+stats.NE != 0 {
+		t.Errorf("stats = %+v", stats)
+	}
+
+	// Left unchanged -> FN.
+	stats, _ = EvaluateCorrection(sim, []seq.Read{{Seq: []byte("ACTTA")}})
+	if stats.FN != 1 || stats.TP != 0 {
+		t.Errorf("FN case: %+v", stats)
+	}
+
+	// Changed to another wrong base -> NE.
+	stats, _ = EvaluateCorrection(sim, []seq.Read{{Seq: []byte("ACCTA")}})
+	if stats.NE != 1 || stats.TP != 0 || stats.FN != 0 {
+		t.Errorf("NE case: %+v", stats)
+	}
+
+	// Correct base wrongly changed -> FP.
+	stats, _ = EvaluateCorrection(sim, []seq.Read{{Seq: []byte("TCGTA")}})
+	if stats.FP != 1 || stats.TP != 1 {
+		t.Errorf("FP case: %+v", stats)
+	}
+}
+
+func TestCorrectionDerivedMeasures(t *testing.T) {
+	s := CorrectionStats{TP: 80, FN: 20, FP: 10, TN: 890, NE: 5}
+	if got := s.Sensitivity(); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Sensitivity = %v", got)
+	}
+	if got := s.Specificity(); math.Abs(got-890.0/900) > 1e-12 {
+		t.Errorf("Specificity = %v", got)
+	}
+	if got := s.Gain(); math.Abs(got-0.7) > 1e-12 {
+		t.Errorf("Gain = %v", got)
+	}
+	if got := s.EBA(); math.Abs(got-5.0/85) > 1e-12 {
+		t.Errorf("EBA = %v", got)
+	}
+	// Gain can be negative when FP > TP.
+	bad := CorrectionStats{TP: 1, FP: 5, FN: 4}
+	if bad.Gain() >= 0 {
+		t.Errorf("Gain should be negative, got %v", bad.Gain())
+	}
+}
+
+func TestEvaluateCorrectionValidation(t *testing.T) {
+	sim := []simulate.SimRead{simPair("ACG", "ACG")}
+	if _, err := EvaluateCorrection(sim, nil); err == nil {
+		t.Error("expected count mismatch error")
+	}
+	if _, err := EvaluateCorrection(sim, []seq.Read{{Seq: []byte("ACGT")}}); err == nil {
+		t.Error("expected length mismatch error")
+	}
+}
+
+func TestCorrectionStatsAdd(t *testing.T) {
+	a := CorrectionStats{TP: 1, FP: 2, TN: 3, FN: 4, NE: 5}
+	a.Add(CorrectionStats{TP: 10, FP: 20, TN: 30, FN: 40, NE: 50})
+	if a.TP != 11 || a.FP != 22 || a.TN != 33 || a.FN != 44 || a.NE != 55 {
+		t.Errorf("Add = %+v", a)
+	}
+}
+
+func TestGenomeKmerSetBothStrands(t *testing.T) {
+	set := GenomeKmerSet([]byte("ACGTT"), 3)
+	// Forward: ACG CGT GTT; reverse complements: CGT ACG AAC.
+	for _, s := range []string{"ACG", "CGT", "GTT", "AAC"} {
+		if !set[seq.MustPack(s)] {
+			t.Errorf("missing %s", s)
+		}
+	}
+	if set[seq.MustPack("TTT")] {
+		t.Error("phantom kmer")
+	}
+}
+
+func TestEvaluateDetection(t *testing.T) {
+	genomeSet := GenomeKmerSet([]byte("ACGTACGT"), 4)
+	kmers := []seq.Kmer{
+		seq.MustPack("ACGT"), // in genome
+		seq.MustPack("CGTA"), // in genome
+		seq.MustPack("TTTT"), // not in genome (erroneous)
+		seq.MustPack("GGGG"), // not in genome (erroneous)
+	}
+	// Flag ACGT (wrongly) and TTTT (rightly); miss GGGG.
+	flags := []bool{true, false, true, false}
+	d := EvaluateDetection(kmers, func(i int) bool { return flags[i] }, genomeSet)
+	if d.FP != 1 || d.FN != 1 || d.Wrong() != 2 {
+		t.Errorf("detection = %+v", d)
+	}
+}
+
+func TestARIPerfectAgreement(t *testing.T) {
+	a := []int{0, 0, 1, 1, 2, 2}
+	b := []int{5, 5, 9, 9, 7, 7} // same partition, renamed labels
+	got, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-1) > 1e-12 {
+		t.Errorf("ARI = %v want 1", got)
+	}
+}
+
+func TestARIKnownValue(t *testing.T) {
+	// Hand-checked 6-item example.
+	a := []int{0, 0, 0, 1, 1, 1}
+	b := []int{0, 0, 1, 1, 1, 1}
+	got, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Contingency: rows {3,3}, cols {2,4}; cells: (0,0)=2,(0,1)=1,(1,1)=3.
+	// sumCells = 1+0+3 = 4; sumRows = 3+3 = 6; sumCols = 1+6 = 7; total = 15.
+	// expected = 42/15 = 2.8; maxIndex = 6.5; ARI = (4-2.8)/(6.5-2.8).
+	want := (4.0 - 2.8) / (6.5 - 2.8)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("ARI = %v want %v", got, want)
+	}
+}
+
+func TestARIRandomIsNearZero(t *testing.T) {
+	// Independent balanced labelings over many items: expect ~0.
+	n := 4000
+	a := make([]int, n)
+	b := make([]int, n)
+	for i := range a {
+		a[i] = i % 4
+		b[i] = (i * 2654435761) % 5 // decorrelated
+	}
+	got, err := ARI(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got) > 0.05 {
+		t.Errorf("ARI of unrelated labelings = %v want ~0", got)
+	}
+}
+
+func TestARIValidation(t *testing.T) {
+	if _, err := ARI([]int{1}, []int{1, 2}); err == nil {
+		t.Error("expected length error")
+	}
+	if _, err := ARI(nil, nil); err == nil {
+		t.Error("expected empty error")
+	}
+}

@@ -1,0 +1,159 @@
+package kspectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// NeighborIndex retrieves the d-neighborhood N^d of any kmer within the
+// spectrum: all spectrum kmers at Hamming distance at most d. It implements
+// the replicated masked-sort strategy of §2.3: the k positions are divided
+// into c chunks; for every choice of d chunks the spectrum is sorted with
+// those chunks masked out. Two kmers within Hamming distance d agree on at
+// least c-d chunks, so they collide under at least one of the C(c,d) masks,
+// making retrieval exact.
+type NeighborIndex struct {
+	spec     *Spectrum
+	D        int
+	C        int
+	masks    []seq.Kmer // bitmask of the 2-bit positions zeroed per replica
+	replicas [][]int32  // spectrum indices sorted by masked kmer value
+}
+
+// NewNeighborIndex builds the index. c must satisfy d < c <= k; larger c
+// costs more replicas (C(c,d)) but each replica bucket is more selective.
+func NewNeighborIndex(spec *Spectrum, d, c int) (*NeighborIndex, error) {
+	k := spec.K
+	if d < 0 {
+		return nil, fmt.Errorf("kspectrum: negative d")
+	}
+	if c <= d || c > k {
+		return nil, fmt.Errorf("kspectrum: need d < c <= k, got d=%d c=%d k=%d", d, c, k)
+	}
+	ni := &NeighborIndex{spec: spec, D: d, C: c}
+	chunks := chunkRanges(k, c)
+	for _, combo := range combinations(c, d) {
+		var mask seq.Kmer
+		for _, ci := range combo {
+			for pos := chunks[ci][0]; pos < chunks[ci][1]; pos++ {
+				shift := uint(2 * (k - 1 - pos))
+				mask |= 3 << shift
+			}
+		}
+		ni.masks = append(ni.masks, mask)
+		idx := make([]int32, len(spec.Kmers))
+		for i := range idx {
+			idx[i] = int32(i)
+		}
+		m := mask
+		sort.Slice(idx, func(a, b int) bool {
+			return spec.Kmers[idx[a]]&^m < spec.Kmers[idx[b]]&^m
+		})
+		ni.replicas = append(ni.replicas, idx)
+	}
+	return ni, nil
+}
+
+// Replicas reports how many sorted copies the index stores (C(c,d)),
+// the paper's memory knob.
+func (ni *NeighborIndex) Replicas() int { return len(ni.replicas) }
+
+// Neighbors appends to dst the spectrum indices of all kmers within Hamming
+// distance ni.D of km (including km itself when present) and returns the
+// extended slice. Results are deduplicated and unordered.
+func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
+	k := ni.spec.K
+	start := len(dst)
+	for r, mask := range ni.masks {
+		key := km &^ mask
+		idx := ni.replicas[r]
+		kmers := ni.spec.Kmers
+		lo := sort.Search(len(idx), func(i int) bool { return kmers[idx[i]]&^mask >= key })
+		for i := lo; i < len(idx) && kmers[idx[i]]&^mask == key; i++ {
+			cand := idx[i]
+			if seq.HammingKmer(km, kmers[cand], k) <= ni.D {
+				dst = append(dst, cand)
+			}
+		}
+	}
+	// Deduplicate across replicas.
+	found := dst[start:]
+	sort.Slice(found, func(a, b int) bool { return found[a] < found[b] })
+	out := dst[:start]
+	for i, v := range found {
+		if i == 0 || v != found[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// BruteForceNeighbors enumerates the complete d-neighborhood by probing
+// every kmer within Hamming distance d of km against the spectrum — the
+// paper's alternative O(C(k,d)·4^d·log|R^k|) method, kept as the oracle for
+// correctness tests and as the ablation baseline.
+func BruteForceNeighbors(spec *Spectrum, km seq.Kmer, d int) []int32 {
+	var out []int32
+	var walk func(cur seq.Kmer, pos, left int)
+	walk = func(cur seq.Kmer, pos, left int) {
+		if left == 0 || pos == spec.K {
+			if i := spec.Index(cur); i >= 0 {
+				out = append(out, int32(i))
+			}
+			return
+		}
+		walk(cur, pos+1, left) // no change at pos; try later positions
+		orig := cur.At(pos, spec.K)
+		for b := seq.Base(0); b < 4; b++ {
+			if b == orig {
+				continue
+			}
+			walk(cur.WithBase(pos, spec.K, b), pos+1, left-1)
+		}
+	}
+	walk(km, 0, d)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	// walk visits each kmer exactly once for distance ≤ d? No: the
+	// "no change" branch combined with later substitutions enumerates each
+	// mutation set exactly once, but distance-<d kmers are reached via
+	// multiple left values; dedupe defensively.
+	dedup := out[:0]
+	for i, v := range out {
+		if i == 0 || v != out[i-1] {
+			dedup = append(dedup, v)
+		}
+	}
+	return dedup
+}
+
+func chunkRanges(k, c int) [][2]int {
+	out := make([][2]int, c)
+	for i := 0; i < c; i++ {
+		out[i] = [2]int{i * k / c, (i + 1) * k / c}
+	}
+	return out
+}
+
+// combinations enumerates all d-subsets of {0..n-1}.
+func combinations(n, d int) [][]int {
+	if d == 0 {
+		return [][]int{{}}
+	}
+	var out [][]int
+	combo := make([]int, d)
+	var rec func(start, idx int)
+	rec = func(start, idx int) {
+		if idx == d {
+			out = append(out, append([]int(nil), combo...))
+			return
+		}
+		for i := start; i <= n-(d-idx); i++ {
+			combo[idx] = i
+			rec(i+1, idx+1)
+		}
+	}
+	rec(0, 0)
+	return out
+}

@@ -1,0 +1,135 @@
+// Package kspectrum implements the k-spectrum machinery of Chapter 2: the
+// sorted k-spectrum of a read set, the space-replicated chunk-masked index
+// for exact d-neighborhood retrieval (§2.3 Phase 1), and quality-aware tile
+// occurrence counting (Oc and Og).
+package kspectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Spectrum is the sorted k-spectrum R^k of a read collection with
+// per-kmer occurrence counts. Both strands of every read contribute
+// (§2.3, "Phase 1"), so the spectrum is reverse-complement closed.
+type Spectrum struct {
+	K      int
+	Kmers  []seq.Kmer // sorted ascending, unique
+	Counts []uint32   // parallel to Kmers
+}
+
+// Build constructs the k-spectrum from reads. Windows containing non-ACGT
+// characters are skipped. When bothStrands is true each window also counts
+// toward its reverse complement.
+func Build(reads []seq.Read, k int, bothStrands bool) (*Spectrum, error) {
+	sb, err := NewSpectrumBuilder(k, bothStrands)
+	if err != nil {
+		return nil, err
+	}
+	sb.Add(reads)
+	return sb.Build(), nil
+}
+
+// SpectrumBuilder accumulates the k-spectrum incrementally, supporting the
+// §2.3 divide-and-merge strategy: read chunks are streamed through Add and
+// need not be retained.
+type SpectrumBuilder struct {
+	k           int
+	bothStrands bool
+	counts      map[seq.Kmer]uint32
+}
+
+// NewSpectrumBuilder validates k and prepares an empty accumulator.
+func NewSpectrumBuilder(k int, bothStrands bool) (*SpectrumBuilder, error) {
+	if k <= 0 || k > seq.MaxK {
+		return nil, fmt.Errorf("kspectrum: invalid k=%d", k)
+	}
+	return &SpectrumBuilder{k: k, bothStrands: bothStrands, counts: make(map[seq.Kmer]uint32)}, nil
+}
+
+// Add merges one chunk of reads into the accumulator.
+func (sb *SpectrumBuilder) Add(reads []seq.Read) {
+	for _, r := range reads {
+		forEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
+			sb.counts[km]++
+			if sb.bothStrands {
+				sb.counts[seq.RevComp(km, sb.k)]++
+			}
+		})
+	}
+}
+
+// Build finalizes the sorted spectrum.
+func (sb *SpectrumBuilder) Build() *Spectrum {
+	s := &Spectrum{K: sb.k, Kmers: make([]seq.Kmer, 0, len(sb.counts))}
+	for km := range sb.counts {
+		s.Kmers = append(s.Kmers, km)
+	}
+	sort.Slice(s.Kmers, func(i, j int) bool { return s.Kmers[i] < s.Kmers[j] })
+	s.Counts = make([]uint32, len(s.Kmers))
+	for i, km := range s.Kmers {
+		s.Counts[i] = sb.counts[km]
+	}
+	return s
+}
+
+// forEachKmer calls fn for every clean (ACGT-only) k-window of bases,
+// re-packing incrementally.
+func forEachKmer(bases []byte, k int, fn func(km seq.Kmer, pos int)) {
+	if len(bases) < k {
+		return
+	}
+	var km seq.Kmer
+	valid := 0
+	for i, ch := range bases {
+		b, ok := seq.BaseFromChar(ch)
+		if !ok {
+			valid = 0
+			continue
+		}
+		km = km.Append(b, k)
+		valid++
+		if valid >= k {
+			fn(km, i-k+1)
+		}
+	}
+}
+
+// Size returns the number of distinct kmers.
+func (s *Spectrum) Size() int { return len(s.Kmers) }
+
+// Index returns the position of km in the sorted spectrum, or -1.
+func (s *Spectrum) Index(km seq.Kmer) int {
+	i := sort.Search(len(s.Kmers), func(i int) bool { return s.Kmers[i] >= km })
+	if i < len(s.Kmers) && s.Kmers[i] == km {
+		return i
+	}
+	return -1
+}
+
+// Contains reports spectrum membership.
+func (s *Spectrum) Contains(km seq.Kmer) bool { return s.Index(km) >= 0 }
+
+// Count returns the occurrence count of km (0 if absent).
+func (s *Spectrum) Count(km seq.Kmer) uint32 {
+	if i := s.Index(km); i >= 0 {
+		return s.Counts[i]
+	}
+	return 0
+}
+
+// CountHistogram tallies how many kmers have each occurrence count,
+// truncated at maxCount (counts above are binned at maxCount).
+func (s *Spectrum) CountHistogram(maxCount int) []int {
+	h := make([]int, maxCount+1)
+	for _, c := range s.Counts {
+		idx := int(c)
+		if idx > maxCount {
+			idx = maxCount
+		}
+		h[idx]++
+	}
+	return h
+}

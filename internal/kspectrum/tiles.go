@@ -1,0 +1,173 @@
+package kspectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// TileCount carries the two occurrence statistics Reptile keeps per tile
+// (§2.3): Oc, the total multiplicity in R (both strands), and Og, the number
+// of those occurrences in which every base has quality score at least Qc.
+type TileCount struct {
+	Oc uint32
+	Og uint32
+}
+
+// TileSet counts tiles: l-concatenations of two k-mers, i.e. substrings of
+// length 2k-l (Definition 2.1 with |t| = 2k-l). Tiles are packed like kmers,
+// so 2k-l must not exceed seq.MaxK.
+type TileSet struct {
+	K       int
+	Overlap int // l, the kmer overlap inside a tile
+	TileLen int // 2k - l
+	Qc      byte
+	m       map[seq.Kmer]TileCount
+}
+
+// CountTiles scans all reads (both strands) and records tile multiplicities.
+// qc is the quality threshold defining the high-quality count Og; reads
+// without quality scores contribute to Og unconditionally (the paper's
+// Og = Oc fallback).
+func CountTiles(reads []seq.Read, k, overlap int, qc byte) (*TileSet, error) {
+	tileLen := 2*k - overlap
+	if k <= 0 || overlap < 0 || overlap >= k {
+		return nil, fmt.Errorf("kspectrum: invalid tile geometry k=%d l=%d", k, overlap)
+	}
+	if tileLen > seq.MaxK {
+		return nil, fmt.Errorf("kspectrum: tile length %d exceeds %d packed bases", tileLen, seq.MaxK)
+	}
+	ts := &TileSet{K: k, Overlap: overlap, TileLen: tileLen, Qc: qc, m: make(map[seq.Kmer]TileCount)}
+	ts.Add(reads)
+	return ts, nil
+}
+
+// Add merges one chunk of reads into the tile counts, enabling the §2.3
+// divide-and-merge construction.
+func (ts *TileSet) Add(reads []seq.Read) {
+	for _, r := range reads {
+		ts.addStrand(r.Seq, r.Qual, false)
+		rcSeq := seq.ReverseComplement(r.Seq)
+		var rcQual []byte
+		if r.Qual != nil {
+			rcQual = make([]byte, len(r.Qual))
+			for i, q := range r.Qual {
+				rcQual[len(r.Qual)-1-i] = q
+			}
+		}
+		ts.addStrand(rcSeq, rcQual, true)
+	}
+}
+
+func (ts *TileSet) addStrand(bases, qual []byte, rc bool) {
+	forEachKmer(bases, ts.TileLen, func(tile seq.Kmer, pos int) {
+		tc := ts.m[tile]
+		tc.Oc++
+		if ts.highQuality(qual, pos) {
+			tc.Og++
+		}
+		ts.m[tile] = tc
+	})
+}
+
+func (ts *TileSet) highQuality(qual []byte, pos int) bool {
+	if qual == nil {
+		return true
+	}
+	for i := pos; i < pos+ts.TileLen; i++ {
+		if qual[i] < ts.Qc {
+			return false
+		}
+	}
+	return true
+}
+
+// Get returns the counts for a packed tile (zero counts if unseen).
+func (ts *TileSet) Get(tile seq.Kmer) TileCount { return ts.m[tile] }
+
+// Size returns the number of distinct tiles.
+func (ts *TileSet) Size() int { return len(ts.m) }
+
+// PackTile concatenates two kmers with the configured overlap into a packed
+// tile. The caller guarantees the overlapping regions agree (Definition 2.1);
+// the suffix of a wins in the packed value.
+func (ts *TileSet) PackTile(a, b seq.Kmer) seq.Kmer {
+	// tile = a || (b without its first Overlap bases)
+	tailLen := ts.K - ts.Overlap
+	tailMask := seq.Kmer(1)<<(2*uint(tailLen)) - 1
+	return a<<(2*uint(tailLen)) | b&tailMask
+}
+
+// SplitTile recovers the two constituent kmers of a packed tile.
+func (ts *TileSet) SplitTile(tile seq.Kmer) (a, b seq.Kmer) {
+	tailLen := ts.K - ts.Overlap
+	a = tile >> (2 * uint(tailLen))
+	kMask := seq.Kmer(1)<<(2*uint(ts.K)) - 1
+	b = tile & kMask
+	return a, b
+}
+
+// OgHistogram tallies distinct tiles by Og count, binning counts above
+// maxBin into the last bin.
+func (ts *TileSet) OgHistogram(maxBin int) []int {
+	h := make([]int, maxBin+1)
+	for _, tc := range ts.m {
+		idx := int(tc.Og)
+		if idx > maxBin {
+			idx = maxBin
+		}
+		h[idx]++
+	}
+	return h
+}
+
+// OgQuantile returns the smallest count x such that at least `fraction` of
+// distinct tiles have Og <= x — the empirical-histogram parameter selection
+// Reptile uses for Cg and Cm (§2.3 "Choosing Parameters").
+func (ts *TileSet) OgQuantile(fraction float64) uint32 {
+	if len(ts.m) == 0 {
+		return 0
+	}
+	counts := make([]uint32, 0, len(ts.m))
+	for _, tc := range ts.m {
+		counts = append(counts, tc.Og)
+	}
+	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
+	idx := int(fraction * float64(len(counts)))
+	if idx >= len(counts) {
+		idx = len(counts) - 1
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	return counts[idx]
+}
+
+// QualityQuantile returns the Phred score q such that `fraction` of all
+// bases in the read set score below q — the selection rule for Qc.
+func QualityQuantile(reads []seq.Read, fraction float64) byte {
+	var hist [128]int
+	total := 0
+	for _, r := range reads {
+		for _, q := range r.Qual {
+			if q > 127 {
+				q = 127
+			}
+			hist[q]++
+			total++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	target := int(fraction * float64(total))
+	acc := 0
+	for q := 0; q < len(hist); q++ {
+		acc += hist[q]
+		if acc >= target {
+			return byte(q)
+		}
+	}
+	return 127
+}

@@ -1,0 +1,123 @@
+package kspectrum
+
+import (
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestCountTilesGeometry(t *testing.T) {
+	if _, err := CountTiles(nil, 4, 4, 0); err == nil {
+		t.Error("expected error for overlap >= k")
+	}
+	if _, err := CountTiles(nil, 20, 0, 0); err == nil {
+		t.Error("expected error for tile length > 32")
+	}
+	ts, err := CountTiles(nil, 6, 2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.TileLen != 10 {
+		t.Errorf("TileLen %d want 10", ts.TileLen)
+	}
+}
+
+func TestCountTilesBothStrands(t *testing.T) {
+	reads := mkReads("ACGTACGT")
+	ts, err := CountTiles(reads, 3, 0, 0) // tile length 6
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Forward windows: ACGTAC, CGTACG, GTACGT. RC read = ACGTACGT (palindrome),
+	// so every tile counts twice.
+	if got := ts.Get(seq.MustPack("ACGTAC")).Oc; got != 2 {
+		t.Errorf("Oc = %d want 2", got)
+	}
+}
+
+func TestCountTilesQuality(t *testing.T) {
+	r := seq.Read{
+		ID:   "q",
+		Seq:  []byte("ACGTACG"),
+		Qual: []byte{40, 40, 40, 40, 40, 40, 5},
+	}
+	ts, err := CountTiles([]seq.Read{r}, 3, 0, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := ts.Get(seq.MustPack("ACGTAC"))
+	if first.Oc != 1 || first.Og != 1 {
+		t.Errorf("high-quality tile counts = %+v", first)
+	}
+	// CGTACG is its own reverse complement, so it occurs once on each
+	// strand; both occurrences overlap the q=5 base, so Og stays 0.
+	second := ts.Get(seq.MustPack("CGTACG"))
+	if second.Oc != 2 || second.Og != 0 {
+		t.Errorf("low-quality tile counts = %+v (last base q=5)", second)
+	}
+}
+
+func TestCountTilesNilQualityCountsAsHigh(t *testing.T) {
+	ts, _ := CountTiles(mkReads("ACGTAC"), 3, 0, 40)
+	tc := ts.Get(seq.MustPack("ACGTAC"))
+	if tc.Og != tc.Oc {
+		t.Errorf("nil quality should give Og=Oc, got %+v", tc)
+	}
+}
+
+func TestPackSplitTile(t *testing.T) {
+	ts, _ := CountTiles(nil, 4, 1, 0)
+	a := seq.MustPack("ACGT")
+	b := seq.MustPack("TGCA") // overlap 1: tile = ACGT + GCA = ACGTGCA
+	tile := ts.PackTile(a, b)
+	if got := string(tile.Unpack(ts.TileLen)); got != "ACGTGCA" {
+		t.Errorf("PackTile = %q want ACGTGCA", got)
+	}
+	ga, gb := ts.SplitTile(tile)
+	if ga != a {
+		t.Errorf("SplitTile a = %v want %v", ga, a)
+	}
+	if got := string(gb.Unpack(4)); got != "TGCA" {
+		t.Errorf("SplitTile b = %q want TGCA", got)
+	}
+}
+
+func TestPackTileZeroOverlap(t *testing.T) {
+	ts, _ := CountTiles(nil, 3, 0, 0)
+	tile := ts.PackTile(seq.MustPack("ACG"), seq.MustPack("TTT"))
+	if got := string(tile.Unpack(6)); got != "ACGTTT" {
+		t.Errorf("PackTile = %q", got)
+	}
+	a, b := ts.SplitTile(tile)
+	if string(a.Unpack(3)) != "ACG" || string(b.Unpack(3)) != "TTT" {
+		t.Error("SplitTile round trip failed")
+	}
+}
+
+func TestOgQuantile(t *testing.T) {
+	reads := mkReads("AAAAAA", "AAAAAA", "AAAAAA", "CCCCCC")
+	ts, _ := CountTiles(reads, 3, 0, 0)
+	// Tiles: AAAAAA (Og 3 fwd + 3 rc? rc of AAAAAA is TTTTTT) ->
+	// AAAAAA:3, TTTTTT:3, CCCCCC:1, GGGGGG:1.
+	if ts.Size() != 4 {
+		t.Fatalf("tile count %d want 4", ts.Size())
+	}
+	if q := ts.OgQuantile(0.4); q != 1 {
+		t.Errorf("OgQuantile(0.4) = %d want 1", q)
+	}
+	if q := ts.OgQuantile(0.99); q != 3 {
+		t.Errorf("OgQuantile(0.99) = %d want 3", q)
+	}
+}
+
+func TestQualityQuantile(t *testing.T) {
+	reads := []seq.Read{
+		{Seq: []byte("AAAA"), Qual: []byte{10, 20, 30, 40}},
+	}
+	if q := QualityQuantile(reads, 0.5); q != 20 {
+		t.Errorf("QualityQuantile(0.5) = %d want 20", q)
+	}
+	if q := QualityQuantile(nil, 0.5); q != 0 {
+		t.Errorf("empty QualityQuantile = %d want 0", q)
+	}
+}

@@ -1,0 +1,238 @@
+// Package mapper implements a mismatch-minimizing short-read mapper in the
+// role RMAP v2.05 plays in the dissertation: mapping reads to a known
+// reference to (a) classify them as uniquely / ambiguously / un-mapped
+// (Table 2.2), (b) estimate per-position misread probability matrices from
+// uniquely mapped reads (§3.4.1), and (c) provide ground-truth errors for
+// evaluating correction when simulation truth is unavailable.
+//
+// The mapper is seed-and-extend: the reference is indexed by fixed-length
+// seeds; a read with at most m mismatches must, by the pigeonhole principle,
+// contain at least one exact seed among m+1 disjoint seeds, so full
+// sensitivity up to the configured mismatch budget is retained as long as
+// m+1 disjoint seeds fit in the read.
+package mapper
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// Index is a seed index over a reference genome.
+type Index struct {
+	genome  []byte
+	seedLen int
+	seedPos map[seq.Kmer][]int32
+}
+
+// NewIndex builds the seed index. seedLen around 12 balances specificity
+// against memory for megabase genomes.
+func NewIndex(genome []byte, seedLen int) (*Index, error) {
+	if seedLen <= 0 || seedLen > seq.MaxK {
+		return nil, fmt.Errorf("mapper: invalid seed length %d", seedLen)
+	}
+	if len(genome) < seedLen {
+		return nil, fmt.Errorf("mapper: genome shorter than seed")
+	}
+	idx := &Index{
+		genome:  genome,
+		seedLen: seedLen,
+		seedPos: make(map[seq.Kmer][]int32),
+	}
+	for pos := 0; pos+seedLen <= len(genome); pos++ {
+		if km, ok := seq.Pack(genome[pos:], seedLen); ok {
+			idx.seedPos[km] = append(idx.seedPos[km], int32(pos))
+		}
+	}
+	return idx, nil
+}
+
+// Status classifies a mapping attempt.
+type Status int
+
+// Mapping outcomes, in the vocabulary of Table 2.2.
+const (
+	Unmapped Status = iota
+	Unique
+	Ambiguous
+)
+
+func (s Status) String() string {
+	switch s {
+	case Unique:
+		return "unique"
+	case Ambiguous:
+		return "ambiguous"
+	default:
+		return "unmapped"
+	}
+}
+
+// Result describes the best alignment found for a read.
+type Result struct {
+	Status     Status
+	Pos        int  // genome position of the best alignment (forward coords)
+	RC         bool // read aligned to the reverse strand
+	Mismatches int
+}
+
+// Map aligns one read allowing up to maxMismatches substitutions. Reverse
+// strand alignments are found by mapping the reverse complement of the read
+// against the forward reference. Ambiguous ('N') read bases always count as
+// mismatches.
+func (idx *Index) Map(read []byte, maxMismatches int) Result {
+	type hit struct {
+		pos int
+		rc  bool
+	}
+	best := maxMismatches + 1
+	var bestHits []hit
+	consider := func(pos int, rc bool, oriented []byte) {
+		if pos < 0 || pos+len(oriented) > len(idx.genome) {
+			return
+		}
+		mm := mismatchesCapped(oriented, idx.genome[pos:pos+len(oriented)], best)
+		if mm > maxMismatches || mm > best {
+			return
+		}
+		h := hit{pos, rc}
+		if mm < best {
+			best = mm
+			bestHits = bestHits[:0]
+		}
+		for _, e := range bestHits {
+			if e == h {
+				return
+			}
+		}
+		bestHits = append(bestHits, h)
+	}
+	for _, rc := range []bool{false, true} {
+		oriented := read
+		if rc {
+			oriented = seq.ReverseComplement(read)
+		}
+		nSeeds := min(maxMismatches+1, len(oriented)/idx.seedLen)
+		if nSeeds == 0 {
+			nSeeds = 1
+		}
+		for s := 0; s < nSeeds; s++ {
+			off := s * idx.seedLen
+			if off+idx.seedLen > len(oriented) {
+				break
+			}
+			km, ok := seq.Pack(oriented[off:], idx.seedLen)
+			if !ok {
+				continue
+			}
+			for _, p := range idx.seedPos[km] {
+				consider(int(p)-off, rc, oriented)
+			}
+		}
+	}
+	switch len(bestHits) {
+	case 0:
+		return Result{Status: Unmapped}
+	case 1:
+		return Result{Status: Unique, Pos: bestHits[0].pos, RC: bestHits[0].rc, Mismatches: best}
+	default:
+		return Result{Status: Ambiguous, Pos: bestHits[0].pos, RC: bestHits[0].rc, Mismatches: best}
+	}
+}
+
+func mismatchesCapped(a, b []byte, cap int) int {
+	mm := 0
+	for i := range a {
+		if a[i] != b[i] {
+			mm++
+			if mm > cap {
+				return mm
+			}
+		}
+	}
+	return mm
+}
+
+// Summary aggregates Table 2.2-style statistics for a read set.
+type Summary struct {
+	Total     int
+	Unique    int
+	Ambiguous int
+	Unmapped  int
+	// MismatchBases counts mismatching bases over uniquely mapped reads,
+	// the paper's estimator of the dataset error rate (Table 2.1 note).
+	MismatchBases int
+	UniqueBases   int
+}
+
+// UniqueFraction is the Table 2.2 "uniquely mapped reads" column.
+func (s Summary) UniqueFraction() float64 { return frac(s.Unique, s.Total) }
+
+// AmbiguousFraction is the Table 2.2 "ambiguously mapped reads" column.
+func (s Summary) AmbiguousFraction() float64 { return frac(s.Ambiguous, s.Total) }
+
+// ErrorRate estimates the per-base substitution rate from unique mappings.
+func (s Summary) ErrorRate() float64 { return frac(s.MismatchBases, s.UniqueBases) }
+
+func frac(a, b int) float64 {
+	if b == 0 {
+		return 0
+	}
+	return float64(a) / float64(b)
+}
+
+// MapAll maps every read and aggregates the summary.
+func (idx *Index) MapAll(reads []seq.Read, maxMismatches int) Summary {
+	var s Summary
+	for _, r := range reads {
+		s.Total++
+		res := idx.Map(r.Seq, maxMismatches)
+		switch res.Status {
+		case Unique:
+			s.Unique++
+			s.MismatchBases += res.Mismatches
+			s.UniqueBases += len(r.Seq)
+		case Ambiguous:
+			s.Ambiguous++
+		default:
+			s.Unmapped++
+		}
+	}
+	return s
+}
+
+// EstimateErrorMatrices reproduces the §3.4.1 estimation: map each read,
+// keep unique hits, and tally, for every read position i, how often
+// reference base a was called as b. The result is the L-vector of 4x4
+// misread probability matrices M.
+func (idx *Index) EstimateErrorMatrices(reads []seq.Read, readLen, maxMismatches int) []simulate.Matrix4 {
+	counts := make([]simulate.Matrix4, readLen)
+	for _, r := range reads {
+		if len(r.Seq) != readLen {
+			continue
+		}
+		res := idx.Map(r.Seq, maxMismatches)
+		if res.Status != Unique {
+			continue
+		}
+		ref := idx.genome[res.Pos : res.Pos+readLen]
+		var oriented []byte
+		if res.RC {
+			oriented = seq.ReverseComplement(ref)
+		} else {
+			oriented = ref
+		}
+		for i := 0; i < readLen; i++ {
+			a, okA := seq.BaseFromChar(oriented[i])
+			b, okB := seq.BaseFromChar(r.Seq[i])
+			if okA && okB {
+				counts[i][a][b]++
+			}
+		}
+	}
+	for i := range counts {
+		counts[i].Normalize()
+	}
+	return counts
+}

@@ -1,0 +1,171 @@
+package mapper
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+func testGenome(t *testing.T, n int, seed int64) []byte {
+	t.Helper()
+	g, err := simulate.RandomGenome(n, simulate.UniformProfile, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewIndexValidation(t *testing.T) {
+	if _, err := NewIndex([]byte("ACGT"), 0); err == nil {
+		t.Error("expected error for seed length 0")
+	}
+	if _, err := NewIndex([]byte("AC"), 5); err == nil {
+		t.Error("expected error for genome shorter than seed")
+	}
+}
+
+func TestMapExactForward(t *testing.T) {
+	g := testGenome(t, 5000, 1)
+	idx, err := NewIndex(g, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	read := append([]byte(nil), g[1234:1234+36]...)
+	res := idx.Map(read, 2)
+	if res.Status != Unique || res.Pos != 1234 || res.RC || res.Mismatches != 0 {
+		t.Errorf("Map = %+v", res)
+	}
+}
+
+func TestMapReverseStrand(t *testing.T) {
+	g := testGenome(t, 5000, 2)
+	idx, _ := NewIndex(g, 12)
+	read := seq.ReverseComplement(g[800 : 800+36])
+	res := idx.Map(read, 2)
+	if res.Status != Unique || res.Pos != 800 || !res.RC {
+		t.Errorf("Map = %+v", res)
+	}
+}
+
+func TestMapWithMismatches(t *testing.T) {
+	g := testGenome(t, 5000, 3)
+	idx, _ := NewIndex(g, 12)
+	read := append([]byte(nil), g[2000:2000+36]...)
+	// Mutate two bases in different seed blocks.
+	read[2] = flip(read[2])
+	read[30] = flip(read[30])
+	res := idx.Map(read, 5)
+	if res.Status != Unique || res.Pos != 2000 || res.Mismatches != 2 {
+		t.Errorf("Map = %+v", res)
+	}
+	// Budget of 1 cannot place it.
+	if res := idx.Map(read, 1); res.Status != Unmapped {
+		t.Errorf("expected Unmapped with tight budget, got %+v", res)
+	}
+}
+
+func flip(ch byte) byte {
+	b, _ := seq.BaseFromChar(ch)
+	return ((b + 1) & 3).Char()
+}
+
+func TestMapAmbiguousInRepeat(t *testing.T) {
+	// Construct a genome with an exact 200bp duplication.
+	g := testGenome(t, 3000, 4)
+	copy(g[2500:2700], g[100:300])
+	idx, _ := NewIndex(g, 12)
+	read := append([]byte(nil), g[150:150+36]...)
+	res := idx.Map(read, 2)
+	if res.Status != Ambiguous {
+		t.Errorf("read inside duplication should map ambiguously, got %+v", res)
+	}
+}
+
+func TestMapNBasesCountAsMismatch(t *testing.T) {
+	g := testGenome(t, 4000, 5)
+	idx, _ := NewIndex(g, 12)
+	read := append([]byte(nil), g[1000:1000+36]...)
+	read[20] = 'N'
+	res := idx.Map(read, 3)
+	if res.Status != Unique || res.Mismatches != 1 {
+		t.Errorf("Map with N = %+v", res)
+	}
+}
+
+func TestMapUnmappedRandomRead(t *testing.T) {
+	g := testGenome(t, 4000, 6)
+	idx, _ := NewIndex(g, 12)
+	other := testGenome(t, 100, 999)
+	if res := idx.Map(other[:36], 2); res.Status != Unmapped {
+		t.Errorf("foreign read mapped: %+v", res)
+	}
+}
+
+func TestMapAllSummary(t *testing.T) {
+	g := testGenome(t, 20000, 7)
+	rng := rand.New(rand.NewSource(8))
+	sim, err := simulate.SimulateReads(g, simulate.ReadSimConfig{
+		N: 2000, Model: simulate.UniformModel(36, 0.01), BothStrands: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := NewIndex(g, 12)
+	sum := idx.MapAll(simulate.Reads(sim), 5)
+	if sum.Total != 2000 {
+		t.Fatalf("total %d", sum.Total)
+	}
+	if sum.UniqueFraction() < 0.9 {
+		t.Errorf("unique fraction %.3f too low for random genome", sum.UniqueFraction())
+	}
+	// Estimated error rate should track the simulated 1%.
+	if got := sum.ErrorRate(); got < 0.005 || got > 0.02 {
+		t.Errorf("estimated error rate %.4f want ~0.01", got)
+	}
+}
+
+func TestEstimateErrorMatrices(t *testing.T) {
+	g := testGenome(t, 50000, 9)
+	rng := rand.New(rand.NewSource(10))
+	model := simulate.IlluminaModel(36, 0.02, simulate.AspBias)
+	sim, err := simulate.SimulateReads(g, simulate.ReadSimConfig{N: 20000, Model: model, BothStrands: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idx, _ := NewIndex(g, 12)
+	est := idx.EstimateErrorMatrices(simulate.Reads(sim), 36, 5)
+	if len(est) != 36 {
+		t.Fatalf("got %d matrices", len(est))
+	}
+	// Diagonals dominate everywhere and the 3' ramp is recovered.
+	err5 := est[2].ErrorRate()
+	err3 := est[33].ErrorRate()
+	if err3 <= err5 {
+		t.Errorf("3' error %.4f not above 5' error %.4f", err3, err5)
+	}
+	wantMean := 0.0
+	gotMean := 0.0
+	for i := 0; i < 36; i++ {
+		wantMean += model.PositionErrorRate(i)
+		gotMean += est[i].ErrorRate()
+	}
+	wantMean /= 36
+	gotMean /= 36
+	if math.Abs(gotMean-wantMean) > wantMean*0.5 {
+		t.Errorf("mean estimated error %.4f want ~%.4f", gotMean, wantMean)
+	}
+}
+
+func BenchmarkMap(b *testing.B) {
+	g, _ := simulate.RandomGenome(100000, simulate.UniformProfile, rand.New(rand.NewSource(1)))
+	idx, _ := NewIndex(g, 12)
+	read := append([]byte(nil), g[50000:50036]...)
+	read[5] = flip(read[5])
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		idx.Map(read, 5)
+	}
+}

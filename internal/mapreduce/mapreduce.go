@@ -1,0 +1,219 @@
+// Package mapreduce is a small in-process MapReduce engine standing in for
+// the 32-node Hadoop cluster of Chapter 4. Jobs are expressed exactly as in
+// the dissertation — a map function emitting <key, value> pairs, a
+// hash-partitioned shuffle, and a reduce function per key group — and run on
+// a configurable number of simulated nodes (bounded goroutine pools). Each
+// job reports per-stage wall-clock durations and record counts, which
+// regenerate the stage/row structure of Tables 4.2 and 4.3.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// Config describes the simulated cluster a job runs on.
+type Config struct {
+	// Nodes is the number of simulated cluster nodes: the shuffle produces
+	// this many partitions, and map/reduce tasks use up to this many
+	// concurrent workers (capped by GOMAXPROCS for real parallelism, but
+	// partitioning always honors Nodes so data placement matches the
+	// cluster being simulated).
+	Nodes int
+	// Name labels the job in its Stats.
+	Name string
+}
+
+// Stats records one job's execution profile.
+type Stats struct {
+	Name            string
+	MapDuration     time.Duration
+	ShuffleDuration time.Duration
+	ReduceDuration  time.Duration
+	InputRecords    int
+	MapOutput       int
+	DistinctKeys    int
+	ReduceOutput    int
+}
+
+// Total is the job wall-clock across stages.
+func (s Stats) Total() time.Duration {
+	return s.MapDuration + s.ShuffleDuration + s.ReduceDuration
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%s: in=%d mapped=%d keys=%d out=%d (map %v, shuffle %v, reduce %v)",
+		s.Name, s.InputRecords, s.MapOutput, s.DistinctKeys, s.ReduceOutput,
+		s.MapDuration.Round(time.Microsecond), s.ShuffleDuration.Round(time.Microsecond), s.ReduceDuration.Round(time.Microsecond))
+}
+
+// Emitter receives the pairs produced by a map function.
+type Emitter[K comparable, V any] func(key K, value V)
+
+// Run executes one MapReduce job.
+//
+// mapFn is invoked once per input record; reduceFn once per distinct key
+// with all values grouped (value order within a group is unspecified, as on
+// a real cluster). hash places keys onto nodes. The output concatenates
+// whatever reduceFn emits, in unspecified order.
+func Run[I any, K comparable, V any, O any](
+	cfg Config,
+	input []I,
+	mapFn func(rec I, emit Emitter[K, V]),
+	reduceFn func(key K, values []V, emit func(O)),
+	hash func(K) uint64,
+) ([]O, Stats, error) {
+	if cfg.Nodes <= 0 {
+		return nil, Stats{}, fmt.Errorf("mapreduce: need at least one node, got %d", cfg.Nodes)
+	}
+	stats := Stats{Name: cfg.Name, InputRecords: len(input)}
+	workers := min(cfg.Nodes, runtime.GOMAXPROCS(0)*4)
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Map stage: each worker keeps per-partition buffers so the shuffle is
+	// a cheap concatenation.
+	type kv struct {
+		k K
+		v V
+	}
+	start := time.Now()
+	workerParts := make([][][]kv, workers)
+	var mapErr error
+	var mapErrOnce sync.Once
+	var wg sync.WaitGroup
+	chunk := (len(input) + workers - 1) / workers
+	mapped := make([]int, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(input))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					mapErrOnce.Do(func() { mapErr = fmt.Errorf("mapreduce: map task panicked: %v", r) })
+				}
+			}()
+			parts := make([][]kv, cfg.Nodes)
+			emit := func(k K, v V) {
+				p := int(hash(k) % uint64(cfg.Nodes))
+				parts[p] = append(parts[p], kv{k, v})
+				mapped[w]++
+			}
+			for i := lo; i < hi; i++ {
+				mapFn(input[i], emit)
+			}
+			workerParts[w] = parts
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if mapErr != nil {
+		return nil, stats, mapErr
+	}
+	for _, n := range mapped {
+		stats.MapOutput += n
+	}
+	stats.MapDuration = time.Since(start)
+
+	// Shuffle: group values by key within each partition.
+	start = time.Now()
+	grouped := make([]map[K][]V, cfg.Nodes)
+	var sg sync.WaitGroup
+	distinct := make([]int, cfg.Nodes)
+	sem := make(chan struct{}, workers)
+	for p := 0; p < cfg.Nodes; p++ {
+		sg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer sg.Done()
+			defer func() { <-sem }()
+			g := make(map[K][]V)
+			for w := range workerParts {
+				if workerParts[w] == nil {
+					continue
+				}
+				for _, pair := range workerParts[w][p] {
+					g[pair.k] = append(g[pair.k], pair.v)
+				}
+			}
+			grouped[p] = g
+			distinct[p] = len(g)
+		}(p)
+	}
+	sg.Wait()
+	for _, d := range distinct {
+		stats.DistinctKeys += d
+	}
+	stats.ShuffleDuration = time.Since(start)
+
+	// Reduce: one task per partition.
+	start = time.Now()
+	outputs := make([][]O, cfg.Nodes)
+	var rg sync.WaitGroup
+	var redErr error
+	var redErrOnce sync.Once
+	for p := 0; p < cfg.Nodes; p++ {
+		rg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer rg.Done()
+			defer func() { <-sem }()
+			defer func() {
+				if r := recover(); r != nil {
+					redErrOnce.Do(func() { redErr = fmt.Errorf("mapreduce: reduce task panicked: %v", r) })
+				}
+			}()
+			var out []O
+			emit := func(o O) { out = append(out, o) }
+			for k, vs := range grouped[p] {
+				reduceFn(k, vs, emit)
+			}
+			outputs[p] = out
+		}(p)
+	}
+	rg.Wait()
+	if redErr != nil {
+		return nil, stats, redErr
+	}
+	var result []O
+	for _, out := range outputs {
+		result = append(result, out...)
+	}
+	stats.ReduceOutput = len(result)
+	stats.ReduceDuration = time.Since(start)
+	return result, stats, nil
+}
+
+// HashString hashes string keys with FNV-1a.
+func HashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// HashUint64 mixes an integer key (SplitMix64 finalizer).
+func HashUint64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// HashInt32 hashes an int32 key.
+func HashInt32(x int32) uint64 { return HashUint64(uint64(uint32(x))) }
+
+// HashInt32Pair hashes a pair of int32 keys.
+func HashInt32Pair(p [2]int32) uint64 {
+	return HashUint64(uint64(uint32(p[0]))<<32 | uint64(uint32(p[1])))
+}
+
+// HashFloat64 hashes a float64 key by its bits.
+func HashFloat64(f float64) uint64 { return HashUint64(math.Float64bits(f)) }

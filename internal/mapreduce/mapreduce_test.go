@@ -1,0 +1,193 @@
+package mapreduce
+
+import (
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestWordCount(t *testing.T) {
+	docs := []string{"a b a", "b c", "a"}
+	type count struct {
+		word string
+		n    int
+	}
+	out, stats, err := Run(
+		Config{Nodes: 4, Name: "wordcount"},
+		docs,
+		func(doc string, emit Emitter[string, int]) {
+			for _, w := range strings.Fields(doc) {
+				emit(w, 1)
+			}
+		},
+		func(word string, ones []int, emit func(count)) {
+			emit(count{word, len(ones)})
+		},
+		HashString,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].word < out[j].word })
+	want := []count{{"a", 3}, {"b", 2}, {"c", 1}}
+	if len(out) != len(want) {
+		t.Fatalf("got %v", out)
+	}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Errorf("out[%d] = %v want %v", i, out[i], want[i])
+		}
+	}
+	if stats.InputRecords != 3 || stats.MapOutput != 6 || stats.DistinctKeys != 3 || stats.ReduceOutput != 3 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestRunValidatesNodes(t *testing.T) {
+	_, _, err := Run(Config{Nodes: 0}, []int{1},
+		func(i int, emit Emitter[int, int]) { emit(i, i) },
+		func(k int, vs []int, emit func(int)) { emit(k) },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+	)
+	if err == nil {
+		t.Error("expected error for zero nodes")
+	}
+}
+
+func TestPartitioningCoversAllKeys(t *testing.T) {
+	// Every emitted key must reach exactly one reducer regardless of node
+	// count: the grouped totals are invariant.
+	input := make([]int, 10000)
+	for i := range input {
+		input[i] = i
+	}
+	for _, nodes := range []int{1, 3, 32, 100} {
+		out, _, err := Run(Config{Nodes: nodes},
+			input,
+			func(i int, emit Emitter[int, int]) { emit(i%97, 1) },
+			func(k int, vs []int, emit func([2]int)) { emit([2]int{k, len(vs)}) },
+			func(k int) uint64 { return HashUint64(uint64(k)) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != 97 {
+			t.Fatalf("nodes=%d: %d keys want 97", nodes, len(out))
+		}
+		total := 0
+		for _, kv := range out {
+			total += kv[1]
+		}
+		if total != 10000 {
+			t.Errorf("nodes=%d: total %d want 10000", nodes, total)
+		}
+	}
+}
+
+func TestDeterministicGroupContents(t *testing.T) {
+	// Group contents (as multisets) are deterministic even though order
+	// is not: sum of values per key must match across runs.
+	input := make([]int, 5000)
+	for i := range input {
+		input[i] = i
+	}
+	runOnce := func() map[int]int {
+		out, _, err := Run(Config{Nodes: 8},
+			input,
+			func(i int, emit Emitter[int, int]) { emit(i%13, i) },
+			func(k int, vs []int, emit func([2]int)) {
+				s := 0
+				for _, v := range vs {
+					s += v
+				}
+				emit([2]int{k, s})
+			},
+			func(k int) uint64 { return HashUint64(uint64(k)) },
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := map[int]int{}
+		for _, kv := range out {
+			m[kv[0]] = kv[1]
+		}
+		return m
+	}
+	a, b := runOnce(), runOnce()
+	if len(a) != len(b) {
+		t.Fatal("different key sets")
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Errorf("key %d: %d vs %d", k, v, b[k])
+		}
+	}
+}
+
+func TestMapPanicSurfacesAsError(t *testing.T) {
+	_, _, err := Run(Config{Nodes: 2}, []int{1, 2, 3},
+		func(i int, emit Emitter[int, int]) {
+			if i == 2 {
+				panic("boom")
+			}
+			emit(i, i)
+		},
+		func(k int, vs []int, emit func(int)) { emit(k) },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+	)
+	if err == nil || !strings.Contains(err.Error(), "map task panicked") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestReducePanicSurfacesAsError(t *testing.T) {
+	_, _, err := Run(Config{Nodes: 2}, []int{1},
+		func(i int, emit Emitter[int, int]) { emit(i, i) },
+		func(k int, vs []int, emit func(int)) { panic("reduce boom") },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+	)
+	if err == nil || !strings.Contains(err.Error(), "reduce task panicked") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	out, stats, err := Run(Config{Nodes: 4}, nil,
+		func(i int, emit Emitter[int, int]) { emit(i, i) },
+		func(k int, vs []int, emit func(int)) { emit(k) },
+		func(k int) uint64 { return HashUint64(uint64(k)) },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || stats.MapOutput != 0 {
+		t.Errorf("out=%v stats=%+v", out, stats)
+	}
+}
+
+func TestHashHelpersSpread(t *testing.T) {
+	// Adjacent keys should land on many distinct buckets.
+	buckets := map[uint64]bool{}
+	for i := int32(0); i < 1000; i++ {
+		buckets[HashInt32(i)%32] = true
+	}
+	if len(buckets) < 30 {
+		t.Errorf("HashInt32 spread over %d/32 buckets", len(buckets))
+	}
+	if HashInt32Pair([2]int32{1, 2}) == HashInt32Pair([2]int32{2, 1}) {
+		t.Error("pair hash should be order sensitive")
+	}
+	if HashFloat64(1.0) == HashFloat64(2.0) {
+		t.Error("float hash collision on distinct values")
+	}
+}
+
+func TestStatsString(t *testing.T) {
+	s := Stats{Name: "job", InputRecords: 1}
+	if !strings.Contains(s.String(), "job") {
+		t.Errorf("String() = %q", s.String())
+	}
+	if s.Total() != 0 {
+		t.Errorf("Total = %v", s.Total())
+	}
+}

@@ -1,0 +1,500 @@
+// Package reptile implements Reptile (Chapter 2): short-read error
+// correction by representative tiling. Reads are decomposed into tiles —
+// l-concatenations of two kmers — and each tile is validated or corrected by
+// comparing its high-quality occurrence count against the counts of its
+// d-mutant tiles, retrieved through the Hamming-neighborhood index of the
+// kspectrum package. Flexible tile placement (Algorithm 2's decisions
+// D1–D3) routes the tiling around clusters of more than d errors, and a
+// second pass over the reverse complement applies the same strategy in the
+// 3'→5' direction.
+package reptile
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/kspectrum"
+	"repro/internal/seq"
+)
+
+// Params are Reptile's tuning parameters (§2.3 "Choosing Parameters").
+type Params struct {
+	K       int // kmer length; dlog4 |G|e when genome size is known
+	D       int // maximum Hamming distance per constituent kmer (default 1)
+	Overlap int // l, the overlap between a tile's two kmers (default 0)
+	C       int // chunk count for the neighborhood index (d < C <= K)
+
+	Cg uint32  // tiles with Og >= Cg are automatically valid
+	Cm uint32  // minimum occurrence for low-frequency validation
+	Cr float64 // required ratio Og(t')/Og(t) for a correction (default 2)
+	Qc byte    // quality threshold defining high-quality occurrences Og
+	Qm byte    // a correction must touch at least one base with q < Qm
+
+	// DefaultBase replaces ambiguous bases before correction (§2.4).
+	DefaultBase byte
+	// MaxNPerWindow is the ambiguous-base density constraint: an N is
+	// converted only if every K-window containing it has at most this many
+	// ambiguous bases (defaults to D).
+	MaxNPerWindow int
+}
+
+// DefaultParams derives parameters from the data per §2.3: Qc at the
+// 15-20% quality quantile, Cg and Cm from the tile occurrence histogram,
+// and k from the genome length estimate when available (0 = unknown).
+func DefaultParams(reads []seq.Read, genomeLen int) Params {
+	p := Params{D: 1, Overlap: 0, Cr: 2, DefaultBase: 'A'}
+	p.K = 12
+	if genomeLen > 0 {
+		k := 1
+		for n := 4; n < genomeLen; n *= 4 {
+			k++
+		}
+		p.K = min(max(k, 10), 15)
+	}
+	p.C = min(p.K, p.D+4)
+	p.Qc = kspectrum.QualityQuantile(reads, 0.17)
+	p.Qm = p.Qc + 15 // corrections may touch anything but very confident bases
+	p.MaxNPerWindow = p.D
+	return p
+}
+
+func (p Params) validate() error {
+	if p.K <= 0 || 2*p.K-p.Overlap > seq.MaxK {
+		return fmt.Errorf("reptile: invalid k=%d overlap=%d", p.K, p.Overlap)
+	}
+	if p.D < 0 || p.D >= p.K {
+		return fmt.Errorf("reptile: invalid d=%d", p.D)
+	}
+	if p.C <= p.D || p.C > p.K {
+		return fmt.Errorf("reptile: need d < c <= k, got c=%d", p.C)
+	}
+	if p.Cr <= 1 {
+		return fmt.Errorf("reptile: Cr must exceed 1, got %v", p.Cr)
+	}
+	return nil
+}
+
+// Corrector holds the Phase-1 information extraction products (§2.3):
+// the k-spectrum, the Hamming-neighborhood index, and the tile counts.
+type Corrector struct {
+	P     Params
+	Spec  *kspectrum.Spectrum
+	NI    *kspectrum.NeighborIndex
+	Tiles *kspectrum.TileSet
+}
+
+// New runs Phase 1 over the read set. Parameter thresholds Cg and Cm are
+// filled from the tile histogram when left at zero.
+func New(reads []seq.Read, p Params) (*Corrector, error) {
+	b, err := NewBuilder(p)
+	if err != nil {
+		return nil, err
+	}
+	b.Add(reads)
+	return b.Finish()
+}
+
+// Builder accumulates Phase 1 (k-spectrum and tile counts) over read chunks
+// — the §2.3 divide-and-merge strategy for inputs that do not fit in main
+// memory: stream each chunk through Add, discard it, and call Finish once.
+type Builder struct {
+	p     Params
+	sb    *kspectrum.SpectrumBuilder
+	tiles *kspectrum.TileSet
+}
+
+// NewBuilder validates the parameters and prepares an empty accumulator.
+func NewBuilder(p Params) (*Builder, error) {
+	if p.DefaultBase == 0 {
+		p.DefaultBase = 'A'
+	}
+	if p.MaxNPerWindow == 0 {
+		p.MaxNPerWindow = p.D
+	}
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	sb, err := kspectrum.NewSpectrumBuilder(p.K, true)
+	if err != nil {
+		return nil, err
+	}
+	tiles, err := kspectrum.CountTiles(nil, p.K, p.Overlap, p.Qc)
+	if err != nil {
+		return nil, err
+	}
+	return &Builder{p: p, sb: sb, tiles: tiles}, nil
+}
+
+// Add streams one chunk of reads into the Phase 1 accumulators. Ambiguous
+// bases are pre-converted per §2.4, so the spectrum contains the tiles the
+// corrector will query; the chunk may be released afterwards.
+func (b *Builder) Add(reads []seq.Read) {
+	prepared := make([]seq.Read, len(reads))
+	for i, r := range reads {
+		prepared[i] = prepareRead(r, b.p)
+	}
+	b.sb.Add(prepared)
+	b.tiles.Add(prepared)
+}
+
+// Finish builds the neighborhood index and derives the occurrence
+// thresholds, producing the ready-to-use Corrector.
+func (b *Builder) Finish() (*Corrector, error) {
+	p := b.p
+	spec := b.sb.Build()
+	ni, err := kspectrum.NewNeighborIndex(spec, p.D, p.C)
+	if err != nil {
+		return nil, err
+	}
+	cg, cm := deriveThresholds(b.tiles)
+	if p.Cg == 0 {
+		p.Cg = cg
+	}
+	if p.Cm == 0 {
+		p.Cm = cm
+	}
+	return &Corrector{P: p, Spec: spec, NI: ni, Tiles: b.tiles}, nil
+}
+
+// deriveThresholds picks Cm and Cg from the Og histogram of distinct tiles,
+// following the empirical selection of §2.3: distinct tiles are dominated by
+// erroneous singletons, so the histogram shows an error spike at low counts,
+// a valley, and a coverage peak for genuine tiles. Cm sits at the valley and
+// Cg between the valley and the peak.
+func deriveThresholds(tiles *kspectrum.TileSet) (cg, cm uint32) {
+	const maxBin = 255
+	h := tiles.OgHistogram(maxBin)
+	// Smooth lightly to stabilize valley detection on small datasets.
+	sm := make([]float64, len(h))
+	for i := range h {
+		sum, n := 0.0, 0.0
+		for j := max(0, i-1); j <= min(len(h)-1, i+1); j++ {
+			sum += float64(h[j])
+			n++
+		}
+		sm[i] = sum / n
+	}
+	// Locate the coverage peak: the maximum after the error spike's decay.
+	// Skip bins 0..2, which belong to the error mass by construction.
+	peak := 3
+	for i := 4; i < len(sm); i++ {
+		if sm[i] > sm[peak] {
+			peak = i
+		}
+	}
+	// Valley: the minimum between the spike and the peak.
+	valley := 1
+	for i := 2; i <= peak; i++ {
+		if sm[i] < sm[valley] {
+			valley = i
+		}
+	}
+	cm = uint32(max(valley, 2))
+	cg = uint32(max((valley+peak)/2, int(cm)+2))
+	return cg, cm
+}
+
+// prepareRead converts correctable ambiguous bases to the default base
+// (validated or corrected later by the algorithm) and leaves dense clusters
+// of Ns untouched (§2.4).
+func prepareRead(r seq.Read, p Params) seq.Read {
+	out := r.Clone()
+	w := p.K
+	for i, ch := range out.Seq {
+		if !seq.IsAmbiguous(ch) {
+			continue
+		}
+		// Check every w-window containing position i.
+		convertible := true
+		lo := max(0, i-w+1)
+		hi := min(i, len(out.Seq)-w)
+		for start := lo; start <= hi; start++ {
+			n := 0
+			for j := start; j < start+w; j++ {
+				if seq.IsAmbiguous(out.Seq[j]) {
+					n++
+				}
+			}
+			if n > p.MaxNPerWindow {
+				convertible = false
+				break
+			}
+		}
+		if convertible {
+			out.Seq[i] = p.DefaultBase
+			if out.Qual != nil {
+				out.Qual[i] = 0 // force the base to be correctable
+			}
+		}
+	}
+	return out
+}
+
+// decision is the outcome of Algorithm 1 on one tile.
+type decision int
+
+const (
+	decValid decision = iota
+	decCorrected
+	decInsufficient
+)
+
+// mutantTile is a candidate replacement tile.
+type mutantTile struct {
+	a, b seq.Kmer
+	og   uint32
+	hd   int
+}
+
+// correctTile is Algorithm 1. bases/qual give the tile's current content and
+// per-base qualities at read offset pos; d1 and d2 bound the search distance
+// of the two constituent kmers. On decCorrected, the replacement is written
+// into bases.
+func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int) decision {
+	p := c.P
+	step := p.K - p.Overlap
+	a, okA := seq.Pack(bases[pos:], p.K)
+	b, okB := seq.Pack(bases[pos+step:], p.K)
+	if !okA || !okB {
+		return decInsufficient // residual ambiguous bases block this tile
+	}
+	tile := c.Tiles.PackTile(a, b)
+	og := c.Tiles.Get(tile).Og
+	if og >= p.Cg {
+		return decValid // line 1-2: overwhelming support
+	}
+	mutants := c.mutantTiles(a, b, d1, d2)
+	if len(mutants) == 0 {
+		if og >= p.Cm {
+			return decValid // line 4-6
+		}
+		return decInsufficient // line 8
+	}
+	if og >= p.Cm {
+		// Line 11: keep only strongly dominating mutants.
+		var sel []mutantTile
+		for _, m := range mutants {
+			if float64(m.og) >= p.Cr*float64(og) {
+				sel = append(sel, m)
+			}
+		}
+		if len(sel) == 0 {
+			return decValid // line 12
+		}
+		best := c.closest(sel)
+		if len(best) != 1 {
+			return decInsufficient // line 15: ambiguous
+		}
+		if !c.applyIfLowQuality(bases, qual, pos, best[0]) {
+			return decInsufficient
+		}
+		return decCorrected // line 14
+	}
+	// Lines 17-21: very low multiplicity tile.
+	var strong []mutantTile
+	for _, m := range mutants {
+		if m.og >= p.Cm {
+			strong = append(strong, m)
+		}
+	}
+	if len(strong) == 1 {
+		c.apply(bases, pos, strong[0])
+		return decCorrected
+	}
+	return decInsufficient
+}
+
+// mutantTiles enumerates the observed d-mutant tiles of (a,b), excluding the
+// tile itself (Definition 2.2 with the overlap-consistency constraint).
+func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int) []mutantTile {
+	p := c.P
+	na := c.neighborhood(a, d1)
+	nb := c.neighborhood(b, d2)
+	var out []mutantTile
+	for _, ai := range na {
+		for _, bi := range nb {
+			ka, kb := c.Spec.Kmers[ai], c.Spec.Kmers[bi]
+			if ka == a && kb == b {
+				continue
+			}
+			if p.Overlap > 0 && !overlapConsistent(ka, kb, p.K, p.Overlap) {
+				continue
+			}
+			tc := c.Tiles.Get(c.Tiles.PackTile(ka, kb))
+			if tc.Oc == 0 {
+				continue
+			}
+			hd := seq.HammingKmer(a, ka, p.K) + seq.HammingKmer(b, kb, p.K)
+			out = append(out, mutantTile{a: ka, b: kb, og: tc.Og, hd: hd})
+		}
+	}
+	return out
+}
+
+func (c *Corrector) neighborhood(km seq.Kmer, d int) []int32 {
+	if d == 0 {
+		if i := c.Spec.Index(km); i >= 0 {
+			return []int32{int32(i)}
+		}
+		return nil
+	}
+	return c.NI.Neighbors(km, nil)
+}
+
+// overlapConsistent checks that the last l bases of ka equal the first l of kb.
+func overlapConsistent(ka, kb seq.Kmer, k, l int) bool {
+	suffix := ka & (seq.Kmer(1)<<(2*uint(l)) - 1)
+	prefix := kb >> (2 * uint(k-l))
+	return suffix == prefix
+}
+
+// closest returns the mutants achieving the minimum Hamming distance.
+func (c *Corrector) closest(ms []mutantTile) []mutantTile {
+	best := ms[0].hd
+	for _, m := range ms[1:] {
+		if m.hd < best {
+			best = m.hd
+		}
+	}
+	var out []mutantTile
+	for _, m := range ms {
+		if m.hd == best {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// applyIfLowQuality writes the replacement only if at least one changed base
+// has quality below Qm (Algorithm 1 line 14 condition 2); reads without
+// quality information are always correctable.
+func (c *Corrector) applyIfLowQuality(bases, qual []byte, pos int, m mutantTile) bool {
+	p := c.P
+	repl := c.tileBytes(m)
+	if qual != nil {
+		touchedLow := false
+		for i := range repl {
+			if bases[pos+i] != repl[i] && qual[pos+i] < p.Qm {
+				touchedLow = true
+				break
+			}
+		}
+		if !touchedLow {
+			return false
+		}
+	}
+	copy(bases[pos:], repl)
+	return true
+}
+
+func (c *Corrector) apply(bases []byte, pos int, m mutantTile) {
+	copy(bases[pos:], c.tileBytes(m))
+}
+
+func (c *Corrector) tileBytes(m mutantTile) []byte {
+	return c.Tiles.PackTile(m.a, m.b).Unpack(c.Tiles.TileLen)
+}
+
+// CorrectRead is Algorithm 2: it walks a tiling across the read in the
+// 5'→3' direction, then repeats on the reverse complement to cover the
+// 3'→5' direction, and returns the corrected read.
+func (c *Corrector) CorrectRead(r seq.Read) seq.Read {
+	out := prepareRead(r, c.P)
+	if len(out.Seq) < c.Tiles.TileLen {
+		return out
+	}
+	c.correctPass(out.Seq, out.Qual)
+	// 3'→5' pass on the reverse complement; the spectrum and tile counts
+	// are reverse-complement closed, so the same structures serve.
+	rcSeq := seq.ReverseComplement(out.Seq)
+	var rcQual []byte
+	if out.Qual != nil {
+		rcQual = make([]byte, len(out.Qual))
+		for i, q := range out.Qual {
+			rcQual[len(out.Qual)-1-i] = q
+		}
+	}
+	c.correctPass(rcSeq, rcQual)
+	out.Seq = seq.ReverseComplement(rcSeq)
+	return out
+}
+
+// correctPass runs the tiling walk in place over one orientation.
+func (c *Corrector) correctPass(bases, qual []byte) {
+	p := c.P
+	tileLen := c.Tiles.TileLen
+	step := p.K - p.Overlap
+	pos := 0
+	d1 := p.D
+	retried := false
+	for pos+tileLen <= len(bases) {
+		dec := c.correctTile(bases, qual, pos, d1, p.D)
+		switch dec {
+		case decValid, decCorrected:
+			retried = false
+			if pos+tileLen == len(bases) {
+				return
+			}
+			next := pos + step
+			if next+tileLen > len(bases) {
+				// [D1]/[D2] end handling: the final tile is the read suffix.
+				next = len(bases) - tileLen
+				if next == pos {
+					return
+				}
+				d1 = p.D // suffix tile is not anchored on a validated kmer
+			} else {
+				d1 = 0 // the leading kmer was just validated/corrected
+			}
+			pos = next
+		default:
+			if !retried && pos+1+tileLen <= len(bases) {
+				// [D3a]: alternative placement shifted by one base with a
+				// d=1 budget on the re-anchored leading kmer.
+				retried = true
+				pos++
+				d1 = min(1, p.D)
+				continue
+			}
+			// [D3b]: skip past the dead-end region, leaving an
+			// unvalidated gap, and restart with the full budget.
+			retried = false
+			pos += tileLen
+			d1 = p.D
+		}
+	}
+}
+
+// CorrectAll corrects every read using `workers` goroutines (1 = serial).
+// The input reads are not modified.
+func (c *Corrector) CorrectAll(reads []seq.Read, workers int) []seq.Read {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]seq.Read, len(reads))
+	if workers == 1 {
+		for i, r := range reads {
+			out[i] = c.CorrectRead(r)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	chunk := (len(reads) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(reads))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				out[i] = c.CorrectRead(reads[i])
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,275 @@
+package reptile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// buildTestData simulates a dataset and returns the corrector inputs.
+func buildTestData(t *testing.T, genomeLen, nReads, readLen int, errRate float64, seed int64) ([]byte, []simulate.SimRead) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	genome, err := simulate.RandomGenome(genomeLen, simulate.MaizeProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := simulate.IlluminaModel(readLen, errRate, simulate.EcoliBias)
+	sim, err := simulate.SimulateReads(genome, simulate.ReadSimConfig{
+		N: nReads, Model: model, BothStrands: true, QualityNoise: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return genome, sim
+}
+
+func defaultTestParams() Params {
+	return Params{K: 10, D: 1, Overlap: 0, C: 5, Cr: 2, Qc: 15, Qm: 60, DefaultBase: 'A', MaxNPerWindow: 1}
+}
+
+func TestParamsValidation(t *testing.T) {
+	cases := []Params{
+		{K: 0, D: 1, C: 2, Cr: 2},
+		{K: 20, D: 1, Overlap: 0, C: 5, Cr: 2}, // tile 40 > 32
+		{K: 10, D: 10, C: 11, Cr: 2},
+		{K: 10, D: 1, C: 1, Cr: 2},
+		{K: 10, D: 1, C: 5, Cr: 0.5},
+	}
+	for i, p := range cases {
+		if _, err := New(nil, p); err == nil {
+			t.Errorf("case %d: expected validation error for %+v", i, p)
+		}
+	}
+}
+
+func TestDefaultParams(t *testing.T) {
+	_, sim := buildTestData(t, 5000, 500, 36, 0.01, 1)
+	p := DefaultParams(simulate.Reads(sim), 5000)
+	if p.K < 7 || p.K > 15 {
+		t.Errorf("K = %d", p.K)
+	}
+	if p.Qc == 0 {
+		t.Error("Qc not derived from data")
+	}
+	if p.D != 1 || p.Cr != 2 {
+		t.Errorf("defaults: %+v", p)
+	}
+}
+
+func TestCorrectorFixesIsolatedErrors(t *testing.T) {
+	genome, sim := buildTestData(t, 20000, 25000, 36, 0.006, 2)
+	_ = genome
+	c, err := New(simulate.Reads(sim), defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrected := c.CorrectAll(simulate.Reads(sim), 1)
+	stats, err := eval.EvaluateCorrection(sim, corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("reptile on 45x/0.6%%: %v", stats)
+	if stats.Gain() < 0.5 {
+		t.Errorf("Gain = %.3f want > 0.5", stats.Gain())
+	}
+	if stats.Specificity() < 0.995 {
+		t.Errorf("Specificity = %.4f want > 0.995", stats.Specificity())
+	}
+	if stats.EBA() > 0.05 {
+		t.Errorf("EBA = %.4f want < 0.05", stats.EBA())
+	}
+}
+
+func TestCorrectorDeterministicAndNonMutating(t *testing.T) {
+	_, sim := buildTestData(t, 5000, 4000, 36, 0.01, 3)
+	reads := simulate.Reads(sim)
+	orig := string(reads[7].Seq)
+	c, err := New(reads, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := c.CorrectAll(reads, 1)
+	b := c.CorrectAll(reads, 1)
+	if string(reads[7].Seq) != orig {
+		t.Error("CorrectAll mutated its input")
+	}
+	for i := range a {
+		if string(a[i].Seq) != string(b[i].Seq) {
+			t.Fatalf("nondeterministic correction at read %d", i)
+		}
+	}
+}
+
+func TestCorrectAllParallelMatchesSerial(t *testing.T) {
+	_, sim := buildTestData(t, 5000, 4000, 36, 0.01, 4)
+	reads := simulate.Reads(sim)
+	c, err := New(reads, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial := c.CorrectAll(reads, 1)
+	parallel := c.CorrectAll(reads, 4)
+	for i := range serial {
+		if string(serial[i].Seq) != string(parallel[i].Seq) {
+			t.Fatalf("parallel differs from serial at read %d", i)
+		}
+	}
+}
+
+func TestCorrectReadShortRead(t *testing.T) {
+	_, sim := buildTestData(t, 5000, 1000, 36, 0.01, 5)
+	c, err := New(simulate.Reads(sim), defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	short := seq.Read{ID: "s", Seq: []byte("ACGTACGT")} // shorter than a tile
+	out := c.CorrectRead(short)
+	if string(out.Seq) != "ACGTACGT" {
+		t.Errorf("short read altered: %s", out.Seq)
+	}
+}
+
+func TestAmbiguousBaseConversion(t *testing.T) {
+	p := defaultTestParams()
+	// Sparse N converts; dense cluster does not.
+	sparse := seq.Read{ID: "a", Seq: []byte("ACGTNACGTACGTACGTACG"), Qual: make([]byte, 20)}
+	out := prepareRead(sparse, p)
+	if out.Seq[4] != 'A' {
+		t.Errorf("sparse N not converted: %s", out.Seq)
+	}
+	dense := seq.Read{ID: "b", Seq: []byte("ACNNNACGTACGTACGTACG"), Qual: make([]byte, 20)}
+	out = prepareRead(dense, p)
+	if out.Seq[2] != 'N' || out.Seq[3] != 'N' {
+		t.Errorf("dense N cluster converted: %s", out.Seq)
+	}
+}
+
+func TestAmbiguousBasesGetCorrected(t *testing.T) {
+	genome, sim := buildTestData(t, 20000, 25000, 36, 0.004, 6)
+	_ = genome
+	reads := simulate.Reads(sim)
+	// Punch isolated Ns into 200 reads at a mid-read position.
+	for i := 0; i < 200; i++ {
+		reads[i] = reads[i].Clone()
+		reads[i].Seq[15] = 'N'
+		reads[i].Qual[15] = 2
+	}
+	c, err := New(reads, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := 0
+	for i := 0; i < 200; i++ {
+		out := c.CorrectRead(reads[i])
+		if out.Seq[15] == sim[i].True[15] {
+			fixed++
+		}
+	}
+	// §2.4 reports ~99.9% accuracy on ambiguous-base correction; at this
+	// reduced scale we require a strong majority.
+	if fixed < 150 {
+		t.Errorf("fixed %d/200 ambiguous bases", fixed)
+	}
+}
+
+func TestHigherDIncreasesCorrections(t *testing.T) {
+	_, sim := buildTestData(t, 10000, 15000, 36, 0.015, 7)
+	reads := simulate.Reads(sim)
+	p1 := defaultTestParams()
+	c1, err := New(reads, p1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2 := defaultTestParams()
+	p2.D = 2
+	p2.C = 6
+	c2, err := New(reads, p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, _ := eval.EvaluateCorrection(sim, c1.CorrectAll(reads, 1))
+	s2, _ := eval.EvaluateCorrection(sim, c2.CorrectAll(reads, 1))
+	t.Logf("d=1: %v", s1)
+	t.Logf("d=2: %v", s2)
+	// Table 2.3: increasing d raises TP (more errors identified).
+	if s2.TP <= s1.TP {
+		t.Errorf("d=2 TP=%d not above d=1 TP=%d", s2.TP, s1.TP)
+	}
+}
+
+func TestOverlapConsistent(t *testing.T) {
+	ka := seq.MustPack("ACGT")
+	kb := seq.MustPack("GTTT")
+	if !overlapConsistent(ka, kb, 4, 2) {
+		t.Error("GT suffix/prefix should be consistent")
+	}
+	if overlapConsistent(ka, seq.MustPack("TTTT"), 4, 2) {
+		t.Error("inconsistent overlap accepted")
+	}
+}
+
+func TestQualityGuardBlocksHighQualityCorrection(t *testing.T) {
+	// A tile whose bases are all above Qm must not be corrected via the
+	// Og>=Cm branch (Algorithm 1 line 14 condition 2).
+	_, sim := buildTestData(t, 10000, 12000, 36, 0.01, 8)
+	reads := simulate.Reads(sim)
+	p := defaultTestParams()
+	p.Cm = 1 // route every observed tile through the quality-guarded branch
+	p.Qm = 1 // nothing is below quality 1 -> guarded corrections blocked
+	c, err := New(reads, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pLoose := defaultTestParams()
+	pLoose.Cm = 1
+	cLoose, err := New(reads, pLoose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sStrict, _ := eval.EvaluateCorrection(sim, c.CorrectAll(reads, 1))
+	sLoose, _ := eval.EvaluateCorrection(sim, cLoose.CorrectAll(reads, 1))
+	if sStrict.TP >= sLoose.TP {
+		t.Errorf("quality guard had no effect: strict TP=%d loose TP=%d", sStrict.TP, sLoose.TP)
+	}
+}
+
+func TestChunkedBuilderMatchesWholeSlice(t *testing.T) {
+	// The §2.3 divide-and-merge construction must be equivalent to
+	// building from the whole read set at once.
+	_, sim := buildTestData(t, 8000, 8000, 36, 0.01, 9)
+	reads := simulate.Reads(sim)
+	whole, err := New(reads, defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewBuilder(defaultTestParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for lo := 0; lo < len(reads); lo += 1000 {
+		b.Add(reads[lo:min(lo+1000, len(reads))])
+	}
+	chunked, err := b.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole.Spec.Size() != chunked.Spec.Size() || whole.Tiles.Size() != chunked.Tiles.Size() {
+		t.Fatalf("structures differ: spectrum %d/%d tiles %d/%d",
+			whole.Spec.Size(), chunked.Spec.Size(), whole.Tiles.Size(), chunked.Tiles.Size())
+	}
+	if whole.P.Cg != chunked.P.Cg || whole.P.Cm != chunked.P.Cm {
+		t.Fatalf("derived thresholds differ: (%d,%d) vs (%d,%d)",
+			whole.P.Cg, whole.P.Cm, chunked.P.Cg, chunked.P.Cm)
+	}
+	a := whole.CorrectAll(reads, 1)
+	c := chunked.CorrectAll(reads, 1)
+	for i := range a {
+		if string(a[i].Seq) != string(c[i].Seq) {
+			t.Fatalf("correction differs at read %d", i)
+		}
+	}
+}

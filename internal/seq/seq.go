@@ -1,0 +1,244 @@
+// Package seq provides the DNA sequence primitives shared by every other
+// package in this repository: the 4-letter base alphabet, 2-bit packed kmers,
+// reverse complements, Hamming distance, and the Read type carrying bases and
+// Phred quality scores.
+//
+// Kmers up to 32 bases are packed two bits per base into a uint64 (A=0, C=1,
+// G=2, T=3), with the first base of the kmer in the most significant occupied
+// bits so that packed kmers sort in the same order as their string forms.
+package seq
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Base is a 2-bit encoded nucleotide: A=0, C=1, G=2, T=3.
+type Base byte
+
+// Canonical base codes.
+const (
+	A Base = 0
+	C Base = 1
+	G Base = 2
+	T Base = 3
+)
+
+// MaxK is the largest kmer length representable in a packed Kmer.
+const MaxK = 32
+
+var baseChars = [4]byte{'A', 'C', 'G', 'T'}
+
+// baseCodes maps ASCII to a base code; 0xFF marks non-ACGT characters
+// (including the ambiguity character 'N').
+var baseCodes [256]byte
+
+func init() {
+	for i := range baseCodes {
+		baseCodes[i] = 0xFF
+	}
+	for code, ch := range baseChars {
+		baseCodes[ch] = byte(code)
+		baseCodes[ch+'a'-'A'] = byte(code)
+	}
+}
+
+// BaseFromChar converts an ASCII nucleotide to its 2-bit code. The second
+// return value is false for any character outside ACGT (case-insensitive),
+// notably the ambiguity code 'N'.
+func BaseFromChar(ch byte) (Base, bool) {
+	code := baseCodes[ch]
+	if code == 0xFF {
+		return 0, false
+	}
+	return Base(code), true
+}
+
+// Char returns the upper-case ASCII letter for b.
+func (b Base) Char() byte { return baseChars[b&3] }
+
+// Complement returns the Watson-Crick complement of b.
+func (b Base) Complement() Base { return b ^ 3 }
+
+// IsAmbiguous reports whether ch is not one of ACGT (case-insensitive).
+func IsAmbiguous(ch byte) bool { return baseCodes[ch] == 0xFF }
+
+// Kmer is a 2-bit packed DNA word of up to MaxK bases. The kmer length is
+// not stored in the value; callers carry it alongside (all structures in
+// this repository use a single k per instance).
+type Kmer uint64
+
+// Pack encodes s[0:k] into a Kmer. It returns ok=false if the window
+// contains any non-ACGT character.
+func Pack(s []byte, k int) (Kmer, bool) {
+	if k > len(s) || k > MaxK {
+		return 0, false
+	}
+	var km Kmer
+	for i := 0; i < k; i++ {
+		code := baseCodes[s[i]]
+		if code == 0xFF {
+			return 0, false
+		}
+		km = km<<2 | Kmer(code)
+	}
+	return km, true
+}
+
+// PackString is Pack for string input, packing the whole string.
+func PackString(s string) (Kmer, bool) { return Pack([]byte(s), len(s)) }
+
+// MustPack packs s entirely and panics on ambiguous bases; intended for
+// tests and constants.
+func MustPack(s string) Kmer {
+	km, ok := PackString(s)
+	if !ok {
+		panic(fmt.Sprintf("seq: cannot pack %q", s))
+	}
+	return km
+}
+
+// Unpack decodes km into a fresh byte slice of length k.
+func (km Kmer) Unpack(k int) []byte {
+	out := make([]byte, k)
+	for i := k - 1; i >= 0; i-- {
+		out[i] = baseChars[km&3]
+		km >>= 2
+	}
+	return out
+}
+
+// String is Unpack with an assumed length: it trims leading A's, so it is
+// only for debugging; use Unpack(k) in real code.
+func (km Kmer) StringK(k int) string { return string(km.Unpack(k)) }
+
+// At returns the base at position i (0-based from the 5' end) of a k-long kmer.
+func (km Kmer) At(i, k int) Base {
+	shift := uint(2 * (k - 1 - i))
+	return Base(km>>shift) & 3
+}
+
+// WithBase returns km with position i replaced by b.
+func (km Kmer) WithBase(i, k int, b Base) Kmer {
+	shift := uint(2 * (k - 1 - i))
+	return km&^(3<<shift) | Kmer(b)<<shift
+}
+
+// Append shifts km left by one base and appends b, keeping length k.
+func (km Kmer) Append(b Base, k int) Kmer {
+	mask := Kmer(1)<<(2*uint(k)) - 1
+	return (km<<2 | Kmer(b)) & mask
+}
+
+// RevComp returns the reverse complement of a k-long kmer.
+func RevComp(km Kmer, k int) Kmer {
+	var rc Kmer
+	for i := 0; i < k; i++ {
+		rc = rc<<2 | (km & 3) ^ 3
+		km >>= 2
+	}
+	return rc
+}
+
+// Canonical returns the lexicographically smaller of km and its reverse
+// complement, the conventional strand-neutral representative.
+func Canonical(km Kmer, k int) Kmer {
+	if rc := RevComp(km, k); rc < km {
+		return rc
+	}
+	return km
+}
+
+// HammingKmer counts positions at which two k-long kmers differ.
+func HammingKmer(a, b Kmer, k int) int {
+	x := uint64(a ^ b)
+	// Collapse each 2-bit base to a single indicator bit, then popcount.
+	x = (x | x>>1) & 0x5555555555555555
+	n := 0
+	for x != 0 {
+		x &= x - 1
+		n++
+	}
+	return n
+}
+
+// Hamming counts mismatching positions between equal-length byte strings.
+// It panics if the lengths differ, as that is always a programming error in
+// this codebase.
+func Hamming(a, b []byte) int {
+	if len(a) != len(b) {
+		panic("seq: Hamming on unequal lengths")
+	}
+	n := 0
+	for i := range a {
+		if a[i] != b[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// ReverseComplement returns the reverse complement of an ASCII DNA string.
+// Ambiguous characters map to themselves ('N' stays 'N').
+func ReverseComplement(s []byte) []byte {
+	out := make([]byte, len(s))
+	for i, ch := range s {
+		j := len(s) - 1 - i
+		if code, ok := BaseFromChar(ch); ok {
+			out[j] = code.Complement().Char()
+		} else {
+			out[j] = ch
+		}
+	}
+	return out
+}
+
+// Read is a sequenced fragment: an identifier, the called bases (over
+// A,C,G,T,N) and the per-base Phred quality scores (raw values, not
+// ASCII-offset; see the fastq package for encoding).
+type Read struct {
+	ID   string
+	Seq  []byte
+	Qual []byte
+}
+
+// Clone deep-copies the read so corrections do not alias the original.
+func (r Read) Clone() Read {
+	c := Read{ID: r.ID, Seq: append([]byte(nil), r.Seq...)}
+	if r.Qual != nil {
+		c.Qual = append([]byte(nil), r.Qual...)
+	}
+	return c
+}
+
+// CountAmbiguous returns the number of non-ACGT characters in the read.
+func (r Read) CountAmbiguous() int {
+	n := 0
+	for _, ch := range r.Seq {
+		if IsAmbiguous(ch) {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks internal consistency (quality length matches sequence).
+func (r Read) Validate() error {
+	if r.Qual != nil && len(r.Qual) != len(r.Seq) {
+		return fmt.Errorf("seq: read %s: %d bases but %d quality values", r.ID, len(r.Seq), len(r.Qual))
+	}
+	return nil
+}
+
+// FormatBases renders a byte sequence safely for error messages.
+func FormatBases(s []byte) string {
+	var b strings.Builder
+	for _, ch := range s {
+		if IsAmbiguous(ch) && ch != 'N' {
+			fmt.Fprintf(&b, "<%02x>", ch)
+		} else {
+			b.WriteByte(ch)
+		}
+	}
+	return b.String()
+}

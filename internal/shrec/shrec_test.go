@@ -1,0 +1,135 @@
+package shrec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/eval"
+	"repro/internal/simulate"
+)
+
+func simData(t *testing.T, genomeLen, nReads int, errRate float64, seed int64) ([]byte, []simulate.SimRead) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	genome, err := simulate.RandomGenome(genomeLen, simulate.MaizeProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := simulate.SimulateReads(genome, simulate.ReadSimConfig{
+		N: nReads, Model: simulate.IlluminaModel(36, errRate, simulate.EcoliBias), BothStrands: true, QualityNoise: 2,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return genome, sim
+}
+
+func TestConfigValidation(t *testing.T) {
+	bad := []Config{
+		{FromLevel: 1, ToLevel: 2, Alpha: 1, Iterations: 1},
+		{FromLevel: 5, ToLevel: 4, Alpha: 1, Iterations: 1},
+		{FromLevel: 5, ToLevel: 6, Alpha: 0, Iterations: 1},
+		{FromLevel: 5, ToLevel: 6, Alpha: 1, Iterations: 0},
+	}
+	for i, cfg := range bad {
+		if _, _, err := Correct(nil, cfg); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDefaultConfigScalesWithGenome(t *testing.T) {
+	small := DefaultConfig(10000)
+	large := DefaultConfig(4640000)
+	if small.FromLevel >= large.FromLevel {
+		t.Errorf("levels should grow with genome: %d vs %d", small.FromLevel, large.FromLevel)
+	}
+}
+
+func TestCorrectRemovesErrors(t *testing.T) {
+	genome, sim := simData(t, 10000, 15000, 0.006, 1)
+	cfg := DefaultConfig(len(genome))
+	corrected, stats, err := Correct(simulate.Reads(sim), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := eval.EvaluateCorrection(sim, corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("shrec: %v corrections=%d nodes=%d", cs, stats.Corrections, stats.PeakNodes)
+	if cs.Gain() < 0.3 {
+		t.Errorf("Gain = %.3f want > 0.3", cs.Gain())
+	}
+	if cs.Specificity() < 0.99 {
+		t.Errorf("Specificity = %.4f", cs.Specificity())
+	}
+	if stats.Corrections == 0 {
+		t.Error("no corrections recorded")
+	}
+}
+
+func TestCorrectDoesNotMutateInput(t *testing.T) {
+	_, sim := simData(t, 4000, 3000, 0.01, 2)
+	reads := simulate.Reads(sim)
+	before := string(reads[3].Seq)
+	if _, _, err := Correct(reads, DefaultConfig(4000)); err != nil {
+		t.Fatal(err)
+	}
+	if string(reads[3].Seq) != before {
+		t.Error("input reads mutated")
+	}
+}
+
+func TestCorrectCleanReadsNearlyUntouched(t *testing.T) {
+	// Error-free data: SHREC's statistical test may still miscorrect a
+	// handful of under-sampled loci (its known FP-proneness), but the
+	// damage must stay negligible.
+	genome, sim := simData(t, 5000, 6000, 0.0, 3)
+	_ = genome
+	corrected, _, err := Correct(simulate.Reads(sim), DefaultConfig(5000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, _ := eval.EvaluateCorrection(sim, corrected)
+	if cs.Specificity() < 0.9999 {
+		t.Errorf("Specificity = %.5f on clean data (FP=%d)", cs.Specificity(), cs.FP)
+	}
+}
+
+func TestIterationsConverge(t *testing.T) {
+	_, sim := simData(t, 5000, 8000, 0.01, 4)
+	cfg := DefaultConfig(5000)
+	cfg.Iterations = 1
+	_, s1, err := Correct(simulate.Reads(sim), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Iterations = 3
+	_, s3, err := Correct(simulate.Reads(sim), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3.Corrections < s1.Corrections {
+		t.Errorf("more iterations found fewer corrections: %d vs %d", s3.Corrections, s1.Corrections)
+	}
+}
+
+func TestSubtreeContained(t *testing.T) {
+	u := &node{}
+	v := &node{}
+	u.children[0] = &node{}
+	if subtreeContained(u, v) {
+		t.Error("u has a path v lacks")
+	}
+	v.children[0] = &node{}
+	if !subtreeContained(u, v) {
+		t.Error("containment should hold")
+	}
+	if !subtreeContained(nil, v) {
+		t.Error("nil u is contained in anything")
+	}
+	if subtreeContained(u, nil) {
+		t.Error("non-nil u cannot be contained in nil")
+	}
+}

@@ -1,0 +1,229 @@
+package simulate
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/seq"
+)
+
+// Matrix4 is a row-stochastic 4x4 matrix: entry [a][b] is the probability
+// that true base a is called as base b.
+type Matrix4 [4][4]float64
+
+// Normalize rescales each row to sum to one.
+func (m *Matrix4) Normalize() {
+	for a := 0; a < 4; a++ {
+		sum := 0.0
+		for b := 0; b < 4; b++ {
+			sum += m[a][b]
+		}
+		if sum <= 0 {
+			m[a] = [4]float64{}
+			m[a][a] = 1
+			continue
+		}
+		for b := 0; b < 4; b++ {
+			m[a][b] /= sum
+		}
+	}
+}
+
+// ErrorRate returns the average off-diagonal mass assuming equal base usage.
+func (m Matrix4) ErrorRate() float64 {
+	e := 0.0
+	for a := 0; a < 4; a++ {
+		e += 1 - m[a][a]
+	}
+	return e / 4
+}
+
+// MisreadModel is the paper's M = (M_1 .. M_L): one misread matrix per read
+// position (§3.4.1). Position indices are 0-based here.
+type MisreadModel struct {
+	Matrices []Matrix4
+}
+
+// Len returns the read length the model describes.
+func (m *MisreadModel) Len() int { return len(m.Matrices) }
+
+// PositionErrorRate returns the expected substitution probability at read
+// position i for a uniformly random true base.
+func (m *MisreadModel) PositionErrorRate(i int) float64 {
+	return m.Matrices[i].ErrorRate()
+}
+
+// MeanErrorRate averages PositionErrorRate over the read.
+func (m *MisreadModel) MeanErrorRate() float64 {
+	sum := 0.0
+	for i := range m.Matrices {
+		sum += m.PositionErrorRate(i)
+	}
+	return sum / float64(len(m.Matrices))
+}
+
+// UniformModel errs at every position with probability pe, distributing the
+// error mass equally over the three alternatives — the tUED/wUED model of
+// §3.4.2 (Eq. 3.1).
+func UniformModel(readLen int, pe float64) *MisreadModel {
+	m := &MisreadModel{Matrices: make([]Matrix4, readLen)}
+	for i := range m.Matrices {
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				if a == b {
+					m.Matrices[i][a][b] = 1 - pe
+				} else {
+					m.Matrices[i][a][b] = pe / 3
+				}
+			}
+		}
+	}
+	return m
+}
+
+// PlatformBias captures the nucleotide-specific miscall preferences of a
+// sequencing run: Bias[a][b] weights how often true base a miscalls to b.
+// Two distinct instances stand in for the E. coli run (tIED) and the
+// A. sp. ADP1 run (wIED) of Table 3.2, whose estimated matrices differ
+// notably.
+type PlatformBias struct {
+	Name string
+	Bias Matrix4
+}
+
+// EcoliBias mirrors the shape of Table 3.2 (left): A→C dominant among A
+// errors, G→T elevated.
+var EcoliBias = PlatformBias{
+	Name: "ecoli-run",
+	Bias: Matrix4{
+		{0, 0.60, 0.18, 0.22},
+		{0.37, 0, 0.25, 0.38},
+		{0.07, 0.23, 0, 0.70},
+		{0.12, 0.45, 0.43, 0},
+	},
+}
+
+// AspBias mirrors Table 3.2 (right): much stronger A→C and G→T preference —
+// "the wrong Illumina error distribution" when applied to the other run.
+var AspBias = PlatformBias{
+	Name: "asp-run",
+	Bias: Matrix4{
+		{0, 0.66, 0.05, 0.29},
+		{0.29, 0, 0.12, 0.59},
+		{0.05, 0.13, 0, 0.82},
+		{0.22, 0.45, 0.33, 0},
+	},
+}
+
+// IlluminaModel builds a position-specific misread model with the two
+// signature properties the dissertation relies on: errors cluster toward the
+// 3' end of the read (§2.3, §3.2), and the per-base miscall preferences are
+// nucleotide specific (Table 3.2). meanErr sets the read-average
+// substitution rate.
+func IlluminaModel(readLen int, meanErr float64, bias PlatformBias) *MisreadModel {
+	m := &MisreadModel{Matrices: make([]Matrix4, readLen)}
+	// Error rate ramps exponentially from ~0.3x mean at the 5' end to
+	// ~3x mean near the 3' end; normalize the ramp to hit meanErr exactly.
+	ramp := make([]float64, readLen)
+	sum := 0.0
+	for i := range ramp {
+		frac := float64(i) / float64(max(readLen-1, 1))
+		ramp[i] = 0.3 * math.Exp(2.3*frac) // 0.3 .. ~3.0
+		sum += ramp[i]
+	}
+	scale := meanErr * float64(readLen) / sum
+	for i := range m.Matrices {
+		pe := ramp[i] * scale
+		if pe > 0.5 {
+			pe = 0.5
+		}
+		for a := 0; a < 4; a++ {
+			m.Matrices[i][a][a] = 1 - pe
+			rowBias := bias.Bias[a]
+			biasSum := rowBias[0] + rowBias[1] + rowBias[2] + rowBias[3]
+			for b := 0; b < 4; b++ {
+				if a == b {
+					continue
+				}
+				m.Matrices[i][a][b] = pe * rowBias[b] / biasSum
+			}
+		}
+	}
+	return m
+}
+
+// KmerErrorModel is the kmer-position error model q_i(alpha, beta) of §3.2:
+// Q[i][a][b] is the probability that base a at kmer position i is read as b.
+type KmerErrorModel struct {
+	K int
+	Q []Matrix4
+}
+
+// NewUniformKmerModel builds the tUED/wUED kmer model with constant error
+// probability pe (Eq. 3.1).
+func NewUniformKmerModel(k int, pe float64) *KmerErrorModel {
+	u := UniformModel(k, pe)
+	return &KmerErrorModel{K: k, Q: u.Matrices}
+}
+
+// KmerModelFromReadModel derives q_i by averaging the read-position matrices
+// over all kmer placements, the same marginalization the paper performs when
+// estimating q_i from mapped reads (each read contributes its L-k+1 kmer
+// decompositions; read position i+j feeds kmer position j).
+func KmerModelFromReadModel(rm *MisreadModel, k int) (*KmerErrorModel, error) {
+	L := rm.Len()
+	if k > L {
+		return nil, fmt.Errorf("simulate: k=%d exceeds read length %d", k, L)
+	}
+	out := &KmerErrorModel{K: k, Q: make([]Matrix4, k)}
+	for j := 0; j < k; j++ {
+		var acc Matrix4
+		n := 0
+		for start := 0; start+k <= L; start++ {
+			mat := rm.Matrices[start+j]
+			for a := 0; a < 4; a++ {
+				for b := 0; b < 4; b++ {
+					acc[a][b] += mat[a][b]
+				}
+			}
+			n++
+		}
+		for a := 0; a < 4; a++ {
+			for b := 0; b < 4; b++ {
+				acc[a][b] /= float64(n)
+			}
+		}
+		out.Q[j] = acc
+	}
+	return out, nil
+}
+
+// MisreadProb returns p_e(xm, xl): the probability that kmer xm is read as
+// kmer xl under the position-specific model (§3.2).
+func (km *KmerErrorModel) MisreadProb(xm, xl seq.Kmer) float64 {
+	p := 1.0
+	for i := 0; i < km.K; i++ {
+		a := xm.At(i, km.K)
+		b := xl.At(i, km.K)
+		p *= km.Q[i][a][b]
+		if p == 0 {
+			return 0
+		}
+	}
+	return p
+}
+
+// drawCall samples the called base for true base a at read position i.
+func (m *MisreadModel) drawCall(i int, a seq.Base, rng *rand.Rand) seq.Base {
+	row := m.Matrices[i][a]
+	u := rng.Float64()
+	acc := 0.0
+	for b := 0; b < 3; b++ {
+		acc += row[b]
+		if u < acc {
+			return seq.Base(b)
+		}
+	}
+	return 3
+}

@@ -1,0 +1,194 @@
+// Package simulate synthesizes the datasets the dissertation evaluates on:
+// reference genomes with controlled repeat content (Table 3.1), Illumina-like
+// short reads produced through position-specific misread probability matrices
+// (§3.4.1), and 454-like metagenomic 16S rRNA read pools with ground-truth
+// taxonomy (Chapter 4).
+//
+// The paper's real SRA datasets are proprietary-scale downloads; this package
+// is the documented substitute (see DESIGN.md): it exercises the identical
+// code paths and, because it records ground truth, enables the exact
+// base-level evaluation the paper performs by proxy through read mapping.
+package simulate
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Profile is a base composition over A, C, G, T. The dissertation uses the
+// composition of a piece of the B73 maize genome for its synthetic
+// references (§3.4.1).
+type Profile [4]float64
+
+// MaizeProfile is the composition quoted in §3.4.1: A 28%, C 23%, G 22%, T 27%.
+var MaizeProfile = Profile{0.28, 0.23, 0.22, 0.27}
+
+// UniformProfile draws the four bases with equal probability.
+var UniformProfile = Profile{0.25, 0.25, 0.25, 0.25}
+
+func (p Profile) validate() error {
+	sum := 0.0
+	for _, v := range p {
+		if v < 0 {
+			return fmt.Errorf("simulate: negative base frequency %v", v)
+		}
+		sum += v
+	}
+	if sum < 0.999 || sum > 1.001 {
+		return fmt.Errorf("simulate: base frequencies sum to %v, want 1", sum)
+	}
+	return nil
+}
+
+func (p Profile) draw(rng *rand.Rand) byte {
+	const bases = "ACGT"
+	u := rng.Float64()
+	acc := 0.0
+	for i := 0; i < 3; i++ {
+		acc += p[i]
+		if u < acc {
+			return bases[i]
+		}
+	}
+	return 'T'
+}
+
+// RandomGenome generates a random reference sequence of n bases drawn i.i.d.
+// from the profile.
+func RandomGenome(n int, p Profile, rng *rand.Rand) ([]byte, error) {
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	g := make([]byte, n)
+	for i := range g {
+		g[i] = p.draw(rng)
+	}
+	return g, nil
+}
+
+// RepeatSpec describes one family of embedded repeats, matching the
+// "(length, multiplicity)" notation of Table 3.1: Count copies of a single
+// Length-base element are placed in the genome. Divergence mutates each
+// copy independently by that fraction of positions, producing the
+// nearly-identical repeats that Chapter 3 identifies as the hard case —
+// rare variants of a high-frequency element look exactly like sequencing
+// errors to conventional correctors.
+type RepeatSpec struct {
+	Length     int
+	Count      int
+	Divergence float64
+}
+
+// RepeatGenome is a synthetic reference with known repeat structure.
+type RepeatGenome struct {
+	Seq []byte
+	// RepeatSpans lists the half-open [start,end) intervals occupied by
+	// repeat copies, in genome order.
+	RepeatSpans [][2]int
+	// RepeatFraction is the fraction of genome length covered by repeats.
+	RepeatFraction float64
+}
+
+// GenomeWithRepeats builds a totalLen-base genome in which the given repeat
+// families are embedded at random non-overlapping positions, emulating the
+// type 1(a) references of §3.4.1. Each family's element is itself drawn from
+// the profile; all copies within a family are identical.
+func GenomeWithRepeats(totalLen int, specs []RepeatSpec, p Profile, rng *rand.Rand) (*RepeatGenome, error) {
+	repeatTotal := 0
+	for _, s := range specs {
+		if s.Length <= 0 || s.Count <= 0 {
+			return nil, fmt.Errorf("simulate: invalid repeat spec %+v", s)
+		}
+		repeatTotal += s.Length * s.Count
+	}
+	if repeatTotal > totalLen {
+		return nil, fmt.Errorf("simulate: repeats need %d bases but genome is %d", repeatTotal, totalLen)
+	}
+	background, err := RandomGenome(totalLen-repeatTotal, p, rng)
+	if err != nil {
+		return nil, err
+	}
+	// Choose the element sequence per family, then build the genome as a
+	// shuffled interleaving of background segments and repeat copies.
+	type copyJob struct{ elem []byte }
+	var jobs []copyJob
+	for _, s := range specs {
+		elem, err := RandomGenome(s.Length, p, rng)
+		if err != nil {
+			return nil, err
+		}
+		for c := 0; c < s.Count; c++ {
+			cp := elem
+			if s.Divergence > 0 {
+				cp = mutate(elem, s.Divergence, rng)
+			}
+			jobs = append(jobs, copyJob{cp})
+		}
+	}
+	rng.Shuffle(len(jobs), func(i, j int) { jobs[i], jobs[j] = jobs[j], jobs[i] })
+
+	// Split the background into len(jobs)+1 random chunks and interleave.
+	cuts := make([]int, len(jobs))
+	for i := range cuts {
+		cuts[i] = rng.Intn(len(background) + 1)
+	}
+	sortInts(cuts)
+	g := &RepeatGenome{Seq: make([]byte, 0, totalLen)}
+	prev := 0
+	for i, job := range jobs {
+		g.Seq = append(g.Seq, background[prev:cuts[i]]...)
+		start := len(g.Seq)
+		g.Seq = append(g.Seq, job.elem...)
+		g.RepeatSpans = append(g.RepeatSpans, [2]int{start, len(g.Seq)})
+		prev = cuts[i]
+	}
+	g.Seq = append(g.Seq, background[prev:]...)
+	g.RepeatFraction = float64(repeatTotal) / float64(totalLen)
+	return g, nil
+}
+
+func sortInts(a []int) {
+	// Insertion sort: cut lists are tiny relative to genome work.
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// RepeatLadder reproduces the three Table 3.1 synthetic designs at a given
+// genome scale: 20% repeats as (1000,200)-equivalent, 50% as
+// (500,400)+(1500,200), 80% adding (3000,100), all proportionally scaled so
+// that the repeat fractions are preserved at smaller genome lengths.
+// Copies within a family diverge by 1%, the nearly-identical-repeat regime
+// Chapter 3 targets.
+func RepeatLadder(totalLen int, fraction float64) []RepeatSpec {
+	const div = 0.01
+	// The paper's 1 Mb designs, expressed as fractions of genome length.
+	switch {
+	case fraction <= 0.25:
+		return scaleSpecs(totalLen, []RepeatSpec{{1000, 200, div}}, 1e6)
+	case fraction <= 0.55:
+		return scaleSpecs(totalLen, []RepeatSpec{{500, 400, div}, {1500, 200, div}}, 1e6)
+	default:
+		return scaleSpecs(totalLen, []RepeatSpec{{500, 400, div}, {1500, 200, div}, {3000, 100, div}}, 1e6)
+	}
+}
+
+func scaleSpecs(totalLen int, specs []RepeatSpec, refLen float64) []RepeatSpec {
+	scale := float64(totalLen) / refLen
+	out := make([]RepeatSpec, len(specs))
+	for i, s := range specs {
+		count := int(float64(s.Count)*scale + 0.5)
+		if count < 2 {
+			count = 2
+		}
+		length := s.Length
+		// Keep elements sensible when the genome is very small.
+		for length*count > totalLen/2 && length > 50 {
+			length /= 2
+		}
+		out[i] = RepeatSpec{Length: length, Count: count, Divergence: s.Divergence}
+	}
+	return out
+}

@@ -1,0 +1,123 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestRandomGenomeComposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	g, err := RandomGenome(200000, MaizeProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var counts [4]int
+	idx := map[byte]int{'A': 0, 'C': 1, 'G': 2, 'T': 3}
+	for _, ch := range g {
+		counts[idx[ch]]++
+	}
+	for i, want := range MaizeProfile {
+		got := float64(counts[i]) / float64(len(g))
+		if got < want-0.01 || got > want+0.01 {
+			t.Errorf("base %d frequency %.3f want %.3f±0.01", i, got, want)
+		}
+	}
+}
+
+func TestRandomGenomeRejectsBadProfile(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := RandomGenome(10, Profile{0.5, 0.5, 0.5, 0.5}, rng); err == nil {
+		t.Error("expected error for non-normalized profile")
+	}
+	if _, err := RandomGenome(10, Profile{-0.5, 0.5, 0.5, 0.5}, rng); err == nil {
+		t.Error("expected error for negative frequency")
+	}
+}
+
+func TestGenomeWithRepeatsStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	specs := []RepeatSpec{{Length: 100, Count: 10}, {Length: 50, Count: 20}}
+	g, err := GenomeWithRepeats(10000, specs, UniformProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.Seq) != 10000 {
+		t.Fatalf("genome length = %d want 10000", len(g.Seq))
+	}
+	if len(g.RepeatSpans) != 30 {
+		t.Fatalf("repeat spans = %d want 30", len(g.RepeatSpans))
+	}
+	wantFrac := float64(100*10+50*20) / 10000
+	if g.RepeatFraction != wantFrac {
+		t.Errorf("RepeatFraction = %v want %v", g.RepeatFraction, wantFrac)
+	}
+	// Spans are ordered, non-overlapping, in range.
+	prev := 0
+	for _, sp := range g.RepeatSpans {
+		if sp[0] < prev || sp[1] <= sp[0] || sp[1] > len(g.Seq) {
+			t.Fatalf("bad span %v (prev end %d)", sp, prev)
+		}
+		prev = sp[1]
+	}
+	// Copies within a family are identical (zero divergence): group by
+	// span length.
+	byLen := map[int][]string{}
+	for _, sp := range g.RepeatSpans {
+		l := sp[1] - sp[0]
+		byLen[l] = append(byLen[l], string(g.Seq[sp[0]:sp[1]]))
+	}
+	for l, copies := range byLen {
+		for _, c := range copies[1:] {
+			if c != copies[0] {
+				t.Errorf("length-%d repeat copies differ", l)
+			}
+		}
+	}
+}
+
+func TestGenomeWithDivergentRepeats(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	g, err := GenomeWithRepeats(10000, []RepeatSpec{{Length: 200, Count: 10, Divergence: 0.02}}, UniformProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Copies are near-identical: pairwise distance around 2 x 2%.
+	first := g.Seq[g.RepeatSpans[0][0]:g.RepeatSpans[0][1]]
+	for _, sp := range g.RepeatSpans[1:] {
+		other := g.Seq[sp[0]:sp[1]]
+		d := 0
+		for i := range first {
+			if first[i] != other[i] {
+				d++
+			}
+		}
+		frac := float64(d) / float64(len(first))
+		if frac == 0 || frac > 0.1 {
+			t.Errorf("copy divergence %.3f outside (0, 0.1]", frac)
+		}
+	}
+}
+
+func TestGenomeWithRepeatsOversized(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := GenomeWithRepeats(100, []RepeatSpec{{Length: 60, Count: 2}}, UniformProfile, rng); err == nil {
+		t.Error("expected error when repeats exceed genome")
+	}
+	if _, err := GenomeWithRepeats(100, []RepeatSpec{{Length: 0, Count: 2}}, UniformProfile, rng); err == nil {
+		t.Error("expected error for zero-length repeat")
+	}
+}
+
+func TestRepeatLadderFractions(t *testing.T) {
+	for _, frac := range []float64{0.2, 0.5, 0.8} {
+		specs := RepeatLadder(100000, frac)
+		total := 0
+		for _, s := range specs {
+			total += s.Length * s.Count
+		}
+		got := float64(total) / 100000
+		if got < frac*0.5 || got > frac*1.5 {
+			t.Errorf("fraction %.2f: ladder covers %.2f", frac, got)
+		}
+	}
+}

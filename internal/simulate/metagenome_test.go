@@ -1,0 +1,152 @@
+package simulate
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestNewTaxonomyStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	cfg := DefaultTaxonomyConfig()
+	tax, err := NewTaxonomy(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cfg.Phyla * cfg.GeneraPerPhylum * cfg.SpeciesPerGenus
+	if len(tax.Species) != want {
+		t.Fatalf("species count %d want %d", len(tax.Species), want)
+	}
+	total := 0.0
+	for _, sp := range tax.Species {
+		if len(sp.Marker) != cfg.MarkerLen {
+			t.Fatalf("marker length %d", len(sp.Marker))
+		}
+		total += sp.Abundance
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("abundances sum to %v", total)
+	}
+}
+
+func TestTaxonomyDivergenceOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	cfg := DefaultTaxonomyConfig()
+	tax, err := NewTaxonomy(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Average pairwise distance: same genus < same phylum < cross phylum.
+	var sameGenus, samePhylum, cross []float64
+	for i := range tax.Species {
+		for j := i + 1; j < len(tax.Species); j++ {
+			a, b := tax.Species[i], tax.Species[j]
+			d := float64(seq.Hamming(a.Marker, b.Marker)) / float64(len(a.Marker))
+			switch {
+			case a.Taxon.Genus == b.Taxon.Genus:
+				sameGenus = append(sameGenus, d)
+			case a.Taxon.Phylum == b.Taxon.Phylum:
+				samePhylum = append(samePhylum, d)
+			default:
+				cross = append(cross, d)
+			}
+		}
+	}
+	mg, mp, mc := mean(sameGenus), mean(samePhylum), mean(cross)
+	if !(mg < mp && mp < mc) {
+		t.Errorf("divergence ordering violated: genus %.3f phylum %.3f cross %.3f", mg, mp, mc)
+	}
+}
+
+func mean(xs []float64) float64 {
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+func TestNewTaxonomyRejectsEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := NewTaxonomy(TaxonomyConfig{MarkerLen: 100}, rng); err == nil {
+		t.Error("expected config error")
+	}
+}
+
+func TestSampleMetagenome(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	tax, err := NewTaxonomy(DefaultTaxonomyConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultMetagenomeConfig(3000)
+	reads, err := SampleMetagenome(tax, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reads) != 3000 {
+		t.Fatalf("got %d reads", len(reads))
+	}
+	minL, maxL, sumL := 1<<30, 0, 0
+	bySpecies := map[int]int{}
+	for _, r := range reads {
+		L := len(r.Read.Seq)
+		if L < cfg.MinLen {
+			t.Fatalf("read below MinLen: %d", L)
+		}
+		minL = min(minL, L)
+		maxL = max(maxL, L)
+		sumL += L
+		bySpecies[r.Taxon.Species]++
+	}
+	avg := sumL / len(reads)
+	if avg < cfg.MeanLen-40 || avg > cfg.MeanLen+40 {
+		t.Errorf("mean read length %d want ~%d", avg, cfg.MeanLen)
+	}
+	if maxL <= minL {
+		t.Error("no length variation")
+	}
+	// Abundance skew: most-abundant species gets more reads than the least.
+	most, least := 0, 1<<30
+	for _, c := range bySpecies {
+		most = max(most, c)
+		least = min(least, c)
+	}
+	if most < 3*least {
+		t.Errorf("abundance skew too weak: most %d least %d", most, least)
+	}
+}
+
+func TestSampleMetagenomeErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	tax, _ := NewTaxonomy(DefaultTaxonomyConfig(), rng)
+	cfg := DefaultMetagenomeConfig(500)
+	cfg.ErrorRate = 0.02
+	reads, err := SampleMetagenome(tax, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each read should differ from its species marker only at error sites.
+	mismatch, total := 0, 0
+	for _, r := range reads {
+		marker := tax.Species[r.Taxon.Species].Marker
+		best := -1
+		// Locate the read on the marker (exact positions are not recorded;
+		// scan for the minimum-distance placement).
+		bestD := 1 << 30
+		for pos := 0; pos+len(r.Read.Seq) <= len(marker); pos++ {
+			d := seq.Hamming(r.Read.Seq, marker[pos:pos+len(r.Read.Seq)])
+			if d < bestD {
+				bestD, best = d, pos
+			}
+		}
+		_ = best
+		mismatch += bestD
+		total += len(r.Read.Seq)
+	}
+	rate := float64(mismatch) / float64(total)
+	if rate > 0.03 {
+		t.Errorf("realized error rate %.4f too high", rate)
+	}
+}

@@ -1,0 +1,214 @@
+package simulate
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+func TestUniformModelRates(t *testing.T) {
+	m := UniformModel(36, 0.01)
+	if got := m.MeanErrorRate(); math.Abs(got-0.01) > 1e-12 {
+		t.Errorf("MeanErrorRate = %v want 0.01", got)
+	}
+	for i := 0; i < 36; i++ {
+		if got := m.PositionErrorRate(i); math.Abs(got-0.01) > 1e-12 {
+			t.Errorf("position %d rate %v", i, got)
+		}
+	}
+}
+
+func TestIlluminaModelShape(t *testing.T) {
+	m := IlluminaModel(50, 0.02, EcoliBias)
+	if got := m.MeanErrorRate(); math.Abs(got-0.02) > 1e-9 {
+		t.Errorf("MeanErrorRate = %v want 0.02", got)
+	}
+	// Errors cluster toward the 3' end.
+	if m.PositionErrorRate(49) < 3*m.PositionErrorRate(0) {
+		t.Errorf("no 3' ramp: pos0=%v pos49=%v", m.PositionErrorRate(0), m.PositionErrorRate(49))
+	}
+	// Rows are stochastic.
+	for i := range m.Matrices {
+		for a := 0; a < 4; a++ {
+			sum := 0.0
+			for b := 0; b < 4; b++ {
+				sum += m.Matrices[i][a][b]
+			}
+			if math.Abs(sum-1) > 1e-9 {
+				t.Fatalf("pos %d row %d sums to %v", i, a, sum)
+			}
+		}
+	}
+}
+
+func TestKmerModelFromReadModel(t *testing.T) {
+	rm := IlluminaModel(36, 0.01, EcoliBias)
+	km, err := KmerModelFromReadModel(rm, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if km.K != 13 || len(km.Q) != 13 {
+		t.Fatalf("bad kmer model shape: %+v", km)
+	}
+	// Later kmer positions average over later read positions, so the
+	// error rate still ramps upward.
+	if km.Q[12].ErrorRate() <= km.Q[0].ErrorRate() {
+		t.Errorf("kmer model lost the positional ramp")
+	}
+	if _, err := KmerModelFromReadModel(rm, 37); err == nil {
+		t.Error("expected error for k > L")
+	}
+}
+
+func TestMisreadProb(t *testing.T) {
+	km := NewUniformKmerModel(3, 0.03)
+	same := seq.MustPack("ACG")
+	if got := km.MisreadProb(same, same); math.Abs(got-math.Pow(0.97, 3)) > 1e-12 {
+		t.Errorf("self misread prob = %v", got)
+	}
+	one := seq.MustPack("ACT")
+	want := math.Pow(0.97, 2) * 0.01
+	if got := km.MisreadProb(same, one); math.Abs(got-want) > 1e-12 {
+		t.Errorf("1-sub misread prob = %v want %v", got, want)
+	}
+}
+
+func TestSimulateReadsTruth(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	genome, _ := RandomGenome(5000, UniformProfile, rng)
+	model := UniformModel(36, 0.02)
+	sim, err := SimulateReads(genome, ReadSimConfig{N: 2000, Model: model, BothStrands: true}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sim) != 2000 {
+		t.Fatalf("got %d reads", len(sim))
+	}
+	totalErr, totalBases := 0, 0
+	sawRC := false
+	for _, s := range sim {
+		if len(s.Read.Seq) != 36 || len(s.True) != 36 || len(s.Read.Qual) != 36 {
+			t.Fatalf("bad read shape: %+v", s.Read)
+		}
+		// Truth matches genome at the recorded position/strand.
+		frag := genome[s.Pos : s.Pos+36]
+		want := frag
+		if s.RC {
+			want = seq.ReverseComplement(frag)
+			sawRC = true
+		}
+		if string(s.True) != string(want) {
+			t.Fatalf("truth does not match genome at pos %d rc=%v", s.Pos, s.RC)
+		}
+		totalErr += len(s.Errors())
+		totalBases += 36
+	}
+	if !sawRC {
+		t.Error("no reverse-strand reads sampled")
+	}
+	rate := float64(totalErr) / float64(totalBases)
+	if rate < 0.015 || rate > 0.025 {
+		t.Errorf("realized error rate %.4f want ~0.02", rate)
+	}
+}
+
+func TestSimulateReadsAmbiguous(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	genome, _ := RandomGenome(2000, UniformProfile, rng)
+	sim, err := SimulateReads(genome, ReadSimConfig{N: 500, Model: UniformModel(30, 0.01), AmbiguousRate: 0.05}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ns := 0
+	for _, s := range sim {
+		for i, ch := range s.Read.Seq {
+			if ch == 'N' {
+				ns++
+				if s.Read.Qual[i] != 2 {
+					t.Fatalf("N base has quality %d want 2", s.Read.Qual[i])
+				}
+			}
+		}
+	}
+	rate := float64(ns) / float64(500*30)
+	if rate < 0.03 || rate > 0.07 {
+		t.Errorf("N rate %.3f want ~0.05", rate)
+	}
+}
+
+func TestSimulateReadsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	genome, _ := RandomGenome(20, UniformProfile, rng)
+	if _, err := SimulateReads(genome, ReadSimConfig{N: 1, Model: UniformModel(36, 0.01)}, rng); err == nil {
+		t.Error("expected error: read longer than genome")
+	}
+}
+
+func TestQualityEncodesErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	genome, _ := RandomGenome(1000, UniformProfile, rng)
+	model := IlluminaModel(40, 0.02, EcoliBias)
+	sim, err := SimulateReads(genome, ReadSimConfig{N: 50, Model: model}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without noise the emitted quality equals the Phred of the model rate,
+	// so 3' qualities are strictly lower than 5' qualities.
+	q0, qL := sim[0].Read.Qual[0], sim[0].Read.Qual[39]
+	if qL >= q0 {
+		t.Errorf("3' quality %d not below 5' quality %d", qL, q0)
+	}
+}
+
+func TestCoverageReadCount(t *testing.T) {
+	if got := CoverageReadCount(1000000, 36, 80); got != 2222222 {
+		t.Errorf("CoverageReadCount = %d", got)
+	}
+}
+
+func TestBuildDatasetSpecs(t *testing.T) {
+	specs := Chapter2Specs(20000)
+	if len(specs) != 6 {
+		t.Fatalf("want 6 chapter-2 specs")
+	}
+	ds, err := BuildDataset(specs[1]) // D2: 80x, 0.6% err
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Genome) != 20000 {
+		t.Errorf("genome length %d", len(ds.Genome))
+	}
+	wantReads := CoverageReadCount(20000, 36, 80)
+	if len(ds.Sim) != wantReads {
+		t.Errorf("reads %d want %d", len(ds.Sim), wantReads)
+	}
+	// Chapter 3 repeat dataset carries its repeat map.
+	specs3 := Chapter3Specs(20000)
+	ds3, err := BuildDataset(specs3[2]) // 80% repeats
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds3.Repeats == nil || ds3.Repeats.RepeatFraction < 0.4 {
+		t.Errorf("expected repeat-rich genome, got %+v", ds3.Repeats)
+	}
+}
+
+func TestBuildDatasetDeterministic(t *testing.T) {
+	spec := Chapter2Specs(5000)[0]
+	a, err := BuildDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildDataset(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a.Genome) != string(b.Genome) {
+		t.Error("same seed produced different genomes")
+	}
+	if string(a.Sim[0].Read.Seq) != string(b.Sim[0].Read.Seq) {
+		t.Error("same seed produced different reads")
+	}
+}

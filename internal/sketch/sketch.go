@@ -1,0 +1,130 @@
+// Package sketch implements the shingling/sketching machinery CLOSET adapts
+// from web-document clustering (§4.3.1): each read is converted to the set
+// of 64-bit hashes of its constituent kmers; round l of M selects the subset
+// of hashes congruent to l modulo M as the read's sketch. Reads sharing
+// sketch values become candidate pairs without any all-vs-all comparison.
+package sketch
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Params configures sketching.
+type Params struct {
+	K int // shingle (kmer) length; §4.5.1 uses k=15 so 4^k >> rRNA length
+	M int // modulus: expected fraction of hashes kept per round is 1/M
+	// Rounds is how many of the M possible sketches are generated (the
+	// paper finds l=3 sufficient to capture candidate edges).
+	Rounds int
+}
+
+// DefaultParams follows §4.5.1: k=15 and a modulus chosen so reads carry
+// roughly 5-16 sketch values each, with 3 rounds.
+func DefaultParams(meanReadLen int) Params {
+	m := meanReadLen / 10
+	if m < 1 {
+		m = 1
+	}
+	return Params{K: 15, M: m, Rounds: 3}
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.K <= 0 || p.K > seq.MaxK {
+		return fmt.Errorf("sketch: invalid k=%d", p.K)
+	}
+	if p.M < 1 {
+		return fmt.Errorf("sketch: modulus must be >= 1")
+	}
+	if p.Rounds < 1 || p.Rounds > p.M {
+		return fmt.Errorf("sketch: rounds must be in [1, M], got %d with M=%d", p.Rounds, p.M)
+	}
+	return nil
+}
+
+// mix is the SplitMix64 finalizer: the universal-ish hash mapping packed
+// kmers into the 64-bit integer space.
+func mix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Shingles returns the sorted distinct hash set H_i of a read: one 64-bit
+// hash per clean kmer window.
+func Shingles(bases []byte, k int) []uint64 {
+	if len(bases) < k {
+		return nil
+	}
+	out := make([]uint64, 0, len(bases)-k+1)
+	var km seq.Kmer
+	valid := 0
+	for _, ch := range bases {
+		b, ok := seq.BaseFromChar(ch)
+		if !ok {
+			valid = 0
+			continue
+		}
+		km = km.Append(b, k)
+		valid++
+		if valid >= k {
+			out = append(out, mix(uint64(km)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return dedupSorted(out)
+}
+
+func dedupSorted(xs []uint64) []uint64 {
+	out := xs[:0]
+	for i, x := range xs {
+		if i == 0 || x != xs[i-1] {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// Select returns the round-l sketch S_i: hashes congruent to l modulo M.
+func Select(hashes []uint64, m, round int) []uint64 {
+	var out []uint64
+	for _, h := range hashes {
+		if h%uint64(m) == uint64(round) {
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// Similarity is the containment-style measure of §4.3.1:
+// |A ∩ B| / min(|A|, |B|) over sorted distinct hash sets, designed so a
+// read contained in another scores 1.
+func Similarity(a, b []uint64) float64 {
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := IntersectionSize(a, b)
+	return float64(inter) / float64(min(len(a), len(b)))
+}
+
+// IntersectionSize counts common elements of two sorted distinct sets.
+func IntersectionSize(a, b []uint64) int {
+	i, j, n := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] < b[j]:
+			i++
+		case a[i] > b[j]:
+			j++
+		default:
+			n++
+			i++
+			j++
+		}
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package sketch
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{K: 0, M: 5, Rounds: 1},
+		{K: 40, M: 5, Rounds: 1},
+		{K: 15, M: 0, Rounds: 1},
+		{K: 15, M: 5, Rounds: 0},
+		{K: 15, M: 5, Rounds: 6},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d: expected error for %+v", i, p)
+		}
+	}
+	if err := DefaultParams(375).Validate(); err != nil {
+		t.Errorf("default params invalid: %v", err)
+	}
+}
+
+func TestShinglesBasic(t *testing.T) {
+	h := Shingles([]byte("ACGTACGT"), 4)
+	// Windows: ACGT CGTA GTAC TACG ACGT -> 4 distinct.
+	if len(h) != 4 {
+		t.Fatalf("got %d shingles want 4", len(h))
+	}
+	for i := 1; i < len(h); i++ {
+		if h[i] <= h[i-1] {
+			t.Fatal("shingles not sorted-distinct")
+		}
+	}
+	if Shingles([]byte("ACG"), 4) != nil {
+		t.Error("short read should give no shingles")
+	}
+}
+
+func TestShinglesSkipAmbiguous(t *testing.T) {
+	with := Shingles([]byte("ACGTNACGT"), 4)
+	without := Shingles([]byte("ACGT"), 4)
+	if len(with) != len(without) {
+		t.Errorf("N handling: %d vs %d", len(with), len(without))
+	}
+}
+
+func TestSelectPartitionsShingles(t *testing.T) {
+	h := Shingles([]byte("ACGTACGGTTACGATCAGTTACGGATCGAT"), 8)
+	m := 4
+	total := 0
+	seen := map[uint64]bool{}
+	for l := 0; l < m; l++ {
+		s := Select(h, m, l)
+		total += len(s)
+		for _, v := range s {
+			if seen[v] {
+				t.Fatal("value selected twice")
+			}
+			seen[v] = true
+		}
+	}
+	if total != len(h) {
+		t.Errorf("rounds cover %d of %d values", total, len(h))
+	}
+}
+
+func TestSimilarityProperties(t *testing.T) {
+	a := []uint64{1, 2, 3, 4}
+	b := []uint64{3, 4, 5, 6, 7, 8}
+	if got := Similarity(a, b); got != 0.5 {
+		t.Errorf("similarity = %v want 0.5", got)
+	}
+	// Containment scores 1.
+	if got := Similarity([]uint64{3, 4}, b); got != 1 {
+		t.Errorf("containment similarity = %v want 1", got)
+	}
+	if Similarity(nil, b) != 0 {
+		t.Error("empty set similarity should be 0")
+	}
+	// Symmetry.
+	if Similarity(a, b) != Similarity(b, a) {
+		t.Error("similarity not symmetric")
+	}
+}
+
+func TestSimilarityTracksSequenceIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	base, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	// A 3% mutated copy should stay similar; a random read should not.
+	mutated := append([]byte(nil), base...)
+	for i := 0; i < 12; i++ {
+		pos := rng.Intn(len(mutated))
+		mutated[pos] = "ACGT"[rng.Intn(4)]
+	}
+	other, _ := simulate.RandomGenome(400, simulate.UniformProfile, rng)
+	k := 15
+	hBase := Shingles(base, k)
+	hMut := Shingles(mutated, k)
+	hOther := Shingles(other, k)
+	simMut := Similarity(hBase, hMut)
+	simOther := Similarity(hBase, hOther)
+	if simMut < 0.4 {
+		t.Errorf("3%%-diverged similarity = %v, too low", simMut)
+	}
+	if simOther > 0.05 {
+		t.Errorf("unrelated similarity = %v, too high", simOther)
+	}
+	if simMut <= simOther {
+		t.Error("similarity does not order by identity")
+	}
+}
+
+func TestIntersectionSize(t *testing.T) {
+	if got := IntersectionSize([]uint64{1, 3, 5}, []uint64{2, 3, 4, 5}); got != 2 {
+		t.Errorf("intersection = %d want 2", got)
+	}
+	if got := IntersectionSize(nil, []uint64{1}); got != 0 {
+		t.Errorf("empty intersection = %d", got)
+	}
+}

@@ -1,0 +1,351 @@
+// Package stats provides the statistical machinery REDEEM needs: the
+// digamma special function, Gamma/Normal log densities, and the §3.7
+// mixture model (Gamma + G coverage-peaked Normals + Uniform) fitted by EM
+// with BIC model selection, used to infer the error/valid kmer threshold
+// from the histogram of estimated read attempts T_l.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Digamma computes the logarithmic derivative of the Gamma function ψ(x)
+// for x > 0 using upward recurrence into the asymptotic region.
+func Digamma(x float64) float64 {
+	if x <= 0 {
+		return math.NaN()
+	}
+	result := 0.0
+	for x < 6 {
+		result -= 1 / x
+		x++
+	}
+	// Asymptotic expansion.
+	inv := 1 / x
+	inv2 := inv * inv
+	result += math.Log(x) - 0.5*inv -
+		inv2*(1.0/12-inv2*(1.0/120-inv2*(1.0/252-inv2/240)))
+	return result
+}
+
+// LogGammaPDF is the log density of Gamma(shape α, rate β) at x > 0.
+func LogGammaPDF(x, alpha, beta float64) float64 {
+	if x <= 0 || alpha <= 0 || beta <= 0 {
+		return math.Inf(-1)
+	}
+	lg, _ := math.Lgamma(alpha)
+	return alpha*math.Log(beta) + (alpha-1)*math.Log(x) - beta*x - lg
+}
+
+// LogNormalPDF is the log density of N(mu, sigma^2) at x.
+func LogNormalPDF(x, mu, sigma float64) float64 {
+	if sigma <= 0 {
+		return math.Inf(-1)
+	}
+	z := (x - mu) / sigma
+	return -0.5*z*z - math.Log(sigma) - 0.5*math.Log(2*math.Pi)
+}
+
+// FitGammaWeighted computes weighted maximum-likelihood Gamma(α, β)
+// parameters from observations xs with non-negative weights ws, solving
+// ln α − ψ(α) = ln(mean) − mean(ln x) by Newton iteration.
+func FitGammaWeighted(xs, ws []float64) (alpha, beta float64, err error) {
+	const eps = 1e-9
+	var sw, swx, swl float64
+	for i, x := range xs {
+		w := ws[i]
+		if w <= 0 {
+			continue
+		}
+		if x < eps {
+			x = eps
+		}
+		sw += w
+		swx += w * x
+		swl += w * math.Log(x)
+	}
+	if sw < eps {
+		return 0, 0, fmt.Errorf("stats: no weight on gamma component")
+	}
+	mean := swx / sw
+	meanLog := swl / sw
+	s := math.Log(mean) - meanLog
+	if s <= 0 {
+		s = 1e-6
+	}
+	// Minka's initialization then Newton on f(α)=ln α − ψ(α) − s.
+	alpha = (3 - s + math.Sqrt((s-3)*(s-3)+24*s)) / (12 * s)
+	for iter := 0; iter < 60; iter++ {
+		f := math.Log(alpha) - Digamma(alpha) - s
+		// f'(α) = 1/α − ψ'(α); approximate trigamma numerically.
+		h := 1e-6 * alpha
+		fp := (math.Log(alpha+h) - Digamma(alpha+h) - s - f) / h
+		if fp == 0 {
+			break
+		}
+		next := alpha - f/fp
+		if next <= 0 {
+			next = alpha / 2
+		}
+		if math.Abs(next-alpha) < 1e-10*alpha {
+			alpha = next
+			break
+		}
+		alpha = next
+	}
+	beta = alpha / mean
+	return alpha, beta, nil
+}
+
+// Mixture is the fitted §3.7 model: a Gamma component for erroneous kmers,
+// G Normal components peaked at multiples of the coverage constant, and a
+// Uniform catch-all for high-copy repeats.
+type Mixture struct {
+	G          int       // number of Normal (valid-kmer) components
+	Weights    []float64 // length G+2: [gamma, normal_1..normal_G, uniform]
+	GammaAlpha float64
+	GammaBeta  float64
+	// Theta is the coverage constant: the Normal component g has mean
+	// g*Theta and variance g*Theta*Disp.
+	Theta float64
+	Disp  float64 // overdispersion factor (>=1 for Negative-Binomial-like)
+	MaxT  float64 // uniform component support
+	// LogLik is the final observed-data log likelihood; BIC the criterion.
+	LogLik float64
+	BIC    float64
+	Iters  int
+}
+
+// componentLogPDF returns the log density of component c at x.
+func (m *Mixture) componentLogPDF(c int, x float64) float64 {
+	switch {
+	case c == 0:
+		return LogGammaPDF(x, m.GammaAlpha, m.GammaBeta)
+	case c <= m.G:
+		g := float64(c)
+		sigma := math.Sqrt(g * m.Theta * m.Disp)
+		return LogNormalPDF(x, g*m.Theta, sigma)
+	default:
+		if x < 0 || x > m.MaxT {
+			return math.Inf(-1)
+		}
+		return -math.Log(m.MaxT)
+	}
+}
+
+// Posterior returns P(component | x) for all G+2 components.
+func (m *Mixture) Posterior(x float64) []float64 {
+	logs := make([]float64, m.G+2)
+	maxLog := math.Inf(-1)
+	for c := range logs {
+		logs[c] = math.Log(m.Weights[c]) + m.componentLogPDF(c, x)
+		if logs[c] > maxLog {
+			maxLog = logs[c]
+		}
+	}
+	out := make([]float64, len(logs))
+	sum := 0.0
+	for c, l := range logs {
+		out[c] = math.Exp(l - maxLog)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+	return out
+}
+
+// ErrorPosterior is P(erroneous | x): the Gamma component's responsibility.
+func (m *Mixture) ErrorPosterior(x float64) float64 { return m.Posterior(x)[0] }
+
+// Threshold locates the boundary between the Gamma (error) component and
+// the first coverage peak: the smallest x at or beyond the Gamma mean where
+// the error posterior drops below 0.5 (§3.7's argmax rule as a cut point).
+// Scanning starts at the Gamma mean because below it the low-density tails
+// of the other components can win spuriously.
+func (m *Mixture) Threshold() float64 {
+	lo := m.GammaAlpha / m.GammaBeta
+	if lo <= 0 || math.IsNaN(lo) {
+		lo = 0
+	}
+	hi := m.Theta
+	if hi <= lo || math.IsNaN(hi) {
+		hi = m.MaxT
+	}
+	steps := 4000
+	for i := 0; i <= steps; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(steps)
+		if x <= 0 {
+			continue
+		}
+		if m.ErrorPosterior(x) < 0.5 {
+			return x
+		}
+	}
+	return hi
+}
+
+// FitMixture fits the mixture with a fixed number of Normal components G.
+func FitMixture(ts []float64, G int, maxIter int) (*Mixture, error) {
+	if len(ts) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	if G < 1 {
+		return nil, fmt.Errorf("stats: need at least one normal component")
+	}
+	maxT := 0.0
+	for _, t := range ts {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	if maxT <= 0 {
+		return nil, fmt.Errorf("stats: all observations are zero")
+	}
+	m := &Mixture{G: G, MaxT: maxT}
+	// Initialization: theta from a robust high quantile heuristic — the
+	// dominant coverage peak sits near the mode of the nonzero mass.
+	m.Theta = initTheta(ts)
+	m.Disp = 2
+	m.GammaAlpha, m.GammaBeta = 1, 1.0/math.Max(m.Theta/10, 0.5)
+	m.Weights = make([]float64, G+2)
+	for c := range m.Weights {
+		m.Weights[c] = 1 / float64(G+2)
+	}
+	resp := make([][]float64, len(ts))
+	prevLL := math.Inf(-1)
+	for iter := 0; iter < maxIter; iter++ {
+		// E step.
+		ll := 0.0
+		for i, t := range ts {
+			post := m.Posterior(t)
+			resp[i] = post
+			// Observed log likelihood term.
+			acc := 0.0
+			for c := range post {
+				acc += m.Weights[c] * math.Exp(m.componentLogPDF(c, t))
+			}
+			if acc > 0 {
+				ll += math.Log(acc)
+			} else {
+				ll += -745 // log of smallest normal float64
+			}
+		}
+		m.LogLik = ll
+		m.Iters = iter + 1
+		// M step: weights.
+		for c := range m.Weights {
+			sum := 0.0
+			for i := range ts {
+				sum += resp[i][c]
+			}
+			m.Weights[c] = math.Max(sum/float64(len(ts)), 1e-12)
+		}
+		// Gamma component.
+		w0 := make([]float64, len(ts))
+		for i := range ts {
+			w0[i] = resp[i][0]
+		}
+		if a, b, err := FitGammaWeighted(ts, w0); err == nil {
+			m.GammaAlpha, m.GammaBeta = a, b
+		}
+		// Coverage constant: weighted regression of T on g through the
+		// origin, then the shared dispersion factor. This preserves the
+		// paper's constraint that component g has mean g·θ and variance
+		// proportional to g·θ.
+		var num, den float64
+		for i, t := range ts {
+			for g := 1; g <= G; g++ {
+				z := resp[i][g]
+				num += z * t * float64(g)
+				den += z * float64(g) * float64(g)
+			}
+		}
+		if den > 0 {
+			m.Theta = num / den
+		}
+		var vnum, vden float64
+		for i, t := range ts {
+			for g := 1; g <= G; g++ {
+				z := resp[i][g]
+				d := t - float64(g)*m.Theta
+				vnum += z * d * d
+				vden += z * float64(g) * m.Theta
+			}
+		}
+		if vden > 0 {
+			m.Disp = math.Max(vnum/vden, 0.25)
+		}
+		if iter > 0 && math.Abs(ll-prevLL) < 1e-6*(1+math.Abs(ll)) {
+			break
+		}
+		prevLL = ll
+	}
+	// Parameter count: weights (G+1 free) + gamma (2) + theta + disp.
+	k := float64(G+1) + 4
+	m.BIC = -2*m.LogLik + k*math.Log(float64(len(ts)))
+	return m, nil
+}
+
+// FitMixtureBIC fits the mixture for G in [minG, maxG] and returns the
+// BIC-minimizing model (§3.7: "compute and minimize the BIC over a range of
+// plausible G").
+func FitMixtureBIC(ts []float64, minG, maxG, maxIter int) (*Mixture, error) {
+	var best *Mixture
+	for G := minG; G <= maxG; G++ {
+		m, err := FitMixture(ts, G, maxIter)
+		if err != nil {
+			return nil, err
+		}
+		if best == nil || m.BIC < best.BIC {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// initTheta estimates the primary coverage peak as the mode of a coarse
+// histogram over the upper 80% of the sample range.
+func initTheta(ts []float64) float64 {
+	maxT := 0.0
+	for _, t := range ts {
+		if t > maxT {
+			maxT = t
+		}
+	}
+	const bins = 60
+	hist := make([]float64, bins)
+	for _, t := range ts {
+		b := int(t / maxT * float64(bins-1))
+		hist[b]++
+	}
+	// Ignore the error spike near zero: start after the first valley.
+	start := 1
+	for start < bins-1 && hist[start] > hist[start+1] {
+		start++
+	}
+	best, bestV := start, -1.0
+	for b := start; b < bins; b++ {
+		if hist[b] > bestV {
+			best, bestV = b, hist[b]
+		}
+	}
+	theta := (float64(best) + 0.5) * maxT / float64(bins)
+	if theta <= 0 {
+		theta = maxT / 2
+	}
+	return theta
+}
+
+// Mean computes the arithmetic mean.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

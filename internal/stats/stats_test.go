@@ -1,0 +1,191 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestDigammaKnownValues(t *testing.T) {
+	const gamma = 0.5772156649015329 // Euler–Mascheroni
+	cases := []struct{ x, want float64 }{
+		{1, -gamma},
+		{2, 1 - gamma},
+		{0.5, -gamma - 2*math.Ln2},
+		{10, 2.251752589066721},
+	}
+	for _, tc := range cases {
+		if got := Digamma(tc.x); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Digamma(%v) = %v want %v", tc.x, got, tc.want)
+		}
+	}
+	if !math.IsNaN(Digamma(-1)) {
+		t.Error("Digamma(-1) should be NaN")
+	}
+}
+
+func TestDigammaRecurrence(t *testing.T) {
+	// ψ(x+1) = ψ(x) + 1/x
+	for _, x := range []float64{0.3, 1.7, 5.5, 20} {
+		lhs := Digamma(x + 1)
+		rhs := Digamma(x) + 1/x
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Errorf("recurrence failed at %v: %v vs %v", x, lhs, rhs)
+		}
+	}
+}
+
+func TestLogGammaPDFIntegratesToOne(t *testing.T) {
+	// Trapezoid integration of the density.
+	alpha, beta := 2.5, 0.7
+	sum := 0.0
+	dx := 0.001
+	for x := dx; x < 60; x += dx {
+		sum += math.Exp(LogGammaPDF(x, alpha, beta)) * dx
+	}
+	if math.Abs(sum-1) > 1e-3 {
+		t.Errorf("gamma density integrates to %v", sum)
+	}
+	if !math.IsInf(LogGammaPDF(-1, alpha, beta), -1) {
+		t.Error("negative support should give -Inf")
+	}
+}
+
+func TestLogNormalPDF(t *testing.T) {
+	got := LogNormalPDF(0, 0, 1)
+	want := -0.5 * math.Log(2*math.Pi)
+	if math.Abs(got-want) > 1e-12 {
+		t.Errorf("standard normal at 0: %v want %v", got, want)
+	}
+}
+
+func TestFitGammaWeightedRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	alpha, beta := 3.0, 0.5
+	xs := make([]float64, 20000)
+	ws := make([]float64, len(xs))
+	for i := range xs {
+		// Sum of alpha exponentials approximates Gamma for integer alpha.
+		s := 0.0
+		for j := 0; j < int(alpha); j++ {
+			s += rng.ExpFloat64() / beta
+		}
+		xs[i] = s
+		ws[i] = 1
+	}
+	a, b, err := FitGammaWeighted(xs, ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a-alpha) > 0.2 || math.Abs(b-beta) > 0.05 {
+		t.Errorf("recovered alpha=%v beta=%v want %v,%v", a, b, alpha, beta)
+	}
+}
+
+func TestFitGammaWeightedErrors(t *testing.T) {
+	if _, _, err := FitGammaWeighted([]float64{1, 2}, []float64{0, 0}); err == nil {
+		t.Error("expected error for zero total weight")
+	}
+}
+
+func synthMixtureSample(rng *rand.Rand, n int, theta float64) []float64 {
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		u := rng.Float64()
+		switch {
+		case u < 0.35: // erroneous kmers: small gamma-ish values
+			out = append(out, rng.ExpFloat64()*2)
+		case u < 0.90: // single-copy coverage peak
+			out = append(out, theta+rng.NormFloat64()*math.Sqrt(theta*1.5))
+		default: // two-copy peak
+			out = append(out, 2*theta+rng.NormFloat64()*math.Sqrt(2*theta*1.5))
+		}
+	}
+	for i, v := range out {
+		if v < 0.01 {
+			out[i] = 0.01
+		}
+	}
+	return out
+}
+
+func TestFitMixtureRecoversStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	theta := 57.0 // the paper's E. coli coverage constant (§3.7)
+	ts := synthMixtureSample(rng, 8000, theta)
+	m, err := FitMixture(ts, 2, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Theta < theta*0.8 || m.Theta > theta*1.2 {
+		t.Errorf("theta = %v want ~%v", m.Theta, theta)
+	}
+	// The threshold must separate the error mass from the coverage peak.
+	thr := m.Threshold()
+	if thr < 3 || thr > theta*0.8 {
+		t.Errorf("threshold = %v outside plausible (3, %v)", thr, theta*0.8)
+	}
+	// Posterior classification: small values error, peak values valid.
+	if m.ErrorPosterior(1) < 0.9 {
+		t.Errorf("P(error|T=1) = %v want >0.9", m.ErrorPosterior(1))
+	}
+	if m.ErrorPosterior(theta) > 0.1 {
+		t.Errorf("P(error|T=theta) = %v want <0.1", m.ErrorPosterior(theta))
+	}
+}
+
+func TestFitMixtureBICPrefersParsimony(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ts := synthMixtureSample(rng, 6000, 40)
+	m, err := FitMixtureBIC(ts, 1, 4, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.G < 1 || m.G > 4 {
+		t.Fatalf("selected G=%d", m.G)
+	}
+	// The sample has two coverage peaks; BIC should not need four.
+	if m.G == 4 {
+		t.Errorf("BIC chose the most complex model (G=4); likely overfit")
+	}
+}
+
+func TestFitMixtureValidation(t *testing.T) {
+	if _, err := FitMixture(nil, 2, 10); err == nil {
+		t.Error("expected error on empty sample")
+	}
+	if _, err := FitMixture([]float64{1}, 0, 10); err == nil {
+		t.Error("expected error on G=0")
+	}
+	if _, err := FitMixture([]float64{0, 0}, 1, 10); err == nil {
+		t.Error("expected error on all-zero sample")
+	}
+}
+
+func TestPosteriorSumsToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ts := synthMixtureSample(rng, 2000, 30)
+	m, err := FitMixture(ts, 2, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.5, 10, 30, 60, 90} {
+		post := m.Posterior(x)
+		sum := 0.0
+		for _, p := range post {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("posterior at %v sums to %v", x, sum)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("Mean(nil) != 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,46 @@
+package repro
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+
+	"repro/internal/kspectrum"
+	"repro/internal/simulate"
+)
+
+// BenchmarkSpectrumBuild measures the sharded parallel k-spectrum engine —
+// the Phase 1 hot path shared by Reptile, REDEEM and (via its trie analogue)
+// SHREC — on the D3-scale dataset (highest coverage and error rate of Table
+// 2.1, hence the largest spectrum per genome base). Sub-benchmarks sweep the
+// worker/shard ladder from the sequential baseline to full parallelism; the
+// recorded ratios are the engine's speedup trajectory (see EXPERIMENTS.md).
+func BenchmarkSpectrumBuild(b *testing.B) {
+	spec := simulate.Chapter2Specs(benchScale())[2] // D3
+	ds := buildDataset(b, spec)
+	reads := simulate.Reads(ds.Sim)
+	const k = 13
+	configs := []struct {
+		name string
+		opts kspectrum.BuildOptions
+	}{
+		{"workers=1/shards=1", kspectrum.BuildOptions{Workers: 1, Shards: 1}},
+		{"workers=2/shards=8", kspectrum.BuildOptions{Workers: 2, Shards: 8}},
+		{"workers=4/shards=16", kspectrum.BuildOptions{Workers: 4, Shards: 16}},
+		{"workers=8/shards=32", kspectrum.BuildOptions{Workers: 8, Shards: 32}},
+		{fmt.Sprintf("workers=%d/auto", runtime.GOMAXPROCS(0)), kspectrum.BuildOptions{}},
+	}
+	for _, cfg := range configs {
+		b.Run(cfg.name, func(b *testing.B) {
+			var size int
+			for i := 0; i < b.N; i++ {
+				s, err := kspectrum.BuildParallel(reads, k, true, cfg.opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				size = s.Size()
+			}
+			b.ReportMetric(float64(size), "kmers")
+		})
+	}
+}

@@ -7,7 +7,7 @@
 //
 //	ngsim -mode reads  -genome-len 100000 -read-len 36 -coverage 80 \
 //	      -error-rate 0.006 -repeat-frac 0.5 -out reads.fastq \
-//	      -truth truth.fastq -ref ref.fasta
+//	      -truth truth.fastq -ref ref.fasta [-workers N]
 //	ngsim -mode meta   -n 50000 -out meta.fastq -labels labels.tsv
 //
 // The truth file carries the error-free read sequences in the same order as
@@ -44,6 +44,7 @@ func main() {
 		ref        = flag.String("ref", "", "optional reference genome FASTA (reads mode)")
 		n          = flag.Int("n", 10000, "number of reads (meta mode)")
 		labels     = flag.String("labels", "", "optional taxonomy label TSV (meta mode)")
+		workers    = flag.Int("workers", 1, "read-synthesis workers (reads mode); <=1 = the single-stream sampler, >1 = parallel per-read RNG streams (identical output for any worker count >1, but different from the single-stream sampler)")
 	)
 	flag.Parse()
 	if *out == "" {
@@ -51,7 +52,7 @@ func main() {
 	}
 	switch *mode {
 	case "reads":
-		if err := simReads(*out, *truth, *ref, *seed, *genomeLen, *repeatFrac, *readLen, *coverage, *errorRate, *bias, *nRate); err != nil {
+		if err := simReads(*out, *truth, *ref, *seed, *genomeLen, *repeatFrac, *readLen, *coverage, *errorRate, *bias, *nRate, *workers); err != nil {
 			log.Fatal(err)
 		}
 	case "meta":
@@ -63,7 +64,7 @@ func main() {
 	}
 }
 
-func simReads(out, truth, ref string, seed int64, genomeLen int, repeatFrac float64, readLen int, coverage, errorRate float64, bias string, nRate float64) error {
+func simReads(out, truth, ref string, seed int64, genomeLen int, repeatFrac float64, readLen int, coverage, errorRate float64, bias string, nRate float64, workers int) error {
 	var platform simulate.PlatformBias
 	switch bias {
 	case "ecoli":
@@ -81,6 +82,7 @@ func simReads(out, truth, ref string, seed int64, genomeLen int, repeatFrac floa
 		Name: "ngsim", GenomeLen: genomeLen, RepeatFrac: repeatFrac,
 		ReadLen: readLen, Coverage: coverage, ErrorRate: errorRate,
 		Bias: platform, QualityNoise: 2, AmbiguousRate: nRate, Seed: seed,
+		Workers: workers,
 	})
 	if err != nil {
 		return err

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] [-workers N]
+//	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] [-workers N] [-shards N]
 //	redeem -in reads.fastq -detect-only -k 11            # print the T histogram + threshold
 package main
 
@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"repro/internal/fastq"
+	"repro/internal/kspectrum"
 	"repro/internal/redeem"
 	"repro/internal/simulate"
 )
@@ -30,6 +31,7 @@ func main() {
 		k          = flag.Int("k", 11, "kmer length")
 		errorRate  = flag.Float64("error-rate", 0.01, "assumed uniform substitution rate for the error model")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
 		detectOnly = flag.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
 	)
 	flag.Parse()
@@ -46,8 +48,10 @@ func main() {
 		log.Fatal(err)
 	}
 	model := simulate.NewUniformKmerModel(*k, *errorRate)
+	cfg := redeem.DefaultConfig(*k)
+	cfg.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
 	start := time.Now()
-	m, err := redeem.New(reads, model, redeem.DefaultConfig(*k))
+	m, err := redeem.New(reads, model, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] [-workers N]
+//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] [-workers N] [-shards N]
 package main
 
 import (
@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/fastq"
+	"repro/internal/kspectrum"
 	"repro/internal/reptile"
 )
 
@@ -27,6 +28,7 @@ func main() {
 		d         = flag.Int("d", 1, "max Hamming distance per constituent kmer")
 		genomeLen = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		shards    = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
@@ -50,6 +52,7 @@ func main() {
 	if params.C <= params.D {
 		params.C = params.D + 2
 	}
+	params.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
 	start := time.Now()
 	c, err := reptile.New(reads, params)
 	if err != nil {

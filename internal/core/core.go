@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/closet"
 	"repro/internal/eval"
+	"repro/internal/kspectrum"
 	"repro/internal/mapper"
 	"repro/internal/redeem"
 	"repro/internal/reptile"
@@ -35,8 +36,12 @@ type CorrectOptions struct {
 	// GenomeLen is the (estimated) genome length used for parameter
 	// selection; 0 means unknown.
 	GenomeLen int
-	// Workers bounds parallelism; <= 0 uses all cores.
+	// Workers bounds parallelism; <= 0 uses all cores (except SHREC's
+	// trie build, which stays serial unless Workers is explicitly > 0).
 	Workers int
+	// Shards is the kmer-space partition count of the sharded spectrum
+	// engine (Reptile and REDEEM); <= 0 derives it from the worker count.
+	Shards int
 
 	// Reptile overrides; zero values take data-derived defaults.
 	Reptile reptile.Params
@@ -72,7 +77,12 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 	case MethodReptile, "":
 		p := opts.Reptile
 		if p.K == 0 {
+			build := p.Build // survives the defaults swap
 			p = reptile.DefaultParams(reads, opts.GenomeLen)
+			p.Build = build
+		}
+		if p.Build == (kspectrum.BuildOptions{}) {
+			p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
 		}
 		c, err := reptile.New(reads, p)
 		if err != nil {
@@ -95,7 +105,9 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 			}
 			model = simulate.NewUniformKmerModel(k, rate)
 		}
-		m, err := redeem.New(reads, model, redeem.DefaultConfig(k))
+		cfg := redeem.DefaultConfig(k)
+		cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		m, err := redeem.New(reads, model, cfg)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -111,7 +123,16 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 	case MethodShrec:
 		cfg := opts.Shrec
 		if cfg.FromLevel == 0 {
+			workers := cfg.Workers // survives the defaults swap
 			cfg = shrec.DefaultConfig(opts.GenomeLen)
+			cfg.Workers = workers
+		}
+		// SHREC's parallel trie build is opt-in (see shrec.Config.Workers):
+		// it changes the baseline's published memory profile, so only an
+		// explicit positive worker request enables it — the all-cores
+		// meaning of opts.Workers <= 0 deliberately does not apply here.
+		if cfg.Workers == 0 && opts.Workers > 0 {
+			cfg.Workers = opts.Workers
 		}
 		out, st, err := shrec.Correct(reads, cfg)
 		if err != nil {

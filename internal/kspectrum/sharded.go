@@ -1,0 +1,225 @@
+package kspectrum
+
+import (
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/seq"
+)
+
+// BuildOptions tunes the sharded parallel spectrum engine. The zero value
+// asks for full parallelism: all cores counting into a worker-scaled number
+// of shards. Results are byte-identical for every (Workers, Shards) choice —
+// occurrence counting is commutative and the shard partition is a refinement
+// of the sorted order — so parallelism is purely a throughput knob.
+type BuildOptions struct {
+	// Workers is the number of counting goroutines each Add call fans its
+	// read chunks out to (<= 0 selects GOMAXPROCS). The bound is per call:
+	// callers streaming chunks through concurrent Adds multiply it.
+	Workers int
+	// Shards is the number of kmer-space partitions. Kmers are routed by
+	// their high bits, so each shard owns one contiguous range of the
+	// sorted spectrum. The value is rounded up to a power of two and capped
+	// at min(4^k, 1024); <= 0 derives 4x the worker count (1 when serial).
+	Shards int
+}
+
+// resolve materializes the option defaults for a given k.
+func (o BuildOptions) resolve(k int) (workers int, shardBits uint) {
+	workers = o.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := o.Shards
+	if shards <= 0 {
+		if workers == 1 {
+			shards = 1
+		} else {
+			shards = 4 * workers
+		}
+	}
+	for shards > 1<<shardBits {
+		shardBits++
+	}
+	if max := uint(10); shardBits > max {
+		shardBits = max
+	}
+	if max := uint(2 * k); shardBits > max {
+		shardBits = max
+	}
+	return workers, shardBits
+}
+
+// chunkSize is the read-batch granularity of the producer: large enough to
+// amortize channel and lock traffic, small enough to balance uneven chunks.
+const chunkSize = 512
+
+// countShard is one stripe of the accumulator: a contiguous high-bit range
+// of kmer space with its own lock, so concurrent writers only contend when
+// flushing into the same range.
+type countShard struct {
+	mu     sync.Mutex
+	counts map[seq.Kmer]uint32
+}
+
+// SpectrumBuilder accumulates the k-spectrum incrementally, supporting the
+// §2.3 divide-and-merge strategy: read chunks are streamed through Add and
+// need not be retained. Internally it is a sharded parallel engine — each
+// Add scatters kmers into per-shard buffers by high bits and flushes them
+// into striped accumulators, so Add is safe to call from multiple
+// goroutines and large chunks are counted by a worker pool.
+type SpectrumBuilder struct {
+	k           int
+	bothStrands bool
+	workers     int
+	shardShift  uint
+	shards      []countShard
+}
+
+// NewSpectrumBuilder validates k and prepares an empty accumulator. An
+// optional BuildOptions configures parallelism; omitting it uses the
+// defaults (all cores, worker-scaled shard count).
+func NewSpectrumBuilder(k int, bothStrands bool, opts ...BuildOptions) (*SpectrumBuilder, error) {
+	if k <= 0 || k > seq.MaxK {
+		return nil, errInvalidK(k)
+	}
+	var o BuildOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	workers, shardBits := o.resolve(k)
+	sb := &SpectrumBuilder{
+		k:           k,
+		bothStrands: bothStrands,
+		workers:     workers,
+		shardShift:  uint(2*k) - shardBits,
+		shards:      make([]countShard, 1<<shardBits),
+	}
+	for i := range sb.shards {
+		sb.shards[i].counts = make(map[seq.Kmer]uint32)
+	}
+	return sb, nil
+}
+
+// Add merges one chunk of reads into the accumulator, fanning large chunks
+// out to the builder's counting workers. It may be called concurrently.
+func (sb *SpectrumBuilder) Add(reads []seq.Read) {
+	if sb.workers == 1 || len(reads) < 2*chunkSize {
+		// Still chunked so scatter buffers stay cache-sized.
+		buf := make([][]seq.Kmer, len(sb.shards))
+		for lo := 0; lo < len(reads); lo += chunkSize {
+			sb.countChunk(reads[lo:min(lo+chunkSize, len(reads))], buf)
+		}
+		return
+	}
+	chunks := make(chan []seq.Read, sb.workers)
+	var wg sync.WaitGroup
+	for w := 0; w < sb.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			buf := make([][]seq.Kmer, len(sb.shards))
+			for c := range chunks {
+				sb.countChunk(c, buf)
+			}
+		}()
+	}
+	for lo := 0; lo < len(reads); lo += chunkSize {
+		chunks <- reads[lo:min(lo+chunkSize, len(reads))]
+	}
+	close(chunks)
+	wg.Wait()
+}
+
+// countChunk scatters one read chunk's kmers into the caller-owned
+// per-shard buffers (reused across chunks, reset here), then flushes each
+// buffer into its striped accumulator under the stripe lock. Buffering
+// keeps the critical section to a tight increment loop.
+func (sb *SpectrumBuilder) countChunk(reads []seq.Read, buf [][]seq.Kmer) {
+	for s := range buf {
+		buf[s] = buf[s][:0]
+	}
+	for _, r := range reads {
+		forEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
+			s := km >> sb.shardShift
+			buf[s] = append(buf[s], km)
+			if sb.bothStrands {
+				rc := seq.RevComp(km, sb.k)
+				s = rc >> sb.shardShift
+				buf[s] = append(buf[s], rc)
+			}
+		})
+	}
+	for s := range buf {
+		if len(buf[s]) == 0 {
+			continue
+		}
+		shard := &sb.shards[s]
+		shard.mu.Lock()
+		for _, km := range buf[s] {
+			shard.counts[km]++
+		}
+		shard.mu.Unlock()
+	}
+}
+
+// Build finalizes the sorted spectrum: each shard is extracted and sorted
+// independently (in parallel), and because shard s holds exactly the kmers
+// whose high bits equal s, the k-way merge of the sorted shards degenerates
+// to concatenation in shard order. The builder remains usable afterwards.
+func (sb *SpectrumBuilder) Build() *Spectrum {
+	type shardRun struct {
+		kmers  []seq.Kmer
+		counts []uint32
+	}
+	runs := make([]shardRun, len(sb.shards))
+	var wg sync.WaitGroup
+	work := make(chan int, len(sb.shards))
+	for w := 0; w < min(sb.workers, len(sb.shards)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				shard := &sb.shards[s]
+				shard.mu.Lock()
+				m := shard.counts
+				if len(m) == 0 {
+					shard.mu.Unlock()
+					continue
+				}
+				kmers := make([]seq.Kmer, 0, len(m))
+				for km := range m {
+					kmers = append(kmers, km)
+				}
+				sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
+				counts := make([]uint32, len(kmers))
+				for i, km := range kmers {
+					counts[i] = m[km]
+				}
+				shard.mu.Unlock()
+				runs[s] = shardRun{kmers: kmers, counts: counts}
+			}
+		}()
+	}
+	for s := range sb.shards {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+
+	total := 0
+	for _, r := range runs {
+		total += len(r.kmers)
+	}
+	s := &Spectrum{
+		K:      sb.k,
+		Kmers:  make([]seq.Kmer, 0, total),
+		Counts: make([]uint32, 0, total),
+	}
+	for _, r := range runs {
+		s.Kmers = append(s.Kmers, r.kmers...)
+		s.Counts = append(s.Counts, r.counts...)
+	}
+	return s
+}

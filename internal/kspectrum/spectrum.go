@@ -1,7 +1,8 @@
 // Package kspectrum implements the k-spectrum machinery of Chapter 2: the
-// sorted k-spectrum of a read set, the space-replicated chunk-masked index
-// for exact d-neighborhood retrieval (§2.3 Phase 1), and quality-aware tile
-// occurrence counting (Oc and Og).
+// sorted k-spectrum of a read set built by a sharded parallel engine
+// (§2.3's divide-and-merge strategy), the space-replicated chunk-masked
+// index for exact d-neighborhood retrieval (§2.3 Phase 1), and
+// quality-aware tile occurrence counting (Oc and Og).
 package kspectrum
 
 import (
@@ -20,59 +21,24 @@ type Spectrum struct {
 	Counts []uint32   // parallel to Kmers
 }
 
-// Build constructs the k-spectrum from reads. Windows containing non-ACGT
-// characters are skipped. When bothStrands is true each window also counts
-// toward its reverse complement.
+func errInvalidK(k int) error { return fmt.Errorf("kspectrum: invalid k=%d", k) }
+
+// Build constructs the k-spectrum from reads with the default parallelism
+// (all cores). Windows containing non-ACGT characters are skipped. When
+// bothStrands is true each window also counts toward its reverse complement.
 func Build(reads []seq.Read, k int, bothStrands bool) (*Spectrum, error) {
-	sb, err := NewSpectrumBuilder(k, bothStrands)
+	return BuildParallel(reads, k, bothStrands, BuildOptions{})
+}
+
+// BuildParallel is Build with explicit worker and shard counts. The result
+// is identical for every options choice.
+func BuildParallel(reads []seq.Read, k int, bothStrands bool, opts BuildOptions) (*Spectrum, error) {
+	sb, err := NewSpectrumBuilder(k, bothStrands, opts)
 	if err != nil {
 		return nil, err
 	}
 	sb.Add(reads)
 	return sb.Build(), nil
-}
-
-// SpectrumBuilder accumulates the k-spectrum incrementally, supporting the
-// §2.3 divide-and-merge strategy: read chunks are streamed through Add and
-// need not be retained.
-type SpectrumBuilder struct {
-	k           int
-	bothStrands bool
-	counts      map[seq.Kmer]uint32
-}
-
-// NewSpectrumBuilder validates k and prepares an empty accumulator.
-func NewSpectrumBuilder(k int, bothStrands bool) (*SpectrumBuilder, error) {
-	if k <= 0 || k > seq.MaxK {
-		return nil, fmt.Errorf("kspectrum: invalid k=%d", k)
-	}
-	return &SpectrumBuilder{k: k, bothStrands: bothStrands, counts: make(map[seq.Kmer]uint32)}, nil
-}
-
-// Add merges one chunk of reads into the accumulator.
-func (sb *SpectrumBuilder) Add(reads []seq.Read) {
-	for _, r := range reads {
-		forEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
-			sb.counts[km]++
-			if sb.bothStrands {
-				sb.counts[seq.RevComp(km, sb.k)]++
-			}
-		})
-	}
-}
-
-// Build finalizes the sorted spectrum.
-func (sb *SpectrumBuilder) Build() *Spectrum {
-	s := &Spectrum{K: sb.k, Kmers: make([]seq.Kmer, 0, len(sb.counts))}
-	for km := range sb.counts {
-		s.Kmers = append(s.Kmers, km)
-	}
-	sort.Slice(s.Kmers, func(i, j int) bool { return s.Kmers[i] < s.Kmers[j] })
-	s.Counts = make([]uint32, len(s.Kmers))
-	for i, km := range s.Kmers {
-		s.Counts[i] = sb.counts[km]
-	}
-	return s
 }
 
 // forEachKmer calls fn for every clean (ACGT-only) k-window of bases,

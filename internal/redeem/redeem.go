@@ -33,6 +33,9 @@ type Config struct {
 	MaxIter int
 	// Tol is the relative log-likelihood improvement at which EM stops.
 	Tol float64
+	// Build configures the sharded parallel spectrum engine; the zero
+	// value selects full parallelism (see kspectrum.BuildOptions).
+	Build kspectrum.BuildOptions
 }
 
 // DefaultConfig mirrors the dissertation's settings.
@@ -88,7 +91,7 @@ func New(reads []seq.Read, errModel *simulate.KmerErrorModel, cfg Config) (*Mode
 	if errModel == nil || errModel.K != cfg.K {
 		return nil, fmt.Errorf("redeem: error model k mismatch")
 	}
-	spec, err := kspectrum.Build(reads, cfg.K, true)
+	spec, err := kspectrum.BuildParallel(reads, cfg.K, true, cfg.Build)
 	if err != nil {
 		return nil, err
 	}

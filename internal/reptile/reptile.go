@@ -37,6 +37,10 @@ type Params struct {
 	// converted only if every K-window containing it has at most this many
 	// ambiguous bases (defaults to D).
 	MaxNPerWindow int
+
+	// Build configures the sharded parallel spectrum engine of Phase 1;
+	// the zero value selects full parallelism (see kspectrum.BuildOptions).
+	Build kspectrum.BuildOptions
 }
 
 // DefaultParams derives parameters from the data per §2.3: Qc at the
@@ -115,7 +119,7 @@ func NewBuilder(p Params) (*Builder, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	sb, err := kspectrum.NewSpectrumBuilder(p.K, true)
+	sb, err := kspectrum.NewSpectrumBuilder(p.K, true, p.Build)
 	if err != nil {
 		return nil, err
 	}

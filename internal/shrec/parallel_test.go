@@ -1,0 +1,48 @@
+package shrec
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/simulate"
+)
+
+// TestCorrectWorkerInvariance checks that the base-sharded parallel trie
+// build leaves SHREC's output and accounting byte-identical to the serial
+// build for every worker count.
+func TestCorrectWorkerInvariance(t *testing.T) {
+	rng := rand.New(rand.NewSource(92))
+	genome, err := simulate.RandomGenome(8000, simulate.UniformProfile, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := simulate.SimulateReads(genome, simulate.ReadSimConfig{
+		N: 4000, Model: simulate.UniformModel(36, 0.01), BothStrands: true,
+	}, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := simulate.Reads(sim)
+	base := DefaultConfig(len(genome))
+	base.Workers = 1
+	want, wantStats, err := Correct(reads, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 3, 4, 0} {
+		cfg := base
+		cfg.Workers = workers
+		got, gotStats, err := Correct(reads, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotStats != wantStats {
+			t.Fatalf("workers=%d: stats %+v want %+v", workers, gotStats, wantStats)
+		}
+		for i := range want {
+			if string(got[i].Seq) != string(want[i].Seq) {
+				t.Fatalf("workers=%d: read %d differs", workers, i)
+			}
+		}
+	}
+}

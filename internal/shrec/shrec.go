@@ -15,6 +15,7 @@ package shrec
 import (
 	"fmt"
 	"math"
+	"sync"
 
 	"repro/internal/seq"
 )
@@ -36,6 +37,13 @@ type Config struct {
 	GenomeLen int
 	// Iterations repeats the whole build-and-correct cycle.
 	Iterations int
+	// Workers > 1 shards trie construction by first base (the top two
+	// bits of the path) across up to four goroutines, each owning
+	// disjoint root branches, so the build is lock-free and its result
+	// independent of the worker count. The zero value (and 1) keeps the
+	// published serial build and its memory profile — parallelism is
+	// opt-in for this deliberately resource-faithful baseline.
+	Workers int
 }
 
 // DefaultConfig mirrors the published defaults: levels around log4 of the
@@ -113,9 +121,17 @@ func Correct(reads []seq.Read, cfg Config) ([]seq.Read, Stats, error) {
 func correctOnce(reads []seq.Read, cfg Config, stats *Stats) int {
 	maxDepth := cfg.ToLevel + cfg.ContextDepth
 	root := &node{}
-	nodes := 0
-	insert := func(bases []byte, readID int32, rc bool, readLen int) {
+	// insert walks every suffix of the oriented string whose first base the
+	// worker owns (ownedMask bit set), so disjoint ownership keeps the four
+	// root branches free of cross-goroutine writes. It returns the number
+	// of trie nodes created.
+	insert := func(ownedMask uint8, bases []byte, readID int32, rc bool, readLen int) int {
+		nodes := 0
 		for start := 0; start < len(bases); start++ {
+			first, ok := seq.BaseFromChar(bases[start])
+			if !ok || ownedMask&(1<<first) == 0 {
+				continue
+			}
 			cur := root
 			end := min(len(bases), start+maxDepth)
 			for j := start; j < end; j++ {
@@ -143,10 +159,51 @@ func correctOnce(reads []seq.Read, cfg Config, stats *Stats) int {
 				cur = child
 			}
 		}
+		return nodes
 	}
-	for i, r := range reads {
-		insert(r.Seq, int32(i), false, len(r.Seq))
-		insert(seq.ReverseComplement(r.Seq), int32(i), true, len(r.Seq))
+	workers := min(cfg.Workers, 4)
+	nodes := 0
+	if workers <= 1 {
+		// Serial path: materialize each reverse complement transiently,
+		// keeping the memory-sensitive corrector's historical footprint.
+		mask := uint8(0b1111)
+		for i := range reads {
+			nodes += insert(mask, reads[i].Seq, int32(i), false, len(reads[i].Seq))
+			nodes += insert(mask, seq.ReverseComplement(reads[i].Seq), int32(i), true, len(reads[i].Seq))
+		}
+	} else {
+		// Reverse complements are shared across workers rather than
+		// recomputed inside each shard's pass.
+		rcs := make([][]byte, len(reads))
+		for i := range reads {
+			rcs[i] = seq.ReverseComplement(reads[i].Seq)
+		}
+		buildShard := func(ownedMask uint8) int {
+			nodes := 0
+			for i := range reads {
+				nodes += insert(ownedMask, reads[i].Seq, int32(i), false, len(reads[i].Seq))
+				nodes += insert(ownedMask, rcs[i], int32(i), true, len(reads[i].Seq))
+			}
+			return nodes
+		}
+		// Distribute the four root branches round-robin over the workers.
+		masks := make([]uint8, workers)
+		for b := 0; b < 4; b++ {
+			masks[b%workers] |= 1 << b
+		}
+		perWorker := make([]int, workers)
+		var wg sync.WaitGroup
+		for w := range masks {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				perWorker[w] = buildShard(masks[w])
+			}(w)
+		}
+		wg.Wait()
+		for _, n := range perWorker {
+			nodes += n
+		}
 	}
 	stats.NodesBuilt += nodes
 	if nodes > stats.PeakNodes {

@@ -1,0 +1,89 @@
+package simulate
+
+import (
+	"testing"
+)
+
+// TestSimulateReadsParallelWorkerInvariance checks the read-chunk producer's
+// determinism contract: per-read RNG streams make the sampled reads
+// byte-identical for every worker count.
+func TestSimulateReadsParallelWorkerInvariance(t *testing.T) {
+	genome := make([]byte, 5000)
+	for i := range genome {
+		genome[i] = "ACGT"[(i*7+i/13)%4]
+	}
+	cfg := ReadSimConfig{
+		N: 1500, Model: UniformModel(36, 0.02), BothStrands: true,
+		QualityNoise: 2, AmbiguousRate: 0.003,
+	}
+	want, err := SimulateReadsParallel(genome, cfg, 7, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 5, 16, 0} {
+		got, err := SimulateReadsParallel(genome, cfg, 7, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: %d reads want %d", workers, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Read.ID != want[i].Read.ID ||
+				string(got[i].Read.Seq) != string(want[i].Read.Seq) ||
+				string(got[i].Read.Qual) != string(want[i].Read.Qual) ||
+				string(got[i].True) != string(want[i].True) ||
+				got[i].Pos != want[i].Pos || got[i].RC != want[i].RC {
+				t.Fatalf("workers=%d: read %d differs from serial sample", workers, i)
+			}
+		}
+	}
+}
+
+// TestSplitmixStreamsNotShifted guards the stream derivation against the
+// arithmetic-progression trap: if per-read starting states differed by the
+// generator's own increment, read n's j-th draw would equal read n+1's
+// (j-1)-th draw, lag-correlating every adjacent read pair.
+func TestSplitmixStreamsNotShifted(t *testing.T) {
+	const seed, draws = 5, 16
+	for n := uint64(0); n < 64; n++ {
+		a := &splitmixSource{state: splitmixFinalize(seed + n*0x9E3779B97F4A7C15)}
+		b := &splitmixSource{state: splitmixFinalize(seed + (n+1)*0x9E3779B97F4A7C15)}
+		var sa, sb [draws]uint64
+		for j := range sa {
+			sa[j], sb[j] = a.Uint64(), b.Uint64()
+		}
+		for lag := 1; lag < 4; lag++ {
+			shifted := true
+			for j := lag; j < draws; j++ {
+				if sa[j] != sb[j-lag] {
+					shifted = false
+					break
+				}
+			}
+			if shifted {
+				t.Fatalf("read %d and %d streams are shifted copies at lag %d", n, n+1, lag)
+			}
+		}
+	}
+}
+
+// TestSimulateReadsParallelDistinctStreams guards against a degenerate seed
+// derivation: consecutive reads must not repeat placements wholesale.
+func TestSimulateReadsParallelDistinctStreams(t *testing.T) {
+	genome := make([]byte, 5000)
+	for i := range genome {
+		genome[i] = "ACGT"[(i*11+i/17)%4]
+	}
+	sim, err := SimulateReadsParallel(genome, ReadSimConfig{N: 200, Model: UniformModel(36, 0)}, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	positions := map[int]int{}
+	for _, s := range sim {
+		positions[s.Pos]++
+	}
+	if len(positions) < 100 {
+		t.Fatalf("only %d distinct placements across 200 reads", len(positions))
+	}
+}

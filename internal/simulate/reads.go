@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"repro/internal/seq"
 )
@@ -55,59 +57,148 @@ type ReadSimConfig struct {
 // probability (plus optional noise), so quality-aware methods see the same
 // signal real base callers provide.
 func SimulateReads(genome []byte, cfg ReadSimConfig, rng *rand.Rand) ([]SimRead, error) {
-	L := cfg.Model.Len()
-	if L <= 0 || L > len(genome) {
-		return nil, fmt.Errorf("simulate: read length %d incompatible with genome length %d", L, len(genome))
-	}
-	prefix := cfg.IDPrefix
-	if prefix == "" {
-		prefix = "sim"
-	}
-	// Precompute the baseline Phred per position.
-	phred := make([]byte, L)
-	for i := range phred {
-		phred[i] = phredFromProb(cfg.Model.PositionErrorRate(i))
+	phred, prefix, err := readSimPrelude(genome, cfg)
+	if err != nil {
+		return nil, err
 	}
 	out := make([]SimRead, 0, cfg.N)
 	for n := 0; n < cfg.N; n++ {
-		pos := rng.Intn(len(genome) - L + 1)
-		truth := make([]byte, L)
-		copy(truth, genome[pos:pos+L])
-		rc := cfg.BothStrands && rng.Intn(2) == 1
-		if rc {
-			truth = seq.ReverseComplement(truth)
-		}
-		called := make([]byte, L)
-		qual := make([]byte, L)
-		for i := 0; i < L; i++ {
-			a, ok := seq.BaseFromChar(truth[i])
-			if !ok {
-				// Reference N (only possible with user genomes): call as-is.
-				called[i] = truth[i]
-				qual[i] = 2
-				continue
-			}
-			b := cfg.Model.drawCall(i, a, rng)
-			called[i] = b.Char()
-			q := float64(phred[i])
-			if cfg.QualityNoise > 0 {
-				q += rng.NormFloat64() * cfg.QualityNoise
-			}
-			qual[i] = clampQ(q)
-			if cfg.AmbiguousRate > 0 && rng.Float64() < cfg.AmbiguousRate {
-				called[i] = 'N'
-				qual[i] = 2
-			}
-		}
-		out = append(out, SimRead{
-			Read: seq.Read{ID: fmt.Sprintf("%s:%d", prefix, n), Seq: called, Qual: qual},
-			True: truth,
-			Pos:  pos,
-			RC:   rc,
-		})
+		out = append(out, simulateOne(genome, cfg, phred, prefix, n, rng))
 	}
 	return out, nil
 }
+
+// readSimPrelude validates the configuration and derives the pieces shared
+// by the serial and parallel samplers: the per-position baseline Phred
+// scores and the read-ID prefix. Keeping it shared guarantees the two
+// samplers can only diverge in their documented RNG streams.
+func readSimPrelude(genome []byte, cfg ReadSimConfig) (phred []byte, prefix string, err error) {
+	L := cfg.Model.Len()
+	if L <= 0 || L > len(genome) {
+		return nil, "", fmt.Errorf("simulate: read length %d incompatible with genome length %d", L, len(genome))
+	}
+	prefix = cfg.IDPrefix
+	if prefix == "" {
+		prefix = "sim"
+	}
+	phred = make([]byte, L)
+	for i := range phred {
+		phred[i] = phredFromProb(cfg.Model.PositionErrorRate(i))
+	}
+	return phred, prefix, nil
+}
+
+// simulateOne draws a single read: placement, strand, per-base misreads,
+// quality jitter and ambiguous-base masking, all from rng.
+func simulateOne(genome []byte, cfg ReadSimConfig, phred []byte, prefix string, n int, rng *rand.Rand) SimRead {
+	L := cfg.Model.Len()
+	pos := rng.Intn(len(genome) - L + 1)
+	truth := make([]byte, L)
+	copy(truth, genome[pos:pos+L])
+	rc := cfg.BothStrands && rng.Intn(2) == 1
+	if rc {
+		truth = seq.ReverseComplement(truth)
+	}
+	called := make([]byte, L)
+	qual := make([]byte, L)
+	for i := 0; i < L; i++ {
+		a, ok := seq.BaseFromChar(truth[i])
+		if !ok {
+			// Reference N (only possible with user genomes): call as-is.
+			called[i] = truth[i]
+			qual[i] = 2
+			continue
+		}
+		b := cfg.Model.drawCall(i, a, rng)
+		called[i] = b.Char()
+		q := float64(phred[i])
+		if cfg.QualityNoise > 0 {
+			q += rng.NormFloat64() * cfg.QualityNoise
+		}
+		qual[i] = clampQ(q)
+		if cfg.AmbiguousRate > 0 && rng.Float64() < cfg.AmbiguousRate {
+			called[i] = 'N'
+			qual[i] = 2
+		}
+	}
+	return SimRead{
+		Read: seq.Read{ID: fmt.Sprintf("%s:%d", prefix, n), Seq: called, Qual: qual},
+		True: truth,
+		Pos:  pos,
+		RC:   rc,
+	}
+}
+
+// SimulateReadsParallel is the read-chunk producer of the sharded spectrum
+// engine's ingestion path: it samples cfg.N reads with `workers` goroutines
+// (<= 0 selects GOMAXPROCS). Each read draws from its own RNG stream derived
+// from (seed, read index), so the output is byte-identical for every worker
+// count — though it differs from the single-stream SimulateReads sequence
+// produced by the same seed.
+func SimulateReadsParallel(genome []byte, cfg ReadSimConfig, seed int64, workers int) ([]SimRead, error) {
+	phred, prefix, err := readSimPrelude(genome, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	out := make([]SimRead, cfg.N)
+	var wg sync.WaitGroup
+	chunk := (cfg.N + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, cfg.N)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			src := &splitmixSource{}
+			rng := rand.New(src)
+			for n := lo; n < hi; n++ {
+				// Each read gets its own SplitMix64 stream keyed by
+				// (seed, read index). The key is scrambled through the
+				// finalizer: raw keys would form an arithmetic progression
+				// with the generator's own increment, making adjacent
+				// streams shifted copies of one sequence. Seeding is O(1)
+				// against the ~5 KB, ~600-step default lagged-Fibonacci
+				// source — seeding would otherwise dominate short-read
+				// sampling.
+				src.state = splitmixFinalize(uint64(seed) + uint64(n)*0x9E3779B97F4A7C15)
+				out[n] = simulateOne(genome, cfg, phred, prefix, n, rng)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+	return out, nil
+}
+
+// splitmixSource is the SplitMix64 generator as a rand.Source64: 8 bytes of
+// state and O(1) seeding, backing the per-read streams of the parallel
+// sampler.
+type splitmixSource struct{ state uint64 }
+
+func (s *splitmixSource) Uint64() uint64 {
+	s.state += 0x9E3779B97F4A7C15
+	return splitmixFinalize(s.state)
+}
+
+// splitmixFinalize is the SplitMix64 output mixing function.
+func splitmixFinalize(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+func (s *splitmixSource) Int63() int64 { return int64(s.Uint64() >> 1) }
+
+// Seed finalizes the raw seed so that arithmetically related seeds do not
+// start shifted copies of one stream (see the derivation note above).
+func (s *splitmixSource) Seed(seed int64) { s.state = splitmixFinalize(uint64(seed)) }
 
 func phredFromProb(pe float64) byte {
 	if pe <= 0 {
@@ -166,6 +257,11 @@ type DatasetSpec struct {
 	QualityNoise  float64
 	AmbiguousRate float64
 	Seed          int64
+	// Workers > 1 parallelizes read synthesis through
+	// SimulateReadsParallel; <= 0 (and 1) keeps the historical
+	// single-stream sampler, whose output for a given seed differs from
+	// the per-read-stream parallel sampler.
+	Workers int
 }
 
 // BuildDataset realizes a spec: genome (with repeats if requested), misread
@@ -197,14 +293,21 @@ func BuildDataset(spec DatasetSpec) (*Dataset, error) {
 		bias = EcoliBias
 	}
 	model := IlluminaModel(spec.ReadLen, spec.ErrorRate, bias)
-	sim, err := SimulateReads(ds.Genome, ReadSimConfig{
+	cfg := ReadSimConfig{
 		N:             CoverageReadCount(len(ds.Genome), spec.ReadLen, spec.Coverage),
 		Model:         model,
 		QualityNoise:  spec.QualityNoise,
 		AmbiguousRate: spec.AmbiguousRate,
 		BothStrands:   true,
 		IDPrefix:      spec.Name,
-	}, rng)
+	}
+	var sim []SimRead
+	var err error
+	if spec.Workers > 1 {
+		sim, err = SimulateReadsParallel(ds.Genome, cfg, spec.Seed, spec.Workers)
+	} else {
+		sim, err = SimulateReads(ds.Genome, cfg, rng)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -76,6 +76,7 @@ func ch3Suite(b *testing.B) []*ch3Dataset {
 // BenchmarkTable31Datasets regenerates Table 3.1: the Chapter 3 dataset
 // inventory (repeat content, coverage, reads).
 func BenchmarkTable31Datasets(b *testing.B) {
+	defer recordBench(b, nil)
 	var suite []*ch3Dataset
 	for i := 0; i < b.N; i++ {
 		suite = ch3Suite(b)
@@ -92,6 +93,7 @@ func BenchmarkTable31Datasets(b *testing.B) {
 // probability matrices q_11(.,.) estimated by mapping each platform run back
 // to its reference — two visibly different error profiles.
 func BenchmarkTable32ErrorProbs(b *testing.B) {
+	defer recordBench(b, nil)
 	scale := benchScale()
 	type run struct {
 		label string
@@ -175,6 +177,7 @@ func thresholdGrid(maxThr float64, steps int) []float64 {
 // beats Y, most clearly on repeat-rich genomes, and degrades gracefully as
 // the error model gets wronger (tIED -> wIED -> tUED -> wUED).
 func BenchmarkTable33MinErrors(b *testing.B) {
+	defer recordBench(b, nil)
 	modelNames := []string{"tIED", "wIED", "tUED", "wUED"}
 	type rowData struct {
 		name  string
@@ -218,6 +221,7 @@ func BenchmarkTable33MinErrors(b *testing.B) {
 // function of the threshold, comparing Y-thresholding with T-thresholding
 // under the four error distributions, on the 50%-repeat dataset.
 func BenchmarkFig32ThresholdCurves(b *testing.B) {
+	defer recordBench(b, nil)
 	modelNames := []string{"tIED", "wIED", "tUED", "wUED"}
 	grid := thresholdGrid(60, 13)
 	curves := map[string][]int{}
@@ -260,6 +264,7 @@ func BenchmarkFig32ThresholdCurves(b *testing.B) {
 // estimated T_l for a low-repeat control dataset, showing the error mass
 // near zero and coverage peaks at multiples of the coverage constant.
 func BenchmarkFig33THistogram(b *testing.B) {
+	defer recordBench(b, nil)
 	var m *redeem.Model
 	var cov float64
 	for i := 0; i < b.N; i++ {
@@ -297,6 +302,7 @@ func BenchmarkFig33THistogram(b *testing.B) {
 // inference: the Gamma+Normals+Uniform mixture fitted to T with BIC model
 // selection across the repeat ladder.
 func BenchmarkSec37MixtureThreshold(b *testing.B) {
+	defer recordBench(b, nil)
 	type rowData struct {
 		name              string
 		g                 int
@@ -342,6 +348,7 @@ func BenchmarkSec37MixtureThreshold(b *testing.B) {
 // conventional correctors win on low-repeat genomes; REDEEM overtakes as
 // repeat content grows.
 func BenchmarkTable34RepeatCorrection(b *testing.B) {
+	defer recordBench(b, nil)
 	t := newTable(b, "Table 3.4: error correction on repeat-rich genomes")
 	t.row("%-8s %-10s %7s %7s %7s %10s %9s", "Data", "Method", "Sens%", "Spec%", "Gain%", "time", "allocMB")
 	for i := 0; i < b.N; i++ {

@@ -44,6 +44,7 @@ func sampleMeta(b *testing.B, n int, seed int64) []simulate.MetaRead {
 // of the small/medium/large 16S read collections (count, size, length
 // minimum / average / maximum).
 func BenchmarkTable41MetagenomeData(b *testing.B) {
+	defer recordBench(b, nil)
 	sizes := metaScale()
 	names := [3]string{"Small", "Medium", "Large"}
 	type rowData struct {
@@ -79,6 +80,7 @@ func BenchmarkTable41MetagenomeData(b *testing.B) {
 // and confirmed edge counts, plus clusters processed / resulting at the
 // three similarity thresholds, for each dataset size.
 func BenchmarkTable42DataQuantities(b *testing.B) {
+	defer recordBench(b, nil)
 	sizes := metaScale()
 	names := [3]string{"Small", "Medium", "Large"}
 	var results [3]*closet.Result
@@ -116,6 +118,7 @@ func BenchmarkTable42DataQuantities(b *testing.B) {
 // the CLOSET pipeline on the simulated 32-node cluster for the three
 // dataset sizes.
 func BenchmarkTable43StageTimes(b *testing.B) {
+	defer recordBench(b, nil)
 	sizes := metaScale()
 	names := [3]string{"Small", "Medium", "Large"}
 	var timings [3]map[string]time.Duration
@@ -162,6 +165,7 @@ func BenchmarkTable43StageTimes(b *testing.B) {
 // methodology is applicable; the paper leaves the conversion open —
 // see DESIGN.md).
 func BenchmarkTable44ARI(b *testing.B) {
+	defer recordBench(b, nil)
 	type rowData struct {
 		threshold float64
 		clusters  int

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/kspectrum"
 	"repro/internal/simulate"
@@ -41,6 +42,77 @@ func BenchmarkSpectrumBuild(b *testing.B) {
 				size = s.Size()
 			}
 			b.ReportMetric(float64(size), "kmers")
+			recordBench(b, map[string]float64{"kmers": float64(size)})
 		})
 	}
+}
+
+// BenchmarkSpectrumBuildOutOfCore measures the out-of-core engine
+// (kspectrum.StreamBuilder) on the same D3-scale dataset across a memory
+// budget ladder: unlimited (identical to the in-memory path), a budget that
+// mostly fits, and one far below the accumulator's in-memory footprint —
+// demonstrating that spectrum construction completes in bounded memory with
+// spilled sorted runs merged back byte-identically (DESIGN.md §4).
+func BenchmarkSpectrumBuildOutOfCore(b *testing.B) {
+	spec := simulate.Chapter2Specs(benchScale())[2] // D3
+	ds := buildDataset(b, spec)
+	reads := simulate.Reads(ds.Sim)
+	const k = 13
+	ref, err := kspectrum.BuildParallel(reads, k, true, kspectrum.BuildOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The accumulator's approximate in-memory footprint: distinct kmers at
+	// the budgeted per-entry cost (see kspectrum.StreamOptions).
+	footprint := int64(ref.Size()) * 48
+	tbl := newTable(b, "--- BENCH out-of-core spectrum build (D3 scale, k=13)")
+	tbl.row("%-14s %10s %8s %10s %12s", "budget", "kmers", "runs", "spilled", "wall")
+	budgets := []struct {
+		name   string
+		budget int64
+	}{
+		{"unlimited", 0},
+		{"64MB", 64 << 20},
+		{"8MB", 8 << 20},
+		// Scale-relative rung: always below the accumulator footprint, so
+		// the spill path is demonstrated at any REPRO_SCALE.
+		{"quarter-footprint", footprint / 4},
+	}
+	for _, bb := range budgets {
+		b.Run("budget="+bb.name, func(b *testing.B) {
+			var stats kspectrum.StreamStats
+			var size int
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				elapsed, _ := measured(func() {
+					s, st, err := kspectrum.BuildOutOfCore(reads, k, true, kspectrum.StreamOptions{
+						MemoryBudget: bb.budget,
+						TempDir:      b.TempDir(),
+					})
+					if err != nil {
+						b.Fatal(err)
+					}
+					size, stats = s.Size(), st
+				})
+				wall = elapsed
+			}
+			if size != ref.Size() {
+				b.Fatalf("out-of-core spectrum has %d kmers, in-memory %d", size, ref.Size())
+			}
+			if bb.budget > 0 && bb.budget < footprint && stats.SpilledRuns == 0 {
+				b.Fatalf("budget %s below footprint %d B but nothing spilled", bb.name, footprint)
+			}
+			b.ReportMetric(float64(stats.SpilledRuns), "spill-runs")
+			tbl.row("%-14s %10d %8d %9.1fMB %12v", bb.name, size, stats.SpilledRuns,
+				float64(stats.SpilledBytes)/(1<<20), wall.Round(time.Millisecond))
+			recordBench(b, map[string]float64{
+				"kmers":         float64(size),
+				"spill_runs":    float64(stats.SpilledRuns),
+				"spilled_bytes": float64(stats.SpilledBytes),
+			})
+		})
+	}
+	tbl.row("in-memory accumulator footprint ≈ %.1f MB (%d kmers × 48 B)",
+		float64(footprint)/(1<<20), ref.Size())
+	tbl.flush()
 }

@@ -25,6 +25,7 @@ import (
 // evaluate pipeline, the composite workload every chapter-level experiment
 // builds on.
 func BenchmarkPipelineEndToEnd(b *testing.B) {
+	defer recordBench(b, nil)
 	var gain float64
 	for i := 0; i < b.N; i++ {
 		ds, err := simulate.BuildDataset(simulate.DatasetSpec{

@@ -6,7 +6,7 @@
 // Usage:
 //
 //	closet -in meta.fastq -out clusters.tsv [-thresholds 0.95,0.92,0.90] \
-//	       [-gamma 0.667] [-cmin 0.60] [-nodes 32] [-labels labels.tsv]
+//	       [-gamma 0.667] [-cmin 0.60] [-workers N] [-nodes 32] [-labels labels.tsv]
 //
 // With -labels (a TSV from ngsim -mode meta), the Adjusted Rand Index
 // against the ground-truth species partition is reported per threshold.
@@ -37,6 +37,7 @@ func main() {
 		gamma      = flag.Float64("gamma", 2.0/3.0, "quasi-clique density γ")
 		cmin       = flag.Float64("cmin", 0.60, "candidate similarity cutoff Cmin")
 		nodes      = flag.Int("nodes", 32, "simulated cluster nodes")
+		workers    = flag.Int("workers", 0, "parallel workers, mapped onto the MapReduce node count (0 = keep -nodes)")
 		labelsPath = flag.String("labels", "", "optional taxonomy TSV for ARI evaluation")
 	)
 	flag.Parse()
@@ -63,6 +64,12 @@ func main() {
 	cfg.Gamma = *gamma
 	cfg.Cmin = *cmin
 	cfg.Nodes = *nodes
+	// -workers is the cross-CLI parallelism knob: here it sizes the
+	// simulated cluster (mapreduce.Config.Nodes bounds both the shuffle
+	// partitions and the concurrent map/reduce workers).
+	if *workers > 0 {
+		cfg.Nodes = *workers
+	}
 	cfg.Thresholds = nil
 	for _, s := range strings.Split(*thresholds, ",") {
 		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)

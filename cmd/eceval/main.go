@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	eceval -before reads.fastq -after corrected.fastq -truth truth.fastq
+//	eceval -before reads.fastq -after corrected.fastq -truth truth.fastq [-workers N]
 package main
 
 import (
@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"runtime"
 
 	"repro/internal/eval"
 	"repro/internal/fastq"
@@ -24,9 +25,10 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("eceval: ")
 	var (
-		before = flag.String("before", "", "original reads FASTQ (required)")
-		after  = flag.String("after", "", "corrected reads FASTQ (required)")
-		truth  = flag.String("truth", "", "error-free truth FASTQ (required)")
+		before  = flag.String("before", "", "original reads FASTQ (required)")
+		after   = flag.String("after", "", "corrected reads FASTQ (required)")
+		truth   = flag.String("truth", "", "error-free truth FASTQ (required)")
+		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 	)
 	flag.Parse()
 	if *before == "" || *after == "" || *truth == "" {
@@ -45,7 +47,11 @@ func main() {
 		}
 		sim[i] = simulate.SimRead{Read: b[i], True: tr[i].Seq}
 	}
-	stats, err := eval.EvaluateCorrection(sim, a)
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	stats, err := eval.EvaluateCorrectionParallel(sim, a, w)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,11 +1,14 @@
 // Command redeem performs repeat-aware error detection and correction
 // (Chapter 3): EM estimation of per-kmer expected read attempts, automatic
 // threshold inference via the §3.7 mixture model, and per-base posterior
-// correction.
+// correction. Correction runs as a streaming pipeline: two chunked passes
+// over the input, so with -mem-budget the k-spectrum accumulator spills to
+// disk and peak memory is bounded regardless of input size.
 //
 // Usage:
 //
-//	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] [-workers N] [-shards N]
+//	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] \
+//	       [-workers N] [-shards N] [-mem-budget 64MB]
 //	redeem -in reads.fastq -detect-only -k 11            # print the T histogram + threshold
 package main
 
@@ -16,9 +19,11 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fastq"
 	"repro/internal/kspectrum"
 	"repro/internal/redeem"
+	"repro/internal/seq"
 	"repro/internal/simulate"
 )
 
@@ -32,37 +37,47 @@ func main() {
 		errorRate  = flag.Float64("error-rate", 0.01, "assumed uniform substitution rate for the error model")
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
+		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
 		detectOnly = flag.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
 	)
 	flag.Parse()
 	if *in == "" || (*out == "" && !*detectOnly) {
 		log.Fatal("-in is required, and -out unless -detect-only")
 	}
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	reads, err := fastq.NewReader(f).ReadAll()
-	f.Close()
+	budget, err := core.ParseByteSize(*memBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
 	model := simulate.NewUniformKmerModel(*k, *errorRate)
 	cfg := redeem.DefaultConfig(*k)
 	cfg.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
+	cfg.MemoryBudget = budget
+	// The CLI has always swept up to 4 mixture components; keep the
+	// correction pass consistent with the -detect-only report.
+	cfg.MixtureMaxG = 4
 	start := time.Now()
-	m, err := redeem.New(reads, model, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	iters := m.Run()
-	thr, mix, err := m.InferThreshold(1, 4)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("spectrum %d kmers; EM converged in %d iterations; inferred threshold %.2f (coverage constant %.1f, G=%d) in %v\n",
-		m.Spec.Size(), iters, thr, mix.Theta, mix.G, time.Since(start).Round(time.Millisecond))
+
 	if *detectOnly {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		reads, err := fastq.NewReader(f).ReadAll()
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		m, err := redeem.New(reads, model, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		iters := m.Run()
+		thr, mix, err := m.InferThreshold(1, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("spectrum %d kmers; EM converged in %d iterations; inferred threshold %.2f (coverage constant %.1f, G=%d) in %v\n",
+			m.Spec.Size(), iters, thr, mix.Theta, mix.G, time.Since(start).Round(time.Millisecond))
 		flagged := m.DetectByT(thr)
 		n := 0
 		for _, b := range flagged {
@@ -82,20 +97,37 @@ func main() {
 		}
 		return
 	}
-	corrected := m.CorrectReads(reads, thr, *workers)
+
+	open := func() (redeem.ChunkSource, error) {
+		f, err := os.Open(*in)
+		if err != nil {
+			return nil, err
+		}
+		return fastq.NewChunkReader(f, 0), nil
+	}
 	o, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer o.Close()
-	if err := fastq.Write(o, corrected); err != nil {
+	w := fastq.NewWriter(o)
+	total, changed := 0, 0
+	emit := func(orig, corrected []seq.Read) error {
+		total += len(orig)
+		for i := range orig {
+			if string(orig[i].Seq) != string(corrected[i].Seq) {
+				changed++
+			}
+		}
+		return w.WriteChunk(corrected)
+	}
+	m, thr, err := redeem.CorrectStream(open, emit, model, cfg, *workers)
+	if err != nil {
 		log.Fatal(err)
 	}
-	changed := 0
-	for i := range reads {
-		if string(reads[i].Seq) != string(corrected[i].Seq) {
-			changed++
-		}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("corrected %d of %d reads in %v\n", changed, len(reads), time.Since(start).Round(time.Millisecond))
+	fmt.Printf("spectrum %d kmers; inferred threshold %.2f; corrected %d of %d reads (budget %s) in %v\n",
+		m.Spec.Size(), thr, changed, total, *memBudget, time.Since(start).Round(time.Millisecond))
 }

@@ -1,21 +1,28 @@
 // Command reptile corrects substitution errors in short-read FASTQ data
-// using the representative-tiling algorithm of Chapter 2.
+// using the representative-tiling algorithm of Chapter 2. It runs as a
+// streaming pipeline: two chunked passes over the input, so with
+// -mem-budget the k-spectrum accumulators spill to disk and peak memory is
+// bounded regardless of input size.
 //
 // Usage:
 //
-//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] [-workers N] [-shards N]
+//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] \
+//	        [-workers N] [-shards N] [-mem-budget 64MB]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/fastq"
 	"repro/internal/kspectrum"
 	"repro/internal/reptile"
+	"repro/internal/seq"
 )
 
 func main() {
@@ -29,21 +36,49 @@ func main() {
 		genomeLen = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
 		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		shards    = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
+		memBudget = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		log.Fatal("-in and -out are required")
 	}
-	f, err := os.Open(*in)
+	budget, err := core.ParseByteSize(*memBudget)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reads, err := fastq.NewReader(f).ReadAll()
-	f.Close()
+
+	open := func() (reptile.ChunkSource, error) {
+		f, err := os.Open(*in)
+		if err != nil {
+			return nil, err
+		}
+		return fastq.NewChunkReader(f, 0), nil
+	}
+
+	// Derive data-dependent parameters (Qc, default k) from a bounded
+	// leading sample — large enough to smooth quality drift across the run.
+	const sampleReads = 20000
+	src, err := open()
 	if err != nil {
 		log.Fatal(err)
 	}
-	params := reptile.DefaultParams(reads, *genomeLen)
+	var sample []seq.Read
+	for len(sample) < sampleReads {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			src.Close()
+			log.Fatalf("sampling %s: %v", *in, err)
+		}
+		sample = append(sample, chunk...)
+	}
+	src.Close()
+	if len(sample) == 0 {
+		log.Fatalf("sampling %s: no reads", *in)
+	}
+	params := reptile.DefaultParams(sample, *genomeLen)
 	if *k > 0 {
 		params.K = *k
 		params.C = min(params.K, params.D+4)
@@ -53,28 +88,33 @@ func main() {
 		params.C = params.D + 2
 	}
 	params.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
-	start := time.Now()
-	c, err := reptile.New(reads, params)
-	if err != nil {
-		log.Fatal(err)
-	}
-	build := time.Since(start)
-	corrected := c.CorrectAll(reads, *workers)
-	total := time.Since(start)
+	params.MemoryBudget = budget
+
 	o, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer o.Close()
-	if err := fastq.Write(o, corrected); err != nil {
+	w := fastq.NewWriter(o)
+
+	total, changed := 0, 0
+	emit := func(orig, corrected []seq.Read) error {
+		total += len(orig)
+		for i := range orig {
+			if string(orig[i].Seq) != string(corrected[i].Seq) {
+				changed++
+			}
+		}
+		return w.WriteChunk(corrected)
+	}
+	start := time.Now()
+	c, err := reptile.CorrectStream(open, emit, params, *workers)
+	if err != nil {
 		log.Fatal(err)
 	}
-	changed := 0
-	for i := range reads {
-		if string(reads[i].Seq) != string(corrected[i].Seq) {
-			changed++
-		}
+	if err := w.Flush(); err != nil {
+		log.Fatal(err)
 	}
-	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles) in %v (build %v)\n",
-		changed, len(reads), c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), total.Round(time.Millisecond), build.Round(time.Millisecond))
+	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles, budget %s) in %v\n",
+		changed, total, c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), *memBudget, time.Since(start).Round(time.Millisecond))
 }

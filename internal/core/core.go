@@ -42,6 +42,11 @@ type CorrectOptions struct {
 	// Shards is the kmer-space partition count of the sharded spectrum
 	// engine (Reptile and REDEEM); <= 0 derives it from the worker count.
 	Shards int
+	// MemoryBudget, when positive, bounds the resident size of the
+	// k-spectrum accumulators (Reptile and REDEEM) by spilling oversized
+	// shards to sorted temp-file runs — the out-of-core engine of
+	// kspectrum.StreamBuilder. 0 keeps everything in memory.
+	MemoryBudget int64
 
 	// Reptile overrides; zero values take data-derived defaults.
 	Reptile reptile.Params
@@ -66,6 +71,11 @@ type CorrectReport struct {
 	Threshold float64
 	// Corrections is SHREC's applied-change count (0 for other methods).
 	Corrections int
+	// Reads and Changed tally the streaming pipeline's throughput: reads
+	// processed and reads whose sequence was altered (both 0 for the
+	// in-memory Correct, whose caller holds the slices).
+	Reads   int
+	Changed int
 }
 
 // Correct runs the selected error corrector over the reads and returns
@@ -83,6 +93,9 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 		}
 		if p.Build == (kspectrum.BuildOptions{}) {
 			p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		}
+		if p.MemoryBudget == 0 {
+			p.MemoryBudget = opts.MemoryBudget
 		}
 		c, err := reptile.New(reads, p)
 		if err != nil {
@@ -107,6 +120,7 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 		}
 		cfg := redeem.DefaultConfig(k)
 		cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		cfg.MemoryBudget = opts.MemoryBudget
 		m, err := redeem.New(reads, model, cfg)
 		if err != nil {
 			return nil, nil, err

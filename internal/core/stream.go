@@ -1,0 +1,197 @@
+package core
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/fastq"
+	"repro/internal/kspectrum"
+	"repro/internal/redeem"
+	"repro/internal/reptile"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// CorrectStream runs the streaming FASTQ→correct→FASTQ pipeline: reads are
+// consumed in chunks from fresh streams produced by open (the source must be
+// re-openable — the correctors take two passes), corrected with the selected
+// method, and written incrementally to out. With opts.MemoryBudget set, the
+// k-spectrum accumulators spill to disk, so peak resident memory is bounded
+// regardless of the input size (Reptile and REDEEM). Methods without a
+// streaming path (SHREC) fall back to buffering the whole input in memory.
+//
+// For MethodReptile with zero Params, the data-derived defaults (Qc, K) are
+// estimated from the first chunk rather than the full read set.
+func CorrectStream(open func() (io.ReadCloser, error), out io.Writer, opts CorrectOptions) (*CorrectReport, error) {
+	start := time.Now()
+	rep := &CorrectReport{Method: opts.Method}
+	w := fastq.NewWriter(out)
+	emit := func(orig, corrected []seq.Read) error {
+		rep.Reads += len(orig)
+		for i := range orig {
+			if !bytes.Equal(orig[i].Seq, corrected[i].Seq) {
+				rep.Changed++
+			}
+		}
+		return w.WriteChunk(corrected)
+	}
+	switch opts.Method {
+	case MethodReptile, "":
+		rep.Method = MethodReptile
+		p := opts.Reptile
+		if p.K == 0 {
+			sample, err := firstChunk(open)
+			if err != nil {
+				return nil, err
+			}
+			build := p.Build // survives the defaults swap
+			p = reptile.DefaultParams(sample, opts.GenomeLen)
+			p.Build = build
+		}
+		if p.Build == (kspectrum.BuildOptions{}) {
+			p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		}
+		if p.MemoryBudget == 0 {
+			p.MemoryBudget = opts.MemoryBudget
+		}
+		if _, err := reptile.CorrectStream(chunkSource(open), emit, p, opts.Workers); err != nil {
+			return nil, err
+		}
+	case MethodRedeem:
+		k := opts.RedeemK
+		if k == 0 {
+			k = 11
+		}
+		model := opts.RedeemModel
+		if model == nil {
+			rate := opts.RedeemErrorRate
+			if rate == 0 {
+				rate = 0.01
+			}
+			model = simulate.NewUniformKmerModel(k, rate)
+		}
+		cfg := redeem.DefaultConfig(k)
+		cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		cfg.MemoryBudget = opts.MemoryBudget
+		_, thr, err := redeem.CorrectStream(chunkSource(open), emit, model, cfg, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		rep.Threshold = thr
+	default:
+		// No streaming path (SHREC and unknown methods): buffer the input
+		// and delegate, preserving Correct's semantics and errors.
+		reads, err := readAllStream(open)
+		if err != nil {
+			return nil, err
+		}
+		corrected, inner, err := Correct(reads, opts)
+		if err != nil {
+			return nil, err
+		}
+		rep.Corrections = inner.Corrections
+		if err := emit(reads, corrected); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	rep.Duration = time.Since(start)
+	return rep, nil
+}
+
+// chunkSource adapts the byte-stream opener to the correctors' shared
+// seq.ChunkSource contract.
+func chunkSource(open func() (io.ReadCloser, error)) func() (seq.ChunkSource, error) {
+	return func() (seq.ChunkSource, error) {
+		rc, err := open()
+		if err != nil {
+			return nil, err
+		}
+		return fastq.NewChunkReader(rc, 0), nil
+	}
+}
+
+// paramSampleReads bounds the leading-read sample used to derive Reptile's
+// data-dependent parameters (the Qc quality quantile): large enough to
+// smooth per-tile quality drift, small enough to stay a footnote in the
+// memory budget.
+const paramSampleReads = 20000
+
+// firstChunk samples the leading reads of a fresh stream for parameter
+// derivation.
+func firstChunk(open func() (io.ReadCloser, error)) ([]seq.Read, error) {
+	var sample []seq.Read
+	err := seq.StreamChunks(chunkSource(open), func(chunk []seq.Read) error {
+		sample = append(sample, chunk...)
+		if len(sample) >= paramSampleReads {
+			return errSampleFull
+		}
+		return nil
+	})
+	if err != nil && err != errSampleFull {
+		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("core: empty input stream")
+	}
+	return sample, nil
+}
+
+// errSampleFull is firstChunk's internal early-exit sentinel.
+var errSampleFull = fmt.Errorf("core: sample full")
+
+// readAllStream drains a fresh stream into memory (the non-streaming
+// fallback).
+func readAllStream(open func() (io.ReadCloser, error)) ([]seq.Read, error) {
+	var reads []seq.Read
+	err := seq.StreamChunks(chunkSource(open), func(chunk []seq.Read) error {
+		reads = append(reads, chunk...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reads, nil
+}
+
+// ParseByteSize parses a human-readable byte count: a plain integer, or one
+// with a B/KB/MB/GB/TB suffix (KiB/MiB/... also accepted; both forms are
+// 1024-based). Case and surrounding space are ignored. "0" disables a
+// budget.
+func ParseByteSize(s string) (int64, error) {
+	t := strings.TrimSpace(strings.ToUpper(s))
+	if t == "" {
+		return 0, fmt.Errorf("core: empty byte size")
+	}
+	shift := 0
+	for suffix, sh := range map[string]int{
+		"KIB": 10, "MIB": 20, "GIB": 30, "TIB": 40,
+		"KB": 10, "MB": 20, "GB": 30, "TB": 40,
+		"K": 10, "M": 20, "G": 30, "T": 40,
+	} {
+		if strings.HasSuffix(t, suffix) && len(t) > len(suffix) {
+			t, shift = strings.TrimSpace(strings.TrimSuffix(t, suffix)), sh
+			break
+		}
+	}
+	if shift == 0 {
+		t = strings.TrimSuffix(t, "B")
+	}
+	v, err := strconv.ParseInt(strings.TrimSpace(t), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: bad byte size %q", s)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("core: negative byte size %q", s)
+	}
+	if shift > 0 && v > (1<<62)>>shift {
+		return 0, fmt.Errorf("core: byte size %q overflows", s)
+	}
+	return v << shift, nil
+}

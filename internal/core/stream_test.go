@@ -1,0 +1,143 @@
+package core
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/reptile"
+	"repro/internal/simulate"
+)
+
+// memOpener re-opens an in-memory FASTQ blob, standing in for a file.
+type memOpener struct{ data []byte }
+
+func (m memOpener) open() (io.ReadCloser, error) {
+	return io.NopCloser(bytes.NewReader(m.data)), nil
+}
+
+func fastqBlob(t *testing.T, ds *simulate.Dataset) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := fastq.Write(&buf, simulate.Reads(ds.Sim)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCorrectStreamMatchesInMemory is the pipeline's acceptance property:
+// the streamed, budget-bounded output is byte-identical to the in-memory
+// Correct path for both streaming methods.
+func TestCorrectStreamMatchesInMemory(t *testing.T) {
+	ds := smallDataset(t, 21)
+	reads := simulate.Reads(ds.Sim)
+	blob := fastqBlob(t, ds)
+	model := simulate.IlluminaModel(36, 0.008, simulate.EcoliBias)
+	km, err := simulate.KmerModelFromReadModel(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Method{MethodReptile, MethodRedeem} {
+		// The in-memory reference must use the same parameters the stream
+		// derives; Reptile's defaults are data-dependent (Qc), so fix them
+		// from the whole read set here and pass them explicitly.
+		opts := CorrectOptions{
+			Method:      m,
+			GenomeLen:   len(ds.Genome),
+			Workers:     2,
+			RedeemK:     11,
+			RedeemModel: km,
+		}
+		if m == MethodReptile {
+			opts.Reptile = reptile.DefaultParams(reads, len(ds.Genome))
+		}
+		want, _, err := Correct(reads, opts)
+		if err != nil {
+			t.Fatalf("%s: in-memory: %v", m, err)
+		}
+
+		for _, budget := range []int64{0, 1 << 15} {
+			opts.MemoryBudget = budget
+			opts.Reptile.MemoryBudget = 0 // let opts.MemoryBudget thread through
+			var out bytes.Buffer
+			rep, err := CorrectStream(memOpener{blob}.open, &out, opts)
+			if err != nil {
+				t.Fatalf("%s budget=%d: %v", m, budget, err)
+			}
+			if rep.Reads != len(reads) {
+				t.Errorf("%s budget=%d: processed %d reads want %d", m, budget, rep.Reads, len(reads))
+			}
+			got, err := fastq.NewReader(bytes.NewReader(out.Bytes())).ReadAll()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s budget=%d: %d reads out, want %d", m, budget, len(got), len(want))
+			}
+			for i := range want {
+				if got[i].ID != want[i].ID || !bytes.Equal(got[i].Seq, want[i].Seq) {
+					t.Fatalf("%s budget=%d: read %d diverges from in-memory path:\n  got  %s\n  want %s",
+						m, budget, i, got[i].Seq, want[i].Seq)
+				}
+			}
+		}
+	}
+}
+
+// TestCorrectStreamShrecFallback covers the buffering fallback for methods
+// without a streaming path.
+func TestCorrectStreamShrecFallback(t *testing.T) {
+	ds := smallDataset(t, 22)
+	blob := fastqBlob(t, ds)
+	var out bytes.Buffer
+	rep, err := CorrectStream(memOpener{blob}.open, &out, CorrectOptions{
+		Method: MethodShrec, GenomeLen: len(ds.Genome), Workers: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Reads != len(ds.Sim) {
+		t.Errorf("processed %d reads want %d", rep.Reads, len(ds.Sim))
+	}
+	got, err := fastq.NewReader(bytes.NewReader(out.Bytes())).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ds.Sim) {
+		t.Errorf("%d reads out, want %d", len(got), len(ds.Sim))
+	}
+}
+
+func TestParseByteSize(t *testing.T) {
+	cases := []struct {
+		in   string
+		want int64
+		ok   bool
+	}{
+		{"0", 0, true},
+		{"123", 123, true},
+		{"64B", 64, true},
+		{"8K", 8 << 10, true},
+		{"8KB", 8 << 10, true},
+		{"8KiB", 8 << 10, true},
+		{"64MB", 64 << 20, true},
+		{" 2 GiB ", 2 << 30, true},
+		{"1tb", 1 << 40, true},
+		{"", 0, false},
+		{"MB", 0, false},
+		{"-1MB", 0, false},
+		{"12XB", 0, false},
+		{"9999999999G", 0, false},
+	}
+	for _, tc := range cases {
+		got, err := ParseByteSize(tc.in)
+		if tc.ok != (err == nil) {
+			t.Errorf("ParseByteSize(%q) error = %v, ok want %v", tc.in, err, tc.ok)
+			continue
+		}
+		if tc.ok && got != tc.want {
+			t.Errorf("ParseByteSize(%q) = %d want %d", tc.in, got, tc.want)
+		}
+	}
+}

@@ -7,6 +7,7 @@ package eval
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/seq"
 	"repro/internal/simulate"
@@ -62,11 +63,52 @@ func (s CorrectionStats) String() string {
 // EvaluateCorrection compares corrected reads against simulation ground
 // truth. corrected[i] must correspond to sim[i]; lengths must match.
 func EvaluateCorrection(sim []simulate.SimRead, corrected []seq.Read) (CorrectionStats, error) {
+	return evaluateRange(sim, corrected, 0, len(sim))
+}
+
+// EvaluateCorrectionParallel is EvaluateCorrection with the per-read tally
+// fanned across `workers` goroutines (<= 1 is serial). The outcome counts
+// are sums over reads, so the result is identical for every worker count;
+// on error, the reported read is the lowest-indexed offender.
+func EvaluateCorrectionParallel(sim []simulate.SimRead, corrected []seq.Read, workers int) (CorrectionStats, error) {
 	var s CorrectionStats
 	if len(sim) != len(corrected) {
 		return s, fmt.Errorf("eval: %d truth reads but %d corrected reads", len(sim), len(corrected))
 	}
-	for i := range sim {
+	if workers <= 1 || len(sim) < 2*workers {
+		return evaluateRange(sim, corrected, 0, len(sim))
+	}
+	chunk := (len(sim) + workers - 1) / workers
+	stats := make([]CorrectionStats, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*chunk, min((w+1)*chunk, len(sim))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			stats[w], errs[w] = evaluateRange(sim, corrected, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	for w := range errs {
+		if errs[w] != nil {
+			return s, errs[w]
+		}
+		s.Add(stats[w])
+	}
+	return s, nil
+}
+
+func evaluateRange(sim []simulate.SimRead, corrected []seq.Read, lo, hi int) (CorrectionStats, error) {
+	var s CorrectionStats
+	if len(sim) != len(corrected) {
+		return s, fmt.Errorf("eval: %d truth reads but %d corrected reads", len(sim), len(corrected))
+	}
+	for i := lo; i < hi; i++ {
 		truth := sim[i].True
 		before := sim[i].Read.Seq
 		after := corrected[i].Seq

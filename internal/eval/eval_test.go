@@ -2,6 +2,7 @@ package eval
 
 import (
 	"math"
+	"math/rand"
 	"testing"
 
 	"repro/internal/seq"
@@ -168,5 +169,48 @@ func TestARIValidation(t *testing.T) {
 	}
 	if _, err := ARI(nil, nil); err == nil {
 		t.Error("expected empty error")
+	}
+}
+
+// TestEvaluateCorrectionParallelMatchesSerial pins the worker-count
+// invariance of the parallel tally, including error propagation from a
+// mid-slice length mismatch.
+func TestEvaluateCorrectionParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	var sim []simulate.SimRead
+	var corrected []seq.Read
+	for i := 0; i < 500; i++ {
+		truth := make([]byte, 30)
+		before := make([]byte, 30)
+		after := make([]byte, 30)
+		for p := range truth {
+			truth[p] = "ACGT"[rng.Intn(4)]
+			before[p], after[p] = truth[p], truth[p]
+			if rng.Intn(10) == 0 {
+				before[p] = "ACGT"[rng.Intn(4)]
+			}
+			if rng.Intn(12) == 0 {
+				after[p] = "ACGT"[rng.Intn(4)]
+			}
+		}
+		sim = append(sim, simulate.SimRead{Read: seq.Read{Seq: before}, True: truth})
+		corrected = append(corrected, seq.Read{Seq: after})
+	}
+	want, err := EvaluateCorrection(sim, corrected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 3, 8} {
+		got, err := EvaluateCorrectionParallel(sim, corrected, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("workers=%d: %+v want %+v", workers, got, want)
+		}
+	}
+	corrected[250].Seq = corrected[250].Seq[:10] // poison one read
+	if _, err := EvaluateCorrectionParallel(sim, corrected, 4); err == nil {
+		t.Error("expected length-mismatch error under parallel evaluation")
 	}
 }

@@ -121,35 +121,13 @@ func idToken(header []byte) []byte {
 }
 
 // Write emits reads in FASTQ format. Reads without quality scores get a
-// constant placeholder score of 40.
+// constant placeholder score of 40. It is the one-shot form of Writer.
 func Write(w io.Writer, reads []seq.Read) error {
-	bw := bufio.NewWriter(w)
-	for _, rd := range reads {
-		if err := rd.Validate(); err != nil {
-			return err
-		}
-		if _, err := fmt.Fprintf(bw, "@%s\n%s\n+\n", rd.ID, rd.Seq); err != nil {
-			return err
-		}
-		qual := rd.Qual
-		if qual == nil {
-			qual = bytes.Repeat([]byte{40}, len(rd.Seq))
-		}
-		line := make([]byte, len(qual))
-		for i, q := range qual {
-			if q > MaxQuality {
-				q = MaxQuality
-			}
-			line[i] = q + PhredOffset
-		}
-		if _, err := bw.Write(line); err != nil {
-			return err
-		}
-		if err := bw.WriteByte('\n'); err != nil {
-			return err
-		}
+	fw := NewWriter(w)
+	if err := fw.WriteChunk(reads); err != nil {
+		return err
 	}
-	return bw.Flush()
+	return fw.Flush()
 }
 
 // FastaRecord is a named sequence from a FASTA file.

@@ -1,0 +1,117 @@
+package fastq
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+
+	"repro/internal/seq"
+)
+
+// DefaultChunkSize is the read-batch granularity of the streaming pipeline:
+// large enough to keep the sharded spectrum engine's workers busy per Add,
+// small enough that a chunk of typical short reads stays in the low
+// megabytes.
+const DefaultChunkSize = 2048
+
+// ChunkReader adapts a FASTQ stream into fixed-size read chunks — the
+// producer side of the out-of-core correction pipeline. It owns the
+// underlying ReadCloser and closes it with Close.
+type ChunkReader struct {
+	r    *Reader
+	rc   io.Closer
+	size int
+	done bool
+}
+
+// NewChunkReader wraps rc in a chunked FASTQ reader yielding up to size
+// reads per Next (size <= 0 selects DefaultChunkSize).
+func NewChunkReader(rc io.ReadCloser, size int) *ChunkReader {
+	if size <= 0 {
+		size = DefaultChunkSize
+	}
+	return &ChunkReader{r: NewReader(rc), rc: rc, size: size}
+}
+
+// Next returns the next chunk of reads. The final chunk may be short; once
+// the stream is exhausted Next returns (nil, io.EOF). Any parse error ends
+// the stream.
+func (cr *ChunkReader) Next() ([]seq.Read, error) {
+	if cr.done {
+		return nil, io.EOF
+	}
+	chunk := make([]seq.Read, 0, cr.size)
+	for len(chunk) < cr.size {
+		rd, err := cr.r.Next()
+		if err == io.EOF {
+			cr.done = true
+			if len(chunk) == 0 {
+				return nil, io.EOF
+			}
+			return chunk, nil
+		}
+		if err != nil {
+			cr.done = true
+			return nil, err
+		}
+		chunk = append(chunk, rd)
+	}
+	return chunk, nil
+}
+
+// Close closes the underlying stream.
+func (cr *ChunkReader) Close() error {
+	cr.done = true
+	return cr.rc.Close()
+}
+
+// Writer emits reads incrementally in FASTQ format — the consumer side of
+// the streaming pipeline. Callers must Flush once done.
+type Writer struct {
+	bw *bufio.Writer
+}
+
+// NewWriter wraps w in a streaming FASTQ writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{bw: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// WriteRead appends one read. Reads without quality scores get a constant
+// placeholder score of 40.
+func (w *Writer) WriteRead(rd seq.Read) error {
+	if err := rd.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w.bw, "@%s\n%s\n+\n", rd.ID, rd.Seq); err != nil {
+		return err
+	}
+	qual := rd.Qual
+	if qual == nil {
+		qual = bytes.Repeat([]byte{40}, len(rd.Seq))
+	}
+	line := make([]byte, len(qual))
+	for i, q := range qual {
+		if q > MaxQuality {
+			q = MaxQuality
+		}
+		line[i] = q + PhredOffset
+	}
+	if _, err := w.bw.Write(line); err != nil {
+		return err
+	}
+	return w.bw.WriteByte('\n')
+}
+
+// WriteChunk appends a chunk of reads.
+func (w *Writer) WriteChunk(reads []seq.Read) error {
+	for _, rd := range reads {
+		if err := w.WriteRead(rd); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush pushes buffered output to the underlying writer.
+func (w *Writer) Flush() error { return w.bw.Flush() }

@@ -75,6 +75,11 @@ type SpectrumBuilder struct {
 	workers     int
 	shardShift  uint
 	shards      []countShard
+
+	// onFlush, when set, is invoked after each buffer flush while the
+	// shard's stripe lock is still held. It is the out-of-core hook: the
+	// StreamBuilder spills oversized accumulators from here (see stream.go).
+	onFlush func(s int, shard *countShard)
 }
 
 // NewSpectrumBuilder validates k and prepares an empty accumulator. An
@@ -159,6 +164,9 @@ func (sb *SpectrumBuilder) countChunk(reads []seq.Read, buf [][]seq.Kmer) {
 		shard.mu.Lock()
 		for _, km := range buf[s] {
 			shard.counts[km]++
+		}
+		if sb.onFlush != nil {
+			sb.onFlush(s, shard)
 		}
 		shard.mu.Unlock()
 	}

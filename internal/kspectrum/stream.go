@@ -1,0 +1,412 @@
+package kspectrum
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/seq"
+)
+
+// StreamOptions tunes the out-of-core spectrum engine. The zero value never
+// spills and is equivalent to the in-memory SpectrumBuilder.
+type StreamOptions struct {
+	// Build configures the underlying sharded parallel engine.
+	Build BuildOptions
+	// MemoryBudget caps (approximately) the resident bytes of the counting
+	// accumulators across all shards; <= 0 means unlimited — nothing is
+	// ever spilled. The cap is an estimate: map entries are costed at
+	// approxEntryBytes each, which includes bucket overhead and growth
+	// headroom.
+	MemoryBudget int64
+	// TempDir is where spilled run files live; "" uses os.TempDir(). A
+	// fresh subdirectory is created per builder and removed by Build/Close.
+	TempDir string
+}
+
+// approxEntryBytes is the budgeted resident cost of one map[Kmer]uint32
+// accumulator entry: 12 payload bytes plus bucket headers, load-factor slack
+// and growth headroom (maps momentarily hold old + new bucket arrays while
+// rehashing).
+const approxEntryBytes = 48
+
+// minSpillEntries floors the per-shard spill threshold so pathological
+// budgets degrade into many small runs rather than a run per flush.
+const minSpillEntries = 64
+
+// StreamStats describes a builder's spill activity.
+type StreamStats struct {
+	// SpilledRuns is the number of sorted run files written.
+	SpilledRuns int64
+	// SpilledEntries is the total distinct-kmer entries across all runs
+	// (the same kmer may recur in later runs of the same shard).
+	SpilledEntries int64
+	// SpilledBytes is the total on-disk size of all runs.
+	SpilledBytes int64
+}
+
+// StreamBuilder is the out-of-core variant of SpectrumBuilder (§2.3's
+// divide-and-merge taken past memory): counting workers scatter kmers into
+// high-bit prefix shards exactly as the in-memory engine does, but any shard
+// whose accumulator exceeds its slice of the MemoryBudget is spilled to a
+// sorted run file in a temp directory and restarts empty. Build merges each
+// shard's runs with its in-memory residue — the prefix partition keeps shard
+// ranges disjoint and ordered, so the final cross-shard merge is a
+// concatenation — and yields a Spectrum byte-identical to the in-memory
+// path. Unlike SpectrumBuilder, Build is one-shot: it consumes the spilled
+// runs and closes the builder.
+type StreamBuilder struct {
+	sb *SpectrumBuilder
+	// spillAt is the per-shard entry count beyond which a flush spills
+	// (0 = never).
+	spillAt int
+	dir     string
+	// runs[s] lists shard s's spilled run files, in spill order; guarded
+	// by shard s's stripe lock (only flushers of s append).
+	runs [][]string
+	// runSeq names run files uniquely across shards.
+	runSeq atomic.Int64
+
+	stats struct {
+		runs, entries, bytes atomic.Int64
+	}
+
+	// errMu guards err, the first spill failure; surfaced by Build.
+	errMu  sync.Mutex
+	err    error
+	closed bool
+}
+
+// NewStreamBuilder validates k and prepares an out-of-core accumulator.
+func NewStreamBuilder(k int, bothStrands bool, opts StreamOptions) (*StreamBuilder, error) {
+	sb, err := NewSpectrumBuilder(k, bothStrands, opts.Build)
+	if err != nil {
+		return nil, err
+	}
+	st := &StreamBuilder{sb: sb}
+	if opts.MemoryBudget > 0 {
+		maxEntries := opts.MemoryBudget / approxEntryBytes
+		perShard := int(maxEntries) / len(sb.shards)
+		st.spillAt = max(perShard, minSpillEntries)
+		st.dir, err = os.MkdirTemp(opts.TempDir, "kspectrum-spill-*")
+		if err != nil {
+			return nil, fmt.Errorf("kspectrum: spill dir: %w", err)
+		}
+		st.runs = make([][]string, len(sb.shards))
+		sb.onFlush = st.maybeSpill
+	}
+	return st, nil
+}
+
+// Add merges one chunk of reads into the accumulator; safe for concurrent
+// use, exactly like SpectrumBuilder.Add.
+func (st *StreamBuilder) Add(reads []seq.Read) { st.sb.Add(reads) }
+
+// Stats reports the spill activity so far.
+func (st *StreamBuilder) Stats() StreamStats {
+	return StreamStats{
+		SpilledRuns:    st.stats.runs.Load(),
+		SpilledEntries: st.stats.entries.Load(),
+		SpilledBytes:   st.stats.bytes.Load(),
+	}
+}
+
+// maybeSpill runs under the shard's stripe lock after each flush: when the
+// accumulator crosses the per-shard threshold it is drained to a sorted run
+// file and restarted empty. I/O errors are recorded once and surfaced by
+// Build; after a failure the engine stops spilling (counting stays correct,
+// memory is no longer bounded).
+func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
+	if len(shard.counts) < st.spillAt {
+		return
+	}
+	st.errMu.Lock()
+	failed := st.err != nil
+	st.errMu.Unlock()
+	if failed {
+		return
+	}
+	kmers := make([]seq.Kmer, 0, len(shard.counts))
+	for km := range shard.counts {
+		kmers = append(kmers, km)
+	}
+	sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
+	path := filepath.Join(st.dir, fmt.Sprintf("run%06d.bin", st.runSeq.Add(1)))
+	n, err := writeRun(path, kmers, shard.counts)
+	if err != nil {
+		st.errMu.Lock()
+		if st.err == nil {
+			st.err = err
+		}
+		st.errMu.Unlock()
+		return
+	}
+	st.runs[s] = append(st.runs[s], path)
+	st.stats.runs.Add(1)
+	st.stats.entries.Add(int64(len(kmers)))
+	st.stats.bytes.Add(n)
+	shard.counts = make(map[seq.Kmer]uint32)
+}
+
+// runEntryBytes is the fixed on-disk size of one (kmer, count) record.
+const runEntryBytes = 12
+
+// writeRun writes the sorted entries as fixed-width little-endian
+// (kmer uint64, count uint32) records and returns the byte size.
+func writeRun(path string, kmers []seq.Kmer, counts map[seq.Kmer]uint32) (int64, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("kspectrum: spill: %w", err)
+	}
+	bw := bufio.NewWriterSize(f, 1<<16)
+	var rec [runEntryBytes]byte
+	for _, km := range kmers {
+		binary.LittleEndian.PutUint64(rec[:8], uint64(km))
+		binary.LittleEndian.PutUint32(rec[8:], counts[km])
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			return 0, fmt.Errorf("kspectrum: spill: %w", err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("kspectrum: spill: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("kspectrum: spill: %w", err)
+	}
+	return int64(len(kmers)) * runEntryBytes, nil
+}
+
+// Build merges every shard's spilled runs with its in-memory residue and
+// returns the finished spectrum. Shard s holds exactly the kmers whose high
+// bits equal s — in every run and in the residue — so shard ranges are
+// disjoint and ordered and the cross-shard merge is a concatenation,
+// preserving byte-identity with the in-memory engine (see DESIGN.md §4).
+// Build consumes the builder: the temp directory is removed and further use
+// is an error.
+func (st *StreamBuilder) Build() (*Spectrum, error) {
+	if st.closed {
+		return nil, fmt.Errorf("kspectrum: StreamBuilder used after Build/Close")
+	}
+	st.closed = true
+	defer st.cleanup()
+	st.errMu.Lock()
+	err := st.err
+	st.errMu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+
+	type shardRun struct {
+		kmers  []seq.Kmer
+		counts []uint32
+	}
+	merged := make([]shardRun, len(st.sb.shards))
+	errs := make([]error, len(st.sb.shards))
+	work := make(chan int, len(st.sb.shards))
+	var wg sync.WaitGroup
+	for w := 0; w < min(st.sb.workers, len(st.sb.shards)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for s := range work {
+				kmers, counts, err := st.mergeShard(s)
+				merged[s] = shardRun{kmers: kmers, counts: counts}
+				errs[s] = err
+			}
+		}()
+	}
+	for s := range st.sb.shards {
+		work <- s
+	}
+	close(work)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	total := 0
+	for _, r := range merged {
+		total += len(r.kmers)
+	}
+	spec := &Spectrum{
+		K:      st.sb.k,
+		Kmers:  make([]seq.Kmer, 0, total),
+		Counts: make([]uint32, 0, total),
+	}
+	for _, r := range merged {
+		spec.Kmers = append(spec.Kmers, r.kmers...)
+		spec.Counts = append(spec.Counts, r.counts...)
+	}
+	return spec, nil
+}
+
+// Close abandons the builder, removing any spilled runs. It is safe to call
+// after Build (a no-op then).
+func (st *StreamBuilder) Close() error {
+	st.closed = true
+	return st.cleanup()
+}
+
+func (st *StreamBuilder) cleanup() error {
+	if st.dir == "" {
+		return nil
+	}
+	dir := st.dir
+	st.dir = ""
+	return os.RemoveAll(dir)
+}
+
+// mergeShard produces shard s's slice of the final spectrum: the in-memory
+// residue sorted, then k-way merged with the shard's sorted runs, summing
+// counts of kmers that appear in several sources.
+func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
+	shard := &st.sb.shards[s]
+	shard.mu.Lock()
+	m := shard.counts
+	kmers := make([]seq.Kmer, 0, len(m))
+	for km := range m {
+		kmers = append(kmers, km)
+	}
+	sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
+	counts := make([]uint32, len(kmers))
+	for i, km := range kmers {
+		counts[i] = m[km]
+	}
+	var runs []string
+	if st.runs != nil {
+		runs = st.runs[s]
+	}
+	shard.mu.Unlock()
+
+	if len(runs) == 0 {
+		return kmers, counts, nil
+	}
+
+	streams := make([]runStream, 0, len(runs)+1)
+	defer func() {
+		for i := range streams {
+			streams[i].close()
+		}
+	}()
+	for _, path := range runs {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, fmt.Errorf("kspectrum: merge: %w", err)
+		}
+		streams = append(streams, runStream{f: f, br: bufio.NewReaderSize(f, 1<<16)})
+	}
+	if len(kmers) > 0 {
+		streams = append(streams, runStream{memK: kmers, memC: counts})
+	}
+
+	h := make(runHeap, 0, len(streams))
+	for i := range streams {
+		km, c, ok, err := streams[i].next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			h = append(h, runHead{km: km, count: c, src: i})
+		}
+	}
+	heap.Init(&h)
+
+	var outK []seq.Kmer
+	var outC []uint32
+	for len(h) > 0 {
+		head := h[0]
+		if n := len(outK); n > 0 && outK[n-1] == head.km {
+			outC[n-1] += head.count
+		} else {
+			outK = append(outK, head.km)
+			outC = append(outC, head.count)
+		}
+		km, c, ok, err := streams[head.src].next()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ok {
+			h[0] = runHead{km: km, count: c, src: head.src}
+			heap.Fix(&h, 0)
+		} else {
+			heap.Pop(&h)
+		}
+	}
+	return outK, outC, nil
+}
+
+// runStream iterates one sorted source: a run file or the in-memory residue.
+type runStream struct {
+	f    *os.File
+	br   *bufio.Reader
+	memK []seq.Kmer
+	memC []uint32
+	pos  int
+}
+
+func (rs *runStream) next() (seq.Kmer, uint32, bool, error) {
+	if rs.br == nil {
+		if rs.pos >= len(rs.memK) {
+			return 0, 0, false, nil
+		}
+		km, c := rs.memK[rs.pos], rs.memC[rs.pos]
+		rs.pos++
+		return km, c, true, nil
+	}
+	var rec [runEntryBytes]byte
+	if _, err := io.ReadFull(rs.br, rec[:]); err != nil {
+		if err == io.EOF {
+			return 0, 0, false, nil
+		}
+		return 0, 0, false, fmt.Errorf("kspectrum: merge: %w", err)
+	}
+	km := seq.Kmer(binary.LittleEndian.Uint64(rec[:8]))
+	c := binary.LittleEndian.Uint32(rec[8:])
+	return km, c, true, nil
+}
+
+func (rs *runStream) close() {
+	if rs.f != nil {
+		rs.f.Close()
+	}
+}
+
+// runHead is one source's current minimum in the shard merge heap.
+type runHead struct {
+	km    seq.Kmer
+	count uint32
+	src   int
+}
+
+type runHeap []runHead
+
+func (h runHeap) Len() int           { return len(h) }
+func (h runHeap) Less(i, j int) bool { return h[i].km < h[j].km }
+func (h runHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *runHeap) Push(x any)        { *h = append(*h, x.(runHead)) }
+func (h *runHeap) Pop() any          { old := *h; n := len(old); x := old[n-1]; *h = old[:n-1]; return x }
+
+// BuildOutOfCore constructs the spectrum from an in-memory read set through
+// the out-of-core engine, returning the spill statistics alongside. It is
+// the one-shot convenience over NewStreamBuilder/Add/Build that redeem and
+// the benchmarks use.
+func BuildOutOfCore(reads []seq.Read, k int, bothStrands bool, opts StreamOptions) (*Spectrum, StreamStats, error) {
+	st, err := NewStreamBuilder(k, bothStrands, opts)
+	if err != nil {
+		return nil, StreamStats{}, err
+	}
+	st.Add(reads)
+	spec, err := st.Build()
+	return spec, st.Stats(), err
+}

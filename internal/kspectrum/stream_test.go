@@ -1,0 +1,126 @@
+package kspectrum
+
+import (
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+// TestStreamBuilderByteIdentical is the acceptance property of the
+// out-of-core engine: for budget ∈ {unlimited, tiny-forcing-spill} ×
+// workers ∈ {1, 8}, the StreamBuilder's spectrum is byte-identical to the
+// in-memory SpectrumBuilder's. Run under -race this doubles as the spill
+// path's data-race test.
+func TestStreamBuilderByteIdentical(t *testing.T) {
+	reads := randomReads(t, 3000)
+	want, err := BuildParallel(reads, 13, true, BuildOptions{Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{0, 1 << 15} {
+		for _, workers := range []int{1, 8} {
+			opts := StreamOptions{
+				Build:        BuildOptions{Workers: workers, Shards: 8},
+				MemoryBudget: budget,
+				TempDir:      t.TempDir(),
+			}
+			got, stats, err := BuildOutOfCore(reads, 13, true, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			label := "budget=unlimited"
+			if budget > 0 {
+				label = "budget=tiny"
+				if stats.SpilledRuns == 0 {
+					t.Fatalf("workers=%d: tiny budget spilled nothing", workers)
+				}
+			} else if stats.SpilledRuns != 0 {
+				t.Fatalf("workers=%d: unlimited budget spilled %d runs", workers, stats.SpilledRuns)
+			}
+			spectraEqual(t, want, got, label)
+		}
+	}
+}
+
+// TestStreamBuilderConcurrentAdd drives Add from many goroutines with a
+// spill-forcing budget — the full out-of-core ingestion pattern.
+func TestStreamBuilderConcurrentAdd(t *testing.T) {
+	reads := randomReads(t, 3000)
+	want, err := BuildParallel(reads, 11, true, BuildOptions{Workers: 1, Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := NewStreamBuilder(11, true, StreamOptions{
+		Build:        BuildOptions{Workers: 2, Shards: 7},
+		MemoryBudget: 1 << 15,
+		TempDir:      t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const chunks = 9
+	var wg sync.WaitGroup
+	size := (len(reads) + chunks - 1) / chunks
+	for lo := 0; lo < len(reads); lo += size {
+		hi := min(lo+size, len(reads))
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			st.Add(reads[lo:hi])
+		}(lo, hi)
+	}
+	wg.Wait()
+	got, err := st.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Stats().SpilledRuns == 0 {
+		t.Fatal("tiny budget spilled nothing under concurrent Add")
+	}
+	spectraEqual(t, want, got, "stream-concurrent-add")
+}
+
+// TestStreamBuilderCleanup verifies Build and Close remove the spill
+// directory, and that a consumed builder refuses another Build.
+func TestStreamBuilderCleanup(t *testing.T) {
+	reads := randomReads(t, 1000)
+	tmp := t.TempDir()
+	st, err := NewStreamBuilder(13, true, StreamOptions{
+		Build:        BuildOptions{Workers: 2, Shards: 4},
+		MemoryBudget: 1 << 14,
+		TempDir:      tmp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Add(reads)
+	if _, err := st.Build(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(tmp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 0 {
+		t.Fatalf("spill dir not cleaned: %d entries left", len(ents))
+	}
+	if _, err := st.Build(); err == nil {
+		t.Fatal("second Build should fail on a consumed builder")
+	}
+
+	// Close without Build also cleans up.
+	st2, err := NewStreamBuilder(13, true, StreamOptions{
+		Build: BuildOptions{Workers: 1}, MemoryBudget: 1 << 14, TempDir: tmp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2.Add(reads)
+	if err := st2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if ents, _ := filepath.Glob(filepath.Join(tmp, "kspectrum-spill-*")); len(ents) != 0 {
+		t.Fatalf("Close left %d spill dirs", len(ents))
+	}
+}

@@ -36,6 +36,20 @@ type Config struct {
 	// Build configures the sharded parallel spectrum engine; the zero
 	// value selects full parallelism (see kspectrum.BuildOptions).
 	Build kspectrum.BuildOptions
+	// MemoryBudget, when positive, routes spectrum construction through
+	// the out-of-core engine (kspectrum.StreamBuilder); see
+	// reptile.Params.MemoryBudget for the semantics. The EM state itself
+	// (Y, T, the sparse misread graph) scales with the distinct-kmer
+	// count, not the read count, and stays in memory.
+	MemoryBudget int64
+	// TempDir hosts the spill files ("" = os.TempDir()).
+	TempDir string
+	// MixtureMaxG bounds the component count of the §3.7 mixture when
+	// CorrectStream infers the classification threshold (<= 0 selects 3,
+	// the facade default). Callers wanting a different sweep — e.g. the
+	// CLI's historical maxG=4 — set it here so detection and correction
+	// stay consistent.
+	MixtureMaxG int
 }
 
 // DefaultConfig mirrors the dissertation's settings.
@@ -84,16 +98,43 @@ type Model struct {
 }
 
 // New builds the spectrum, the sparse misread graph, and initializes T = Y.
+// A positive Config.MemoryBudget bounds the spectrum accumulator's resident
+// size through the out-of-core engine.
 func New(reads []seq.Read, errModel *simulate.KmerErrorModel, cfg Config) (*Model, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	// Reject a bad model before the (possibly spilling) spectrum build.
+	if errModel == nil || errModel.K != cfg.K {
+		return nil, fmt.Errorf("redeem: error model k mismatch")
+	}
+	var spec *kspectrum.Spectrum
+	var err error
+	if cfg.MemoryBudget > 0 {
+		spec, _, err = kspectrum.BuildOutOfCore(reads, cfg.K, true, kspectrum.StreamOptions{
+			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+		})
+	} else {
+		spec, err = kspectrum.BuildParallel(reads, cfg.K, true, cfg.Build)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return NewFromSpectrum(spec, errModel, cfg)
+}
+
+// NewFromSpectrum builds the model over an already-constructed spectrum —
+// the entry point for streaming construction, where the spectrum arrives
+// from a StreamBuilder rather than an in-memory read set.
+func NewFromSpectrum(spec *kspectrum.Spectrum, errModel *simulate.KmerErrorModel, cfg Config) (*Model, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
 	if errModel == nil || errModel.K != cfg.K {
 		return nil, fmt.Errorf("redeem: error model k mismatch")
 	}
-	spec, err := kspectrum.BuildParallel(reads, cfg.K, true, cfg.Build)
-	if err != nil {
-		return nil, err
+	if spec == nil || spec.K != cfg.K {
+		return nil, fmt.Errorf("redeem: spectrum k mismatch")
 	}
 	if spec.Size() == 0 {
 		return nil, fmt.Errorf("redeem: empty spectrum")

@@ -1,0 +1,65 @@
+package redeem
+
+import (
+	"fmt"
+
+	"repro/internal/kspectrum"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// ChunkSource is the chunked read source of the streaming pipeline; see
+// seq.ChunkSource.
+type ChunkSource = seq.ChunkSource
+
+// CorrectStream is the out-of-core REDEEM pipeline: a first pass streams
+// every chunk from open() into the spectrum (with Config.MemoryBudget
+// bounding the accumulator's resident size), then EM runs, the §3.7 mixture
+// infers the classification threshold (component sweep bounded by
+// Config.MixtureMaxG), and a second pass re-opens the source, corrects each
+// chunk with `workers` goroutines, and hands (original, corrected) chunk
+// pairs to emit. It returns the fitted model and the inferred threshold.
+func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected []seq.Read) error, errModel *simulate.KmerErrorModel, cfg Config, workers int) (*Model, float64, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, 0, err
+	}
+	if errModel == nil || errModel.K != cfg.K {
+		return nil, 0, fmt.Errorf("redeem: error model k mismatch")
+	}
+	st, err := kspectrum.NewStreamBuilder(cfg.K, true, kspectrum.StreamOptions{
+		Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	defer st.Close() // reclaim spill files if any stage aborts
+	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+		st.Add(chunk)
+		return nil
+	}); err != nil {
+		return nil, 0, fmt.Errorf("redeem: build pass: %w", err)
+	}
+	spec, err := st.Build()
+	if err != nil {
+		return nil, 0, err
+	}
+	m, err := NewFromSpectrum(spec, errModel, cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	m.Run()
+	maxG := cfg.MixtureMaxG
+	if maxG <= 0 {
+		maxG = 3
+	}
+	thr, _, err := m.InferThreshold(1, maxG)
+	if err != nil {
+		return nil, 0, err
+	}
+	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+		return emit(chunk, m.CorrectReads(chunk, thr, workers))
+	}); err != nil {
+		return nil, 0, fmt.Errorf("redeem: correct pass: %w", err)
+	}
+	return m, thr, nil
+}

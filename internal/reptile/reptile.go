@@ -41,6 +41,15 @@ type Params struct {
 	// Build configures the sharded parallel spectrum engine of Phase 1;
 	// the zero value selects full parallelism (see kspectrum.BuildOptions).
 	Build kspectrum.BuildOptions
+	// MemoryBudget, when positive, routes Phase 1's spectrum accumulation
+	// through the out-of-core engine (kspectrum.StreamBuilder): shard
+	// accumulators exceeding their slice of the budget spill to sorted run
+	// files and are merged back in Finish. The resulting spectrum is
+	// byte-identical to the in-memory path. Tile counts stay in memory
+	// (they are a small multiple of the distinct-tile count).
+	MemoryBudget int64
+	// TempDir hosts the spill files ("" = os.TempDir()).
+	TempDir string
 }
 
 // DefaultParams derives parameters from the data per §2.3: Qc at the
@@ -103,12 +112,14 @@ func New(reads []seq.Read, p Params) (*Corrector, error) {
 // — the §2.3 divide-and-merge strategy for inputs that do not fit in main
 // memory: stream each chunk through Add, discard it, and call Finish once.
 type Builder struct {
-	p     Params
-	sb    *kspectrum.SpectrumBuilder
-	tiles *kspectrum.TileSet
+	p      Params
+	sb     *kspectrum.SpectrumBuilder
+	stream *kspectrum.StreamBuilder // out-of-core path when MemoryBudget > 0
+	tiles  *kspectrum.TileSet
 }
 
 // NewBuilder validates the parameters and prepares an empty accumulator.
+// A positive Params.MemoryBudget selects the out-of-core engine.
 func NewBuilder(p Params) (*Builder, error) {
 	if p.DefaultBase == 0 {
 		p.DefaultBase = 'A'
@@ -119,15 +130,34 @@ func NewBuilder(p Params) (*Builder, error) {
 	if err := p.validate(); err != nil {
 		return nil, err
 	}
-	sb, err := kspectrum.NewSpectrumBuilder(p.K, true, p.Build)
+	b := &Builder{p: p}
+	var err error
+	if p.MemoryBudget > 0 {
+		b.stream, err = kspectrum.NewStreamBuilder(p.K, true, kspectrum.StreamOptions{
+			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir,
+		})
+	} else {
+		b.sb, err = kspectrum.NewSpectrumBuilder(p.K, true, p.Build)
+	}
 	if err != nil {
 		return nil, err
 	}
-	tiles, err := kspectrum.CountTiles(nil, p.K, p.Overlap, p.Qc)
+	b.tiles, err = kspectrum.CountTiles(nil, p.K, p.Overlap, p.Qc)
 	if err != nil {
+		b.Close()
 		return nil, err
 	}
-	return &Builder{p: p, sb: sb, tiles: tiles}, nil
+	return b, nil
+}
+
+// Close abandons the builder, reclaiming any out-of-core spill files. It is
+// a no-op after Finish (which consumes them) and on the in-memory path, so
+// deferring it is always safe.
+func (b *Builder) Close() error {
+	if b.stream != nil {
+		return b.stream.Close()
+	}
+	return nil
 }
 
 // Add streams one chunk of reads into the Phase 1 accumulators. Ambiguous
@@ -138,7 +168,11 @@ func (b *Builder) Add(reads []seq.Read) {
 	for i, r := range reads {
 		prepared[i] = prepareRead(r, b.p)
 	}
-	b.sb.Add(prepared)
+	if b.stream != nil {
+		b.stream.Add(prepared)
+	} else {
+		b.sb.Add(prepared)
+	}
 	b.tiles.Add(prepared)
 }
 
@@ -146,7 +180,16 @@ func (b *Builder) Add(reads []seq.Read) {
 // thresholds, producing the ready-to-use Corrector.
 func (b *Builder) Finish() (*Corrector, error) {
 	p := b.p
-	spec := b.sb.Build()
+	var spec *kspectrum.Spectrum
+	if b.stream != nil {
+		var err error
+		spec, err = b.stream.Build()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		spec = b.sb.Build()
+	}
 	ni, err := kspectrum.NewNeighborIndex(spec, p.D, p.C)
 	if err != nil {
 		return nil, err

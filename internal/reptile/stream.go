@@ -1,0 +1,46 @@
+package reptile
+
+import (
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// ChunkSource is the chunked read source of the streaming pipeline; see
+// seq.ChunkSource.
+type ChunkSource = seq.ChunkSource
+
+// CorrectStream is the out-of-core correction pipeline: a first pass streams
+// every chunk from open() through the Phase 1 accumulators (with
+// Params.MemoryBudget bounding the spectrum's resident size), then a second
+// pass re-opens the source, corrects each chunk with `workers` goroutines,
+// and hands (original, corrected) chunk pairs to emit. Neither pass retains
+// more than one chunk of reads, so peak memory is the Phase 1 products plus
+// a chunk — independent of the input size when a budget is set.
+//
+// Params must carry an explicit K (use DefaultParams on a sampled chunk to
+// derive data-dependent settings before calling). The returned Corrector
+// exposes the derived thresholds and Phase 1 structures.
+func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected []seq.Read) error, p Params, workers int) (*Corrector, error) {
+	b, err := NewBuilder(p)
+	if err != nil {
+		return nil, err
+	}
+	defer b.Close() // reclaim spill files if either pass aborts
+	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+		b.Add(chunk)
+		return nil
+	}); err != nil {
+		return nil, fmt.Errorf("reptile: build pass: %w", err)
+	}
+	c, err := b.Finish()
+	if err != nil {
+		return nil, err
+	}
+	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+		return emit(chunk, c.CorrectAll(chunk, workers))
+	}); err != nil {
+		return nil, fmt.Errorf("reptile: correct pass: %w", err)
+	}
+	return c, nil
+}

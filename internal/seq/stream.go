@@ -1,0 +1,34 @@
+package seq
+
+import "io"
+
+// ChunkSource yields successive chunks of reads, returning (nil, io.EOF)
+// when exhausted. fastq.ChunkReader satisfies it; the interface lives here —
+// the package every pipeline stage already shares — so the streaming
+// correctors stay I/O-format agnostic without duplicating the contract.
+type ChunkSource interface {
+	Next() ([]Read, error)
+	Close() error
+}
+
+// StreamChunks drives one pass over a freshly opened source: every chunk is
+// handed to fn, and the source is closed on all return paths.
+func StreamChunks(open func() (ChunkSource, error), fn func([]Read) error) error {
+	src, err := open()
+	if err != nil {
+		return err
+	}
+	defer src.Close()
+	for {
+		chunk, err := src.Next()
+		if err == io.EOF {
+			return src.Close()
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(chunk); err != nil {
+			return err
+		}
+	}
+}

@@ -62,9 +62,9 @@ func BenchmarkSpectrumBuildOutOfCore(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	// The accumulator's approximate in-memory footprint: distinct kmers at
-	// the budgeted per-entry cost (see kspectrum.StreamOptions).
-	footprint := int64(ref.Size()) * 48
+	// The accumulator's in-memory footprint: the open-addressing table a
+	// counter holding every distinct kmer reaches (see kspectrum.Counter).
+	footprint := kspectrum.ApproxAccumulatorBytes(ref.Size())
 	tbl := newTable(b, "--- BENCH out-of-core spectrum build (D3 scale, k=13)")
 	tbl.row("%-14s %10s %8s %10s %12s", "budget", "kmers", "runs", "spilled", "wall")
 	budgets := []struct {
@@ -112,7 +112,7 @@ func BenchmarkSpectrumBuildOutOfCore(b *testing.B) {
 			})
 		})
 	}
-	tbl.row("in-memory accumulator footprint ≈ %.1f MB (%d kmers × 48 B)",
+	tbl.row("in-memory accumulator footprint ≈ %.1f MB (open-addressing table for %d kmers)",
 		float64(footprint)/(1<<20), ref.Size())
 	tbl.flush()
 }

@@ -1,0 +1,144 @@
+// Command benchguard is the CI perf-regression gate: it compares two
+// BENCH_pr<N>.json snapshots (see bench_helpers_test.go for the schema)
+// and exits non-zero when any benchmark present in both regresses by more
+// than the allowed ns/op fraction. Benchmarks that appear in only one
+// snapshot are reported but never fail the gate — new benchmarks and
+// retired ones are normal across PRs.
+//
+// Usage:
+//
+//	benchguard -old BENCH_pr2.json -new BENCH_pr3.json [-max-regress 0.25]
+//
+// A missing -old file is a skip, not a failure (the first PR has no
+// predecessor artifact).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+// benchRecord mirrors the benchmark entry of the harness's JSON schema.
+type benchRecord struct {
+	Name    string  `json:"name"`
+	N       int     `json:"n"`
+	NsPerOp float64 `json:"ns_per_op"`
+}
+
+// benchFile mirrors the BENCH_pr<N>.json envelope.
+type benchFile struct {
+	PR         string        `json:"pr"`
+	Scale      int           `json:"repro_scale"`
+	Benchmarks []benchRecord `json:"benchmarks"`
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchguard: ")
+	var (
+		oldPath    = flag.String("old", "", "previous BENCH_pr<N>.json (missing file = skip)")
+		newPath    = flag.String("new", "", "fresh BENCH_pr<N>.json (required)")
+		maxRegress = flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression on shared benchmarks")
+	)
+	flag.Parse()
+	if *newPath == "" {
+		log.Fatal("-new is required")
+	}
+	if *oldPath == "" {
+		log.Fatal("-old is required (point it at the previous artifact)")
+	}
+	oldFile, err := loadBench(*oldPath)
+	if os.IsNotExist(err) {
+		fmt.Printf("no previous snapshot at %s; skipping regression gate\n", *oldPath)
+		return
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	newFile, err := loadBench(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if oldFile.Scale != newFile.Scale {
+		fmt.Printf("scales differ (old %d, new %d); skipping regression gate\n", oldFile.Scale, newFile.Scale)
+		return
+	}
+	report := compare(oldFile, newFile, *maxRegress)
+	for _, line := range report.lines {
+		fmt.Println(line)
+	}
+	fmt.Printf("compared %d shared benchmarks (old PR %s -> new PR %s): %d regressed beyond %.0f%%\n",
+		report.shared, oldFile.PR, newFile.PR, len(report.failures), 100**maxRegress)
+	if len(report.failures) > 0 {
+		for _, f := range report.failures {
+			fmt.Println("FAIL:", f)
+		}
+		os.Exit(1)
+	}
+}
+
+func loadBench(path string) (*benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf benchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return &bf, nil
+}
+
+// compareReport is the outcome of one snapshot comparison.
+type compareReport struct {
+	shared   int
+	lines    []string // per-benchmark deltas, worst first not required
+	failures []string // human-readable regression descriptions
+}
+
+// minGateNs is the minimum total measured time (ns_per_op × n) a record
+// needs on both sides to participate in the gate. The CI suite runs at
+// -benchtime 1x, so microsecond-scale benchmarks are single-sample noise
+// — a 2 µs lookup jittering to 3 µs is not a regression signal, while a
+// 200 ms build drifting 25% is.
+const minGateNs = 1e6
+
+// compare diffs the ns/op of benchmarks shared by name. Records with a
+// non-positive ns/op on either side, or whose total measured time is
+// below minGateNs, are ignored (a 1x run that measured nothing
+// meaningful must not gate).
+func compare(oldFile, newFile *benchFile, maxRegress float64) compareReport {
+	oldByName := make(map[string]benchRecord, len(oldFile.Benchmarks))
+	for _, r := range oldFile.Benchmarks {
+		oldByName[r.Name] = r
+	}
+	var rep compareReport
+	for _, nr := range newFile.Benchmarks {
+		or, ok := oldByName[nr.Name]
+		if !ok {
+			rep.lines = append(rep.lines, fmt.Sprintf("  new   %-60s %12.0f ns/op", nr.Name, nr.NsPerOp))
+			continue
+		}
+		if or.NsPerOp <= 0 || nr.NsPerOp <= 0 {
+			continue
+		}
+		if or.NsPerOp*float64(or.N) < minGateNs || nr.NsPerOp*float64(nr.N) < minGateNs {
+			rep.lines = append(rep.lines, fmt.Sprintf("  short %-60s %12.0f -> %.0f ns/op (below gate floor)",
+				nr.Name, or.NsPerOp, nr.NsPerOp))
+			continue
+		}
+		rep.shared++
+		ratio := nr.NsPerOp/or.NsPerOp - 1
+		rep.lines = append(rep.lines, fmt.Sprintf("  %+6.1f%% %-60s %12.0f -> %.0f ns/op",
+			100*ratio, nr.Name, or.NsPerOp, nr.NsPerOp))
+		if ratio > maxRegress {
+			rep.failures = append(rep.failures, fmt.Sprintf(
+				"%s regressed %.1f%% (%.0f -> %.0f ns/op, limit %.0f%%)",
+				nr.Name, 100*ratio, or.NsPerOp, nr.NsPerOp, 100*maxRegress))
+		}
+	}
+	return rep
+}

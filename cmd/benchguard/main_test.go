@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func bf(scale int, recs ...benchRecord) *benchFile {
+	for i := range recs {
+		if recs[i].N == 0 {
+			recs[i].N = 1 << 20 // amortized run, above the gate's time floor
+		}
+	}
+	return &benchFile{PR: "t", Scale: scale, Benchmarks: recs}
+}
+
+func TestCompareFlagsOnlyExcessRegressions(t *testing.T) {
+	oldF := bf(5000,
+		benchRecord{Name: "A", NsPerOp: 100},
+		benchRecord{Name: "B", NsPerOp: 100},
+		benchRecord{Name: "C", NsPerOp: 100},
+		benchRecord{Name: "Gone", NsPerOp: 50},
+	)
+	newF := bf(5000,
+		benchRecord{Name: "A", NsPerOp: 124}, // +24% — inside the limit
+		benchRecord{Name: "B", NsPerOp: 130}, // +30% — regression
+		benchRecord{Name: "C", NsPerOp: 60},  // improvement
+		benchRecord{Name: "Fresh", NsPerOp: 10},
+	)
+	rep := compare(oldF, newF, 0.25)
+	if rep.shared != 3 {
+		t.Fatalf("shared = %d want 3", rep.shared)
+	}
+	if len(rep.failures) != 1 || !strings.Contains(rep.failures[0], "B regressed 30.0%") {
+		t.Fatalf("failures = %v", rep.failures)
+	}
+}
+
+func TestCompareIgnoresUnmeasuredRecords(t *testing.T) {
+	oldF := bf(5000, benchRecord{Name: "A", NsPerOp: 0})
+	newF := bf(5000, benchRecord{Name: "A", NsPerOp: 1e9})
+	rep := compare(oldF, newF, 0.25)
+	if rep.shared != 0 || len(rep.failures) != 0 {
+		t.Fatalf("zero ns/op records must not gate: %+v", rep)
+	}
+}
+
+func TestCompareSkipsSubMillisecondSamples(t *testing.T) {
+	// A 2 µs lookup doubling at -benchtime 1x is single-sample noise, not
+	// a regression; a repeated run crossing the floor via N gates again.
+	oldF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 2000})
+	newF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 4000})
+	rep := compare(oldF, newF, 0.25)
+	if rep.shared != 0 || len(rep.failures) != 0 {
+		t.Fatalf("sub-millisecond samples must not gate: %+v", rep)
+	}
+	oldF.Benchmarks[0].N = 1000
+	newF.Benchmarks[0].N = 1000
+	rep = compare(oldF, newF, 0.25)
+	if rep.shared != 1 || len(rep.failures) != 1 {
+		t.Fatalf("amortized samples must gate: %+v", rep)
+	}
+}
+
+func TestCompareBoundary(t *testing.T) {
+	oldF := bf(5000, benchRecord{Name: "A", NsPerOp: 100})
+	newF := bf(5000, benchRecord{Name: "A", NsPerOp: 125})
+	if rep := compare(oldF, newF, 0.25); len(rep.failures) != 0 {
+		t.Fatalf("exactly-at-limit must pass: %v", rep.failures)
+	}
+	newF.Benchmarks[0].NsPerOp = 125.2
+	if rep := compare(oldF, newF, 0.25); len(rep.failures) != 1 {
+		t.Fatal("just-over-limit must fail")
+	}
+}

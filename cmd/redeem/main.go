@@ -8,7 +8,8 @@
 // Usage:
 //
 //	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] \
-//	       [-workers N] [-shards N] [-mem-budget 64MB]
+//	       [-workers N] [-shards N] [-mem-budget 64MB] \
+//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	redeem -in reads.fastq -detect-only -k 11            # print the T histogram + threshold
 package main
 
@@ -39,12 +40,18 @@ func main() {
 		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
 		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
 		detectOnly = flag.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *in == "" || (*out == "" && !*detectOnly) {
 		log.Fatal("-in is required, and -out unless -detect-only")
 	}
 	budget, err := core.ParseByteSize(*memBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles, err := core.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -95,6 +102,9 @@ func main() {
 		for b, c := range h {
 			fmt.Printf("%8.1f %d\n", float64(b)*width, c)
 		}
+		if err := stopProfiles(); err != nil {
+			log.Fatal(err)
+		}
 		return
 	}
 
@@ -130,4 +140,7 @@ func main() {
 	}
 	fmt.Printf("spectrum %d kmers; inferred threshold %.2f; corrected %d of %d reads (budget %s) in %v\n",
 		m.Spec.Size(), thr, changed, total, *memBudget, time.Since(start).Round(time.Millisecond))
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
+	}
 }

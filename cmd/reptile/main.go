@@ -7,7 +7,8 @@
 // Usage:
 //
 //	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] \
-//	        [-workers N] [-shards N] [-mem-budget 64MB]
+//	        [-workers N] [-shards N] [-mem-budget 64MB] \
+//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 package main
 
 import (
@@ -29,20 +30,26 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("reptile: ")
 	var (
-		in        = flag.String("in", "", "input FASTQ (required)")
-		out       = flag.String("out", "", "output FASTQ (required)")
-		k         = flag.Int("k", 0, "kmer length (0 = derive from genome length)")
-		d         = flag.Int("d", 1, "max Hamming distance per constituent kmer")
-		genomeLen = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
-		workers   = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		shards    = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
-		memBudget = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+		in         = flag.String("in", "", "input FASTQ (required)")
+		out        = flag.String("out", "", "output FASTQ (required)")
+		k          = flag.Int("k", 0, "kmer length (0 = derive from genome length)")
+		d          = flag.Int("d", 1, "max Hamming distance per constituent kmer")
+		genomeLen  = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
+		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
+		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
+		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
 	if *in == "" || *out == "" {
 		log.Fatal("-in and -out are required")
 	}
 	budget, err := core.ParseByteSize(*memBudget)
+	if err != nil {
+		log.Fatal(err)
+	}
+	stopProfiles, err := core.StartProfiles(*cpuprofile, *memprofile)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -117,4 +124,7 @@ func main() {
 	}
 	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles, budget %s) in %v\n",
 		changed, total, c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), *memBudget, time.Since(start).Round(time.Millisecond))
+	if err := stopProfiles(); err != nil {
+		log.Fatal(err)
+	}
 }

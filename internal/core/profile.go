@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartProfiles starts CPU profiling into cpuPath and arranges a heap
+// profile into memPath, either path optional (""). It returns a stop
+// function that must run before exit (defer it): stop ends the CPU
+// profile and writes the heap snapshot after a final GC. The CLIs share
+// it behind their -cpuprofile/-memprofile flags so perf work can profile
+// the real binaries rather than only the benchmark harness.
+func StartProfiles(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("core: cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("core: cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				return fmt.Errorf("core: cpu profile: %w", err)
+			}
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				return fmt.Errorf("core: mem profile: %w", err)
+			}
+			runtime.GC() // materialize the steady-state heap
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				f.Close()
+				return fmt.Errorf("core: mem profile: %w", err)
+			}
+			if err := f.Close(); err != nil {
+				return fmt.Errorf("core: mem profile: %w", err)
+			}
+		}
+		return nil
+	}, nil
+}

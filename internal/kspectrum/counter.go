@@ -1,0 +1,289 @@
+package kspectrum
+
+import (
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// Counter is a purpose-built replacement for map[seq.Kmer]uint32 on the
+// spectrum-construction hot path: an open-addressing linear-probing hash
+// table with power-of-two capacity and no tombstones (entries are never
+// deleted, only the whole table reset). One increment costs a multiply,
+// a shift and on average barely more than one cache line, versus the
+// generic map's hashing, bucket chasing and per-entry overhead.
+//
+// A slot is occupied iff its count is non-zero, which is sound because
+// increments are always positive; the kmer 0 (AAA…A) therefore needs no
+// sentinel. The table grows at 3/4 load by rehashing into double the
+// capacity.
+type Counter struct {
+	keys []seq.Kmer
+	vals []uint32
+	n    int // occupied slots
+	grow int // occupancy threshold that triggers doubling
+}
+
+// counterSlotBytes is the resident cost of one table slot: an 8-byte key
+// plus a 4-byte count. Unlike the Go map there are no bucket headers and
+// no per-entry pointers, so capacity × counterSlotBytes is the whole
+// footprint (modulo the transient old table during a rehash).
+const counterSlotBytes = 8 + 4
+
+// minCounterSlots keeps fresh tables small: shards start near-empty and
+// most never see more than a few hundred kmers at small scale.
+const minCounterSlots = 64
+
+// slotsFor is the single source of the table-sizing rule: the power-of-two
+// capacity a counter holding n entries needs (capacity ≥ n/0.75, floored
+// at minCounterSlots). NewCounter and ApproxAccumulatorBytes must agree on
+// it, or the StreamBuilder's budget math would diverge from the footprint
+// tables actually reach.
+func slotsFor(n int) int {
+	slots := minCounterSlots
+	for slots*3 < n*4 {
+		slots *= 2
+	}
+	return slots
+}
+
+// NewCounter returns an empty counter sized for about `hint` entries
+// (<= 0 picks the minimum capacity).
+func NewCounter(hint int) *Counter {
+	c := &Counter{}
+	c.alloc(slotsFor(hint))
+	return c
+}
+
+func (c *Counter) alloc(slots int) {
+	c.keys = make([]seq.Kmer, slots)
+	c.vals = make([]uint32, slots)
+	c.grow = slots * 3 / 4
+	c.n = 0
+}
+
+// mix is the xor-shift/fibonacci finalizer scattering kmer bits across the
+// table index. Packed kmers are highly structured (neighboring windows
+// share all but two bits), so the raw value must not address the table
+// directly.
+func mix(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0x9E3779B97F4A7C15 // 2^64 / φ
+	x ^= x >> 29
+	return x
+}
+
+// Len returns the number of distinct keys.
+func (c *Counter) Len() int { return c.n }
+
+// Inc adds delta (> 0) to km's count, inserting it if absent. Counts
+// saturate at MaxUint32 instead of wrapping: a wrap to 0 would read as an
+// empty slot and structurally corrupt the table (the map it replaced
+// merely wrapped the value), and at ~4 billion occurrences the count has
+// long stopped carrying information anyway.
+func (c *Counter) Inc(km seq.Kmer, delta uint32) {
+	if delta == 0 {
+		return
+	}
+	mask := uint64(len(c.keys) - 1)
+	i := mix(uint64(km)) & mask
+	for {
+		if c.vals[i] == 0 {
+			if c.n >= c.grow {
+				c.rehash()
+				c.Inc(km, delta)
+				return
+			}
+			c.keys[i] = km
+			c.vals[i] = delta
+			c.n++
+			return
+		}
+		if c.keys[i] == km {
+			if v := c.vals[i]; delta > ^uint32(0)-v {
+				c.vals[i] = ^uint32(0)
+			} else {
+				c.vals[i] = v + delta
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// Get returns km's count (0 if absent).
+func (c *Counter) Get(km seq.Kmer) uint32 {
+	mask := uint64(len(c.keys) - 1)
+	i := mix(uint64(km)) & mask
+	for {
+		if c.vals[i] == 0 {
+			return 0
+		}
+		if c.keys[i] == km {
+			return c.vals[i]
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (c *Counter) rehash() {
+	oldK, oldV := c.keys, c.vals
+	c.alloc(2 * len(oldK))
+	mask := uint64(len(c.keys) - 1)
+	for j, v := range oldV {
+		if v == 0 {
+			continue
+		}
+		i := mix(uint64(oldK[j])) & mask
+		for c.vals[i] != 0 {
+			i = (i + 1) & mask
+		}
+		c.keys[i] = oldK[j]
+		c.vals[i] = v
+		c.n++
+	}
+}
+
+// AppendSortedInto appends the counter's entries in ascending key order to
+// the two parallel slices and returns them — the extraction step of the
+// sharded Build, replacing the map-iterate-then-sort path. Keys are sorted
+// alone and the counts re-fetched by O(1) probe: measurably faster than
+// dragging the counts through the sort in lockstep, because sort.Slice
+// keeps the 8-byte key swaps on its optimized path while a paired
+// sort.Interface pays a dispatched double swap per exchange (~1.6× slower
+// end-to-end on the serial spectrum build).
+func (c *Counter) AppendSortedInto(kmers []seq.Kmer, counts []uint32) ([]seq.Kmer, []uint32) {
+	kstart := len(kmers)
+	for i, v := range c.vals {
+		if v != 0 {
+			kmers = append(kmers, c.keys[i])
+		}
+	}
+	added := kmers[kstart:]
+	sort.Slice(added, func(a, b int) bool { return added[a] < added[b] })
+	for _, km := range added {
+		counts = append(counts, c.Get(km))
+	}
+	return kmers, counts
+}
+
+// ResidentBytes reports the table's actual memory footprint — the real
+// number the StreamBuilder budgets against, replacing the former
+// per-map-entry estimate.
+func (c *Counter) ResidentBytes() int64 {
+	return int64(len(c.keys)) * counterSlotBytes
+}
+
+// ApproxAccumulatorBytes is the resident footprint a Counter holding n
+// entries reaches: the next power-of-two capacity ≥ n/0.75 at
+// counterSlotBytes per slot. Benchmarks and budget math use it to relate
+// distinct-kmer counts to accumulator memory.
+func ApproxAccumulatorBytes(n int) int64 {
+	return int64(slotsFor(n)) * counterSlotBytes
+}
+
+// tileCounter is the paired-uint32-value variant of Counter backing
+// TileSet: per tile it tracks Oc (total occurrences) and Og (high-quality
+// occurrences). A slot is occupied iff Oc is non-zero — every insertion
+// increments Oc, so the invariant holds.
+type tileCounter struct {
+	keys []seq.Kmer
+	oc   []uint32
+	og   []uint32
+	n    int
+	grow int
+}
+
+func newTileCounter() *tileCounter {
+	tc := &tileCounter{}
+	tc.alloc(minCounterSlots)
+	return tc
+}
+
+func (tc *tileCounter) alloc(slots int) {
+	tc.keys = make([]seq.Kmer, slots)
+	tc.oc = make([]uint32, slots)
+	tc.og = make([]uint32, slots)
+	tc.grow = slots * 3 / 4
+	tc.n = 0
+}
+
+// Len returns the number of distinct tiles.
+func (tc *tileCounter) Len() int { return tc.n }
+
+// add records one occurrence of tile, high-quality when hq. Like
+// Counter.Inc, counts saturate at MaxUint32 — Oc wrapping to 0 would free
+// an occupied slot.
+func (tc *tileCounter) add(tile seq.Kmer, hq bool) {
+	mask := uint64(len(tc.keys) - 1)
+	i := mix(uint64(tile)) & mask
+	for {
+		if tc.oc[i] == 0 {
+			if tc.n >= tc.grow {
+				tc.rehash()
+				tc.add(tile, hq)
+				return
+			}
+			tc.keys[i] = tile
+			tc.oc[i] = 1
+			if hq {
+				tc.og[i] = 1
+			}
+			tc.n++
+			return
+		}
+		if tc.keys[i] == tile {
+			if tc.oc[i] != ^uint32(0) {
+				tc.oc[i]++
+			}
+			if hq && tc.og[i] != ^uint32(0) {
+				tc.og[i]++
+			}
+			return
+		}
+		i = (i + 1) & mask
+	}
+}
+
+// get returns the tile's counts (zero counts if unseen).
+func (tc *tileCounter) get(tile seq.Kmer) TileCount {
+	mask := uint64(len(tc.keys) - 1)
+	i := mix(uint64(tile)) & mask
+	for {
+		if tc.oc[i] == 0 {
+			return TileCount{}
+		}
+		if tc.keys[i] == tile {
+			return TileCount{Oc: tc.oc[i], Og: tc.og[i]}
+		}
+		i = (i + 1) & mask
+	}
+}
+
+func (tc *tileCounter) rehash() {
+	oldK, oldOc, oldOg := tc.keys, tc.oc, tc.og
+	tc.alloc(2 * len(oldK))
+	mask := uint64(len(tc.keys) - 1)
+	for j, v := range oldOc {
+		if v == 0 {
+			continue
+		}
+		i := mix(uint64(oldK[j])) & mask
+		for tc.oc[i] != 0 {
+			i = (i + 1) & mask
+		}
+		tc.keys[i] = oldK[j]
+		tc.oc[i] = v
+		tc.og[i] = oldOg[j]
+		tc.n++
+	}
+}
+
+// forEach visits every distinct tile in table (not sorted) order.
+func (tc *tileCounter) forEach(fn func(tile seq.Kmer, c TileCount)) {
+	for i, v := range tc.oc {
+		if v != 0 {
+			fn(tc.keys[i], TileCount{Oc: v, Og: tc.og[i]})
+		}
+	}
+}

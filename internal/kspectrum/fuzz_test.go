@@ -1,0 +1,52 @@
+package kspectrum
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// FuzzCounter replays an arbitrary Inc/Get sequence against the
+// open-addressing Counter and a map[uint64]uint32 oracle: every
+// intermediate Get, the final Len, and the sorted extraction must agree.
+// Each 9-byte record of the input is one operation (8-byte key, 1-byte
+// delta; delta 0 exercises the documented no-op).
+func FuzzCounter(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(make([]byte, 9))
+	f.Add([]byte("\x01\x00\x00\x00\x00\x00\x00\x00\x02" +
+		"\x01\x00\x00\x00\x00\x00\x00\x00\x03" +
+		"\xff\xff\xff\xff\xff\xff\xff\xff\x01"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c := NewCounter(0)
+		oracle := map[uint64]uint32{}
+		for len(data) >= 9 {
+			key := binary.LittleEndian.Uint64(data[:8])
+			delta := uint32(data[8])
+			data = data[9:]
+			c.Inc(seq.Kmer(key), delta)
+			if delta > 0 {
+				oracle[key] += delta
+			}
+			if got, want := c.Get(seq.Kmer(key)), oracle[key]; got != want {
+				t.Fatalf("Get(%#x) = %d, oracle %d", key, got, want)
+			}
+		}
+		if c.Len() != len(oracle) {
+			t.Fatalf("Len = %d, oracle %d", c.Len(), len(oracle))
+		}
+		kmers, counts := c.AppendSortedInto(nil, nil)
+		if len(kmers) != len(oracle) {
+			t.Fatalf("extracted %d entries, oracle %d", len(kmers), len(oracle))
+		}
+		for i, km := range kmers {
+			if i > 0 && kmers[i-1] >= km {
+				t.Fatalf("extraction not strictly sorted at %d", i)
+			}
+			if counts[i] != oracle[uint64(km)] {
+				t.Fatalf("count[%#x] = %d, oracle %d", uint64(km), counts[i], oracle[uint64(km)])
+			}
+		}
+	})
+}

@@ -1,0 +1,96 @@
+package kspectrum
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// TestPrefixIndexMatchesBinarySearch probes every spectrum kmer plus a
+// large random miss mix through the frozen prefix-bucket index and the
+// retained binary-search reference — they must agree exactly.
+func TestPrefixIndexMatchesBinarySearch(t *testing.T) {
+	reads := randomReads(t, 2000)
+	for _, k := range []int{4, 11, 13} {
+		spec, err := Build(reads, k, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if spec.pbuckets == nil {
+			t.Fatalf("k=%d: Build did not freeze the query index", k)
+		}
+		for i, km := range spec.Kmers {
+			if got := spec.Index(km); got != i {
+				t.Fatalf("k=%d: Index(%v) = %d want %d", k, km, got, i)
+			}
+		}
+		rng := rand.New(rand.NewSource(int64(k)))
+		mask := uint64(1)<<(2*uint(k)) - 1
+		for trial := 0; trial < 5000; trial++ {
+			km := seq.Kmer(rng.Uint64() & mask)
+			if got, want := spec.Index(km), spec.IndexBinarySearch(km); got != want {
+				t.Fatalf("k=%d: Index(%v) = %d, binary search %d", k, km, got, want)
+			}
+		}
+		// Count/Contains ride on Index.
+		km := spec.Kmers[len(spec.Kmers)/2]
+		if !spec.Contains(km) || spec.Count(km) != spec.Counts[len(spec.Kmers)/2] {
+			t.Fatalf("k=%d: Contains/Count disagree with Counts", k)
+		}
+	}
+}
+
+// TestIndexFallbackWithoutFreeze pins the compatibility contract: a
+// hand-assembled Spectrum (no Build, no frozen index) still answers
+// queries through the binary-search fallback.
+func TestIndexFallbackWithoutFreeze(t *testing.T) {
+	spec := &Spectrum{
+		K:      4,
+		Kmers:  []seq.Kmer{seq.MustPack("AACG"), seq.MustPack("CGTA"), seq.MustPack("TTTT")},
+		Counts: []uint32{1, 2, 3},
+	}
+	if spec.Index(seq.MustPack("CGTA")) != 1 {
+		t.Fatal("fallback lookup failed")
+	}
+	if spec.Index(seq.MustPack("GGGG")) != -1 {
+		t.Fatal("fallback miss failed")
+	}
+	if spec.Count(seq.MustPack("TTTT")) != 3 {
+		t.Fatal("fallback Count failed")
+	}
+}
+
+// TestFreezeIndexEdgeCases covers tiny spectra and small k, where pbits
+// clamps to 2k and buckets are near-singletons.
+func TestFreezeIndexEdgeCases(t *testing.T) {
+	// Empty spectrum: freeze is a no-op, queries miss.
+	empty := &Spectrum{K: 5}
+	empty.freezeIndex()
+	if empty.Index(seq.MustPack("AAAAA")) != -1 {
+		t.Fatal("empty spectrum returned a hit")
+	}
+	// k=2: only 16 kmers exist; every one must resolve.
+	spec, err := Build(mkReads("ACGTACGTTGCA"), 2, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, km := range spec.Kmers {
+		if spec.Index(km) != i {
+			t.Fatalf("k=2: Index(%v) != %d", km, i)
+		}
+	}
+	for km := seq.Kmer(0); km < 16; km++ {
+		if got, want := spec.Index(km), spec.IndexBinarySearch(km); got != want {
+			t.Fatalf("k=2: Index(%v) = %d want %d", km, got, want)
+		}
+	}
+	// Single-kmer spectrum.
+	one, err := Build(mkReads("ACGT"), 4, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Index(seq.MustPack("ACGT")) != 0 || one.Index(seq.MustPack("TTTT")) != -1 {
+		t.Fatal("single-kmer spectrum lookup wrong")
+	}
+}

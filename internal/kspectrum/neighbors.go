@@ -2,6 +2,7 @@ package kspectrum
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/seq"
@@ -62,7 +63,9 @@ func (ni *NeighborIndex) Replicas() int { return len(ni.replicas) }
 
 // Neighbors appends to dst the spectrum indices of all kmers within Hamming
 // distance ni.D of km (including km itself when present) and returns the
-// extended slice. Results are deduplicated and unordered.
+// extended slice. Results are deduplicated and unordered. Passing a reused
+// dst makes the call allocation-free — the correction inner loop depends
+// on that.
 func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 	k := ni.spec.K
 	start := len(dst)
@@ -78,9 +81,10 @@ func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 			}
 		}
 	}
-	// Deduplicate across replicas.
+	// Deduplicate across replicas. slices.Sort, unlike sort.Slice, keeps
+	// the slice header off the heap.
 	found := dst[start:]
-	sort.Slice(found, func(a, b int) bool { return found[a] < found[b] })
+	slices.Sort(found)
 	out := dst[:start]
 	for i, v := range found {
 		if i == 0 || v != found[i-1] {

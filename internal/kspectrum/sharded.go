@@ -2,7 +2,6 @@ package kspectrum
 
 import (
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/seq"
@@ -57,10 +56,11 @@ const chunkSize = 512
 
 // countShard is one stripe of the accumulator: a contiguous high-bit range
 // of kmer space with its own lock, so concurrent writers only contend when
-// flushing into the same range.
+// flushing into the same range. Counting goes through the open-addressing
+// Counter rather than a Go map — see counter.go.
 type countShard struct {
 	mu     sync.Mutex
-	counts map[seq.Kmer]uint32
+	counts *Counter
 }
 
 // SpectrumBuilder accumulates the k-spectrum incrementally, supporting the
@@ -102,7 +102,7 @@ func NewSpectrumBuilder(k int, bothStrands bool, opts ...BuildOptions) (*Spectru
 		shards:      make([]countShard, 1<<shardBits),
 	}
 	for i := range sb.shards {
-		sb.shards[i].counts = make(map[seq.Kmer]uint32)
+		sb.shards[i].counts = NewCounter(0)
 	}
 	return sb, nil
 }
@@ -146,7 +146,7 @@ func (sb *SpectrumBuilder) countChunk(reads []seq.Read, buf [][]seq.Kmer) {
 		buf[s] = buf[s][:0]
 	}
 	for _, r := range reads {
-		forEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
+		ForEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
 			s := km >> sb.shardShift
 			buf[s] = append(buf[s], km)
 			if sb.bothStrands {
@@ -163,7 +163,7 @@ func (sb *SpectrumBuilder) countChunk(reads []seq.Read, buf [][]seq.Kmer) {
 		shard := &sb.shards[s]
 		shard.mu.Lock()
 		for _, km := range buf[s] {
-			shard.counts[km]++
+			shard.counts.Inc(km, 1)
 		}
 		if sb.onFlush != nil {
 			sb.onFlush(s, shard)
@@ -191,20 +191,13 @@ func (sb *SpectrumBuilder) Build() *Spectrum {
 			for s := range work {
 				shard := &sb.shards[s]
 				shard.mu.Lock()
-				m := shard.counts
-				if len(m) == 0 {
+				if shard.counts.Len() == 0 {
 					shard.mu.Unlock()
 					continue
 				}
-				kmers := make([]seq.Kmer, 0, len(m))
-				for km := range m {
-					kmers = append(kmers, km)
-				}
-				sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
-				counts := make([]uint32, len(kmers))
-				for i, km := range kmers {
-					counts[i] = m[km]
-				}
+				kmers := make([]seq.Kmer, 0, shard.counts.Len())
+				counts := make([]uint32, 0, shard.counts.Len())
+				kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
 				shard.mu.Unlock()
 				runs[s] = shardRun{kmers: kmers, counts: counts}
 			}
@@ -229,5 +222,6 @@ func (sb *SpectrumBuilder) Build() *Spectrum {
 		s.Kmers = append(s.Kmers, r.kmers...)
 		s.Counts = append(s.Counts, r.counts...)
 	}
+	s.freezeIndex()
 	return s
 }

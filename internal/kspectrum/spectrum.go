@@ -15,10 +15,23 @@ import (
 // Spectrum is the sorted k-spectrum R^k of a read collection with
 // per-kmer occurrence counts. Both strands of every read contribute
 // (§2.3, "Phase 1"), so the spectrum is reverse-complement closed.
+//
+// Kmers and Counts stay public, sorted and unindexed in layout — the
+// NeighborIndex, the stream merge and serialization consume them exactly
+// as before — but Build additionally freezes a prefix-bucket query index
+// (see freezeIndex) so Index/Contains/Count run in O(1) expected time
+// instead of a binary search.
 type Spectrum struct {
 	K      int
 	Kmers  []seq.Kmer // sorted ascending, unique
 	Counts []uint32   // parallel to Kmers
+
+	// pshift/pbuckets are the frozen query index: bucket b spans
+	// Kmers[pbuckets[b]:pbuckets[b+1]], where a kmer's bucket is its top
+	// pbits bits (km >> pshift). nil pbuckets — a hand-assembled Spectrum
+	// that never went through Build — falls back to binary search.
+	pshift   uint
+	pbuckets []int32
 }
 
 func errInvalidK(k int) error { return fmt.Errorf("kspectrum: invalid k=%d", k) }
@@ -41,9 +54,9 @@ func BuildParallel(reads []seq.Read, k int, bothStrands bool, opts BuildOptions)
 	return sb.Build(), nil
 }
 
-// forEachKmer calls fn for every clean (ACGT-only) k-window of bases,
+// ForEachKmer calls fn for every clean (ACGT-only) k-window of bases,
 // re-packing incrementally.
-func forEachKmer(bases []byte, k int, fn func(km seq.Kmer, pos int)) {
+func ForEachKmer(bases []byte, k int, fn func(km seq.Kmer, pos int)) {
 	if len(bases) < k {
 		return
 	}
@@ -66,8 +79,59 @@ func forEachKmer(bases []byte, k int, fn func(km seq.Kmer, pos int)) {
 // Size returns the number of distinct kmers.
 func (s *Spectrum) Size() int { return len(s.Kmers) }
 
-// Index returns the position of km in the sorted spectrum, or -1.
+// freezeIndex builds the prefix-bucket offset table over the sorted Kmers
+// slice. pbits is chosen so the average bucket holds ~2 kmers (capped by
+// 2k and a 4M-bucket table bound), which makes the in-bucket scan O(1)
+// expected under the near-uniform high-bit distribution of a spectrum.
+// Because the slice is sorted, each bucket is one contiguous range and the
+// table is a single counting pass.
+func (s *Spectrum) freezeIndex() {
+	n := len(s.Kmers)
+	if n == 0 {
+		return
+	}
+	pbits := 1
+	for 1<<pbits < n/2 && pbits < 2*s.K && pbits < 22 {
+		pbits++
+	}
+	s.pshift = uint(2*s.K - pbits)
+	s.pbuckets = make([]int32, (1<<pbits)+1)
+	cur := 0
+	for i, km := range s.Kmers {
+		b := int(uint64(km) >> s.pshift)
+		for cur <= b {
+			s.pbuckets[cur] = int32(i)
+			cur++
+		}
+	}
+	for ; cur < len(s.pbuckets); cur++ {
+		s.pbuckets[cur] = int32(n)
+	}
+}
+
+// Index returns the position of km in the sorted spectrum, or -1. After
+// Build it is an O(1) prefix-bucket lookup plus a short in-bucket scan;
+// hand-assembled spectra fall back to IndexBinarySearch.
 func (s *Spectrum) Index(km seq.Kmer) int {
+	if s.pbuckets == nil {
+		return s.IndexBinarySearch(km)
+	}
+	b := uint64(km) >> s.pshift
+	for i, hi := int(s.pbuckets[b]), int(s.pbuckets[b+1]); i < hi; i++ {
+		if s.Kmers[i] >= km {
+			if s.Kmers[i] == km {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// IndexBinarySearch is the log₂(n) reference lookup the prefix-bucket
+// index replaced; it is retained (no build tags) as the comparison
+// baseline for BenchmarkSpectrumQuery and the correctness oracle in tests.
+func (s *Spectrum) IndexBinarySearch(km seq.Kmer) int {
 	i := sort.Search(len(s.Kmers), func(i int) bool { return s.Kmers[i] >= km })
 	if i < len(s.Kmers) && s.Kmers[i] == km {
 		return i

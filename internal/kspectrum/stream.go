@@ -8,7 +8,6 @@ import (
 	"io"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -20,22 +19,16 @@ import (
 type StreamOptions struct {
 	// Build configures the underlying sharded parallel engine.
 	Build BuildOptions
-	// MemoryBudget caps (approximately) the resident bytes of the counting
-	// accumulators across all shards; <= 0 means unlimited — nothing is
-	// ever spilled. The cap is an estimate: map entries are costed at
-	// approxEntryBytes each, which includes bucket overhead and growth
-	// headroom.
+	// MemoryBudget caps the resident bytes of the counting accumulators
+	// across all shards; <= 0 means unlimited — nothing is ever spilled.
+	// Each shard gets an equal slice of the budget and compares it against
+	// its Counter's actual table footprint (Counter.ResidentBytes), so the
+	// cap tracks real memory rather than a per-entry estimate.
 	MemoryBudget int64
 	// TempDir is where spilled run files live; "" uses os.TempDir(). A
 	// fresh subdirectory is created per builder and removed by Build/Close.
 	TempDir string
 }
-
-// approxEntryBytes is the budgeted resident cost of one map[Kmer]uint32
-// accumulator entry: 12 payload bytes plus bucket headers, load-factor slack
-// and growth headroom (maps momentarily hold old + new bucket arrays while
-// rehashing).
-const approxEntryBytes = 48
 
 // minSpillEntries floors the per-shard spill threshold so pathological
 // budgets degrade into many small runs rather than a run per flush.
@@ -64,10 +57,10 @@ type StreamStats struct {
 // runs and closes the builder.
 type StreamBuilder struct {
 	sb *SpectrumBuilder
-	// spillAt is the per-shard entry count beyond which a flush spills
-	// (0 = never).
-	spillAt int
-	dir     string
+	// spillBytes is the per-shard resident footprint beyond which a flush
+	// spills (0 = never); compared against Counter.ResidentBytes.
+	spillBytes int64
+	dir        string
 	// runs[s] lists shard s's spilled run files, in spill order; guarded
 	// by shard s's stripe lock (only flushers of s append).
 	runs [][]string
@@ -92,9 +85,11 @@ func NewStreamBuilder(k int, bothStrands bool, opts StreamOptions) (*StreamBuild
 	}
 	st := &StreamBuilder{sb: sb}
 	if opts.MemoryBudget > 0 {
-		maxEntries := opts.MemoryBudget / approxEntryBytes
-		perShard := int(maxEntries) / len(sb.shards)
-		st.spillAt = max(perShard, minSpillEntries)
+		// Floor each shard's slice at the footprint of a table holding
+		// minSpillEntries, so pathological budgets degrade into many small
+		// runs rather than a run per flush.
+		st.spillBytes = max(opts.MemoryBudget/int64(len(sb.shards)),
+			ApproxAccumulatorBytes(minSpillEntries))
 		st.dir, err = os.MkdirTemp(opts.TempDir, "kspectrum-spill-*")
 		if err != nil {
 			return nil, fmt.Errorf("kspectrum: spill dir: %w", err)
@@ -124,7 +119,7 @@ func (st *StreamBuilder) Stats() StreamStats {
 // Build; after a failure the engine stops spilling (counting stays correct,
 // memory is no longer bounded).
 func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
-	if len(shard.counts) < st.spillAt {
+	if shard.counts.ResidentBytes() < st.spillBytes || shard.counts.Len() == 0 {
 		return
 	}
 	st.errMu.Lock()
@@ -133,13 +128,11 @@ func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
 	if failed {
 		return
 	}
-	kmers := make([]seq.Kmer, 0, len(shard.counts))
-	for km := range shard.counts {
-		kmers = append(kmers, km)
-	}
-	sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
+	kmers := make([]seq.Kmer, 0, shard.counts.Len())
+	counts := make([]uint32, 0, shard.counts.Len())
+	kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
 	path := filepath.Join(st.dir, fmt.Sprintf("run%06d.bin", st.runSeq.Add(1)))
-	n, err := writeRun(path, kmers, shard.counts)
+	n, err := writeRun(path, kmers, counts)
 	if err != nil {
 		st.errMu.Lock()
 		if st.err == nil {
@@ -152,7 +145,7 @@ func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
 	st.stats.runs.Add(1)
 	st.stats.entries.Add(int64(len(kmers)))
 	st.stats.bytes.Add(n)
-	shard.counts = make(map[seq.Kmer]uint32)
+	shard.counts = NewCounter(0)
 }
 
 // runEntryBytes is the fixed on-disk size of one (kmer, count) record.
@@ -160,16 +153,16 @@ const runEntryBytes = 12
 
 // writeRun writes the sorted entries as fixed-width little-endian
 // (kmer uint64, count uint32) records and returns the byte size.
-func writeRun(path string, kmers []seq.Kmer, counts map[seq.Kmer]uint32) (int64, error) {
+func writeRun(path string, kmers []seq.Kmer, counts []uint32) (int64, error) {
 	f, err := os.Create(path)
 	if err != nil {
 		return 0, fmt.Errorf("kspectrum: spill: %w", err)
 	}
 	bw := bufio.NewWriterSize(f, 1<<16)
 	var rec [runEntryBytes]byte
-	for _, km := range kmers {
+	for i, km := range kmers {
 		binary.LittleEndian.PutUint64(rec[:8], uint64(km))
-		binary.LittleEndian.PutUint32(rec[8:], counts[km])
+		binary.LittleEndian.PutUint32(rec[8:], counts[i])
 		if _, err := bw.Write(rec[:]); err != nil {
 			f.Close()
 			return 0, fmt.Errorf("kspectrum: spill: %w", err)
@@ -248,6 +241,7 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 		spec.Kmers = append(spec.Kmers, r.kmers...)
 		spec.Counts = append(spec.Counts, r.counts...)
 	}
+	spec.freezeIndex()
 	return spec, nil
 }
 
@@ -273,16 +267,9 @@ func (st *StreamBuilder) cleanup() error {
 func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 	shard := &st.sb.shards[s]
 	shard.mu.Lock()
-	m := shard.counts
-	kmers := make([]seq.Kmer, 0, len(m))
-	for km := range m {
-		kmers = append(kmers, km)
-	}
-	sort.Slice(kmers, func(i, j int) bool { return kmers[i] < kmers[j] })
-	counts := make([]uint32, len(kmers))
-	for i, km := range kmers {
-		counts[i] = m[km]
-	}
+	kmers := make([]seq.Kmer, 0, shard.counts.Len())
+	counts := make([]uint32, 0, shard.counts.Len())
+	kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
 	var runs []string
 	if st.runs != nil {
 		runs = st.runs[s]

@@ -23,7 +23,7 @@ type TileSet struct {
 	Overlap int // l, the kmer overlap inside a tile
 	TileLen int // 2k - l
 	Qc      byte
-	m       map[seq.Kmer]TileCount
+	m       *tileCounter
 }
 
 // CountTiles scans all reads (both strands) and records tile multiplicities.
@@ -38,7 +38,7 @@ func CountTiles(reads []seq.Read, k, overlap int, qc byte) (*TileSet, error) {
 	if tileLen > seq.MaxK {
 		return nil, fmt.Errorf("kspectrum: tile length %d exceeds %d packed bases", tileLen, seq.MaxK)
 	}
-	ts := &TileSet{K: k, Overlap: overlap, TileLen: tileLen, Qc: qc, m: make(map[seq.Kmer]TileCount)}
+	ts := &TileSet{K: k, Overlap: overlap, TileLen: tileLen, Qc: qc, m: newTileCounter()}
 	ts.Add(reads)
 	return ts, nil
 }
@@ -61,13 +61,8 @@ func (ts *TileSet) Add(reads []seq.Read) {
 }
 
 func (ts *TileSet) addStrand(bases, qual []byte, rc bool) {
-	forEachKmer(bases, ts.TileLen, func(tile seq.Kmer, pos int) {
-		tc := ts.m[tile]
-		tc.Oc++
-		if ts.highQuality(qual, pos) {
-			tc.Og++
-		}
-		ts.m[tile] = tc
+	ForEachKmer(bases, ts.TileLen, func(tile seq.Kmer, pos int) {
+		ts.m.add(tile, ts.highQuality(qual, pos))
 	})
 }
 
@@ -84,10 +79,10 @@ func (ts *TileSet) highQuality(qual []byte, pos int) bool {
 }
 
 // Get returns the counts for a packed tile (zero counts if unseen).
-func (ts *TileSet) Get(tile seq.Kmer) TileCount { return ts.m[tile] }
+func (ts *TileSet) Get(tile seq.Kmer) TileCount { return ts.m.get(tile) }
 
 // Size returns the number of distinct tiles.
-func (ts *TileSet) Size() int { return len(ts.m) }
+func (ts *TileSet) Size() int { return ts.m.Len() }
 
 // PackTile concatenates two kmers with the configured overlap into a packed
 // tile. The caller guarantees the overlapping regions agree (Definition 2.1);
@@ -112,13 +107,13 @@ func (ts *TileSet) SplitTile(tile seq.Kmer) (a, b seq.Kmer) {
 // maxBin into the last bin.
 func (ts *TileSet) OgHistogram(maxBin int) []int {
 	h := make([]int, maxBin+1)
-	for _, tc := range ts.m {
+	ts.m.forEach(func(_ seq.Kmer, tc TileCount) {
 		idx := int(tc.Og)
 		if idx > maxBin {
 			idx = maxBin
 		}
 		h[idx]++
-	}
+	})
 	return h
 }
 
@@ -126,13 +121,13 @@ func (ts *TileSet) OgHistogram(maxBin int) []int {
 // distinct tiles have Og <= x — the empirical-histogram parameter selection
 // Reptile uses for Cg and Cm (§2.3 "Choosing Parameters").
 func (ts *TileSet) OgQuantile(fraction float64) uint32 {
-	if len(ts.m) == 0 {
+	if ts.m.Len() == 0 {
 		return 0
 	}
-	counts := make([]uint32, 0, len(ts.m))
-	for _, tc := range ts.m {
+	counts := make([]uint32, 0, ts.m.Len())
+	ts.m.forEach(func(_ seq.Kmer, tc TileCount) {
 		counts = append(counts, tc.Og)
-	}
+	})
 	sort.Slice(counts, func(i, j int) bool { return counts[i] < counts[j] })
 	idx := int(fraction * float64(len(counts)))
 	if idx >= len(counts) {

@@ -288,8 +288,11 @@ func (m *Model) CorrectReads(reads []seq.Read, liberalThreshold float64, workers
 	}
 	out := make([]seq.Read, len(reads))
 	run := func(lo, hi int) {
+		// One scratch per worker: the kmer-index buffer is reused across
+		// the whole read range, so per read only the output copy allocates.
+		var s correctScratch
 		for i := lo; i < hi; i++ {
-			out[i] = m.correctRead(reads[i], liberalThreshold)
+			out[i] = m.correctRead(reads[i], liberalThreshold, &s)
 		}
 	}
 	if workers == 1 || len(reads) < 2*workers {
@@ -313,7 +316,14 @@ func (m *Model) CorrectReads(reads []seq.Read, liberalThreshold float64, workers
 	return out
 }
 
-func (m *Model) correctRead(r seq.Read, liberal float64) seq.Read {
+// correctScratch holds the per-goroutine buffers of redeem's correction
+// loop — the per-position spectrum-index cache — so steady-state
+// correction allocates only the returned read copy.
+type correctScratch struct {
+	kmerIdx []int32
+}
+
+func (m *Model) correctRead(r seq.Read, liberal float64, s *correctScratch) seq.Read {
 	out := r.Clone()
 	k := m.Cfg.K
 	if len(out.Seq) < k {
@@ -321,12 +331,16 @@ func (m *Model) correctRead(r seq.Read, liberal float64) seq.Read {
 	}
 	// Screen: skip reads whose kmers all look clean (§3.3 last paragraph).
 	suspicious := false
-	kmerIdx := make([]int, len(out.Seq)-k+1)
+	n := len(out.Seq) - k + 1
+	if cap(s.kmerIdx) < n {
+		s.kmerIdx = make([]int32, n)
+	}
+	kmerIdx := s.kmerIdx[:n]
 	for p := range kmerIdx {
 		kmerIdx[p] = -1
 		if km, ok := seq.Pack(out.Seq[p:], k); ok {
 			if idx := m.Spec.Index(km); idx >= 0 {
-				kmerIdx[p] = idx
+				kmerIdx[p] = int32(idx)
 				if m.T[idx] < liberal {
 					suspicious = true
 				}
@@ -350,7 +364,7 @@ func (m *Model) correctRead(r seq.Read, liberal float64) seq.Read {
 				continue
 			}
 			t := i - p
-			pi, ok := m.basePosterior(idx, t, liberal)
+			pi, ok := m.basePosterior(int(idx), t, liberal)
 			if !ok {
 				continue
 			}

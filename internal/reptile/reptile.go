@@ -242,24 +242,31 @@ func deriveThresholds(tiles *kspectrum.TileSet) (cg, cm uint32) {
 	return cg, cm
 }
 
-// prepareRead converts correctable ambiguous bases to the default base
-// (validated or corrected later by the algorithm) and leaves dense clusters
-// of Ns untouched (§2.4).
+// prepareRead clones the read and converts its correctable ambiguous
+// bases; correction operates on the copy.
 func prepareRead(r seq.Read, p Params) seq.Read {
 	out := r.Clone()
+	convertAmbiguous(out.Seq, out.Qual, p)
+	return out
+}
+
+// convertAmbiguous converts correctable ambiguous bases to the default base
+// in place (validated or corrected later by the algorithm) and leaves dense
+// clusters of Ns untouched (§2.4).
+func convertAmbiguous(bases, qual []byte, p Params) {
 	w := p.K
-	for i, ch := range out.Seq {
+	for i, ch := range bases {
 		if !seq.IsAmbiguous(ch) {
 			continue
 		}
 		// Check every w-window containing position i.
 		convertible := true
 		lo := max(0, i-w+1)
-		hi := min(i, len(out.Seq)-w)
+		hi := min(i, len(bases)-w)
 		for start := lo; start <= hi; start++ {
 			n := 0
 			for j := start; j < start+w; j++ {
-				if seq.IsAmbiguous(out.Seq[j]) {
+				if seq.IsAmbiguous(bases[j]) {
 					n++
 				}
 			}
@@ -269,13 +276,12 @@ func prepareRead(r seq.Read, p Params) seq.Read {
 			}
 		}
 		if convertible {
-			out.Seq[i] = p.DefaultBase
-			if out.Qual != nil {
-				out.Qual[i] = 0 // force the base to be correctable
+			bases[i] = p.DefaultBase
+			if qual != nil {
+				qual[i] = 0 // force the base to be correctable
 			}
 		}
 	}
-	return out
 }
 
 // decision is the outcome of Algorithm 1 on one tile.
@@ -294,11 +300,29 @@ type mutantTile struct {
 	hd   int
 }
 
+// scratch holds the per-goroutine buffers of the correction inner loop.
+// Every slice is reused across tiles and reads, so steady-state correction
+// performs no allocations: mutant candidates, the two kmer neighborhoods,
+// the unpacked replacement tile, and the reverse-complement pass buffers
+// all live here. CorrectAll and CorrectStream hand each worker its own
+// scratch; CorrectRead draws one from a pool.
+type scratch struct {
+	mutants []mutantTile
+	sel     []mutantTile // dominating/strong candidates of the current tile
+	best    []mutantTile // minimum-Hamming subset of sel
+	na, nb  []int32      // d-neighborhoods of the two constituent kmers
+	tile    []byte       // unpacked replacement tile
+	rcSeq   []byte       // reverse-complement pass: bases
+	rcQual  []byte       // reverse-complement pass: qualities
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
+
 // correctTile is Algorithm 1. bases/qual give the tile's current content and
 // per-base qualities at read offset pos; d1 and d2 bound the search distance
 // of the two constituent kmers. On decCorrected, the replacement is written
 // into bases.
-func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int) decision {
+func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int, s *scratch) decision {
 	p := c.P
 	step := p.K - p.Overlap
 	a, okA := seq.Pack(bases[pos:], p.K)
@@ -311,7 +335,7 @@ func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int) decisio
 	if og >= p.Cg {
 		return decValid // line 1-2: overwhelming support
 	}
-	mutants := c.mutantTiles(a, b, d1, d2)
+	mutants := c.mutantTiles(a, b, d1, d2, s)
 	if len(mutants) == 0 {
 		if og >= p.Cm {
 			return decValid // line 4-6
@@ -320,45 +344,49 @@ func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int) decisio
 	}
 	if og >= p.Cm {
 		// Line 11: keep only strongly dominating mutants.
-		var sel []mutantTile
+		sel := s.sel[:0]
 		for _, m := range mutants {
 			if float64(m.og) >= p.Cr*float64(og) {
 				sel = append(sel, m)
 			}
 		}
+		s.sel = sel
 		if len(sel) == 0 {
 			return decValid // line 12
 		}
-		best := c.closest(sel)
+		best := closestInto(sel, s)
 		if len(best) != 1 {
 			return decInsufficient // line 15: ambiguous
 		}
-		if !c.applyIfLowQuality(bases, qual, pos, best[0]) {
+		if !c.applyIfLowQuality(bases, qual, pos, best[0], s) {
 			return decInsufficient
 		}
 		return decCorrected // line 14
 	}
 	// Lines 17-21: very low multiplicity tile.
-	var strong []mutantTile
+	strong := s.sel[:0]
 	for _, m := range mutants {
 		if m.og >= p.Cm {
 			strong = append(strong, m)
 		}
 	}
+	s.sel = strong
 	if len(strong) == 1 {
-		c.apply(bases, pos, strong[0])
+		c.apply(bases, pos, strong[0], s)
 		return decCorrected
 	}
 	return decInsufficient
 }
 
 // mutantTiles enumerates the observed d-mutant tiles of (a,b), excluding the
-// tile itself (Definition 2.2 with the overlap-consistency constraint).
-func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int) []mutantTile {
+// tile itself (Definition 2.2 with the overlap-consistency constraint),
+// into the scratch mutant buffer.
+func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int, s *scratch) []mutantTile {
 	p := c.P
-	na := c.neighborhood(a, d1)
-	nb := c.neighborhood(b, d2)
-	var out []mutantTile
+	s.na = c.neighborhood(a, d1, s.na[:0])
+	s.nb = c.neighborhood(b, d2, s.nb[:0])
+	na, nb := s.na, s.nb
+	out := s.mutants[:0]
 	for _, ai := range na {
 		for _, bi := range nb {
 			ka, kb := c.Spec.Kmers[ai], c.Spec.Kmers[bi]
@@ -376,17 +404,19 @@ func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int) []mutantTile {
 			out = append(out, mutantTile{a: ka, b: kb, og: tc.Og, hd: hd})
 		}
 	}
+	s.mutants = out
 	return out
 }
 
-func (c *Corrector) neighborhood(km seq.Kmer, d int) []int32 {
+// neighborhood appends the spectrum indices within distance d of km to dst.
+func (c *Corrector) neighborhood(km seq.Kmer, d int, dst []int32) []int32 {
 	if d == 0 {
 		if i := c.Spec.Index(km); i >= 0 {
-			return []int32{int32(i)}
+			return append(dst, int32(i))
 		}
-		return nil
+		return dst
 	}
-	return c.NI.Neighbors(km, nil)
+	return c.NI.Neighbors(km, dst)
 }
 
 // overlapConsistent checks that the last l bases of ka equal the first l of kb.
@@ -396,29 +426,31 @@ func overlapConsistent(ka, kb seq.Kmer, k, l int) bool {
 	return suffix == prefix
 }
 
-// closest returns the mutants achieving the minimum Hamming distance.
-func (c *Corrector) closest(ms []mutantTile) []mutantTile {
+// closestInto collects the mutants achieving the minimum Hamming distance
+// into the scratch best buffer.
+func closestInto(ms []mutantTile, s *scratch) []mutantTile {
 	best := ms[0].hd
 	for _, m := range ms[1:] {
 		if m.hd < best {
 			best = m.hd
 		}
 	}
-	var out []mutantTile
+	out := s.best[:0]
 	for _, m := range ms {
 		if m.hd == best {
 			out = append(out, m)
 		}
 	}
+	s.best = out
 	return out
 }
 
 // applyIfLowQuality writes the replacement only if at least one changed base
 // has quality below Qm (Algorithm 1 line 14 condition 2); reads without
 // quality information are always correctable.
-func (c *Corrector) applyIfLowQuality(bases, qual []byte, pos int, m mutantTile) bool {
+func (c *Corrector) applyIfLowQuality(bases, qual []byte, pos int, m mutantTile, s *scratch) bool {
 	p := c.P
-	repl := c.tileBytes(m)
+	repl := c.tileBytes(m, s)
 	if qual != nil {
 		touchedLow := false
 		for i := range repl {
@@ -435,40 +467,72 @@ func (c *Corrector) applyIfLowQuality(bases, qual []byte, pos int, m mutantTile)
 	return true
 }
 
-func (c *Corrector) apply(bases []byte, pos int, m mutantTile) {
-	copy(bases[pos:], c.tileBytes(m))
+func (c *Corrector) apply(bases []byte, pos int, m mutantTile, s *scratch) {
+	copy(bases[pos:], c.tileBytes(m, s))
 }
 
-func (c *Corrector) tileBytes(m mutantTile) []byte {
-	return c.Tiles.PackTile(m.a, m.b).Unpack(c.Tiles.TileLen)
+// tileBytes unpacks the replacement tile into the scratch tile buffer.
+func (c *Corrector) tileBytes(m mutantTile, s *scratch) []byte {
+	s.tile = c.Tiles.PackTile(m.a, m.b).UnpackInto(s.tile, c.Tiles.TileLen)
+	return s.tile
 }
 
 // CorrectRead is Algorithm 2: it walks a tiling across the read in the
 // 5'→3' direction, then repeats on the reverse complement to cover the
-// 3'→5' direction, and returns the corrected read.
+// 3'→5' direction, and returns the corrected read. Beyond the corrected
+// copy itself it allocates nothing: the inner loop runs entirely on pooled
+// scratch buffers (see CorrectInPlace for the fully allocation-free form).
 func (c *Corrector) CorrectRead(r seq.Read) seq.Read {
-	out := prepareRead(r, c.P)
-	if len(out.Seq) < c.Tiles.TileLen {
-		return out
-	}
-	c.correctPass(out.Seq, out.Qual)
-	// 3'→5' pass on the reverse complement; the spectrum and tile counts
-	// are reverse-complement closed, so the same structures serve.
-	rcSeq := seq.ReverseComplement(out.Seq)
-	var rcQual []byte
-	if out.Qual != nil {
-		rcQual = make([]byte, len(out.Qual))
-		for i, q := range out.Qual {
-			rcQual[len(out.Qual)-1-i] = q
-		}
-	}
-	c.correctPass(rcSeq, rcQual)
-	out.Seq = seq.ReverseComplement(rcSeq)
+	s := scratchPool.Get().(*scratch)
+	out := c.correctRead(r, s)
+	scratchPool.Put(s)
 	return out
 }
 
+func (c *Corrector) correctRead(r seq.Read, s *scratch) seq.Read {
+	out := prepareRead(r, c.P)
+	c.correctInPlace(out.Seq, out.Qual, s)
+	return out
+}
+
+// CorrectInPlace corrects a read's bases in place (mutating bases and,
+// for converted ambiguous positions, qual) — the zero-allocation form of
+// CorrectRead for callers that own their buffers. qual may be nil.
+func (c *Corrector) CorrectInPlace(bases, qual []byte) {
+	s := scratchPool.Get().(*scratch)
+	convertAmbiguous(bases, qual, c.P)
+	c.correctInPlace(bases, qual, s)
+	scratchPool.Put(s)
+}
+
+// correctInPlace runs both tiling passes over prepared bases using the
+// scratch buffers: the 5'→3' walk directly, then the 3'→5' walk on a
+// reverse complement staged in s.rcSeq/s.rcQual and folded back.
+func (c *Corrector) correctInPlace(bases, qual []byte, s *scratch) {
+	if len(bases) < c.Tiles.TileLen {
+		return
+	}
+	c.correctPass(bases, qual, s)
+	// 3'→5' pass on the reverse complement; the spectrum and tile counts
+	// are reverse-complement closed, so the same structures serve.
+	s.rcSeq = seq.ReverseComplementInto(s.rcSeq, bases)
+	var rcQual []byte
+	if qual != nil {
+		if cap(s.rcQual) < len(qual) {
+			s.rcQual = make([]byte, len(qual))
+		}
+		s.rcQual = s.rcQual[:len(qual)]
+		for i, q := range qual {
+			s.rcQual[len(qual)-1-i] = q
+		}
+		rcQual = s.rcQual
+	}
+	c.correctPass(s.rcSeq, rcQual, s)
+	seq.ReverseComplementInto(bases, s.rcSeq)
+}
+
 // correctPass runs the tiling walk in place over one orientation.
-func (c *Corrector) correctPass(bases, qual []byte) {
+func (c *Corrector) correctPass(bases, qual []byte, s *scratch) {
 	p := c.P
 	tileLen := c.Tiles.TileLen
 	step := p.K - p.Overlap
@@ -476,7 +540,7 @@ func (c *Corrector) correctPass(bases, qual []byte) {
 	d1 := p.D
 	retried := false
 	for pos+tileLen <= len(bases) {
-		dec := c.correctTile(bases, qual, pos, d1, p.D)
+		dec := c.correctTile(bases, qual, pos, d1, p.D, s)
 		switch dec {
 		case decValid, decCorrected:
 			retried = false
@@ -514,15 +578,17 @@ func (c *Corrector) correctPass(bases, qual []byte) {
 }
 
 // CorrectAll corrects every read using `workers` goroutines (1 = serial).
-// The input reads are not modified.
+// The input reads are not modified. Each worker owns one scratch for its
+// whole read range, so the per-read cost is the output copy alone.
 func (c *Corrector) CorrectAll(reads []seq.Read, workers int) []seq.Read {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	out := make([]seq.Read, len(reads))
 	if workers == 1 {
+		var s scratch
 		for i, r := range reads {
-			out[i] = c.CorrectRead(r)
+			out[i] = c.correctRead(r, &s)
 		}
 		return out
 	}
@@ -537,8 +603,9 @@ func (c *Corrector) CorrectAll(reads []seq.Read, workers int) []seq.Read {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			var s scratch
 			for i := lo; i < hi; i++ {
-				out[i] = c.CorrectRead(reads[i])
+				out[i] = c.correctRead(reads[i], &s)
 			}
 		}(lo, hi)
 	}

@@ -1,0 +1,95 @@
+package seq
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzPackUnpack checks the Pack/UnpackInto round trip on arbitrary
+// input: Pack must accept exactly the ACGT-only windows (case
+// insensitive), UnpackInto must reproduce the packed window upper-cased,
+// and re-packing the decoded bytes must return the original kmer. It also
+// pins UnpackInto's buffer-reuse contract against the allocating Unpack.
+func FuzzPackUnpack(f *testing.F) {
+	f.Add([]byte("ACGTACGTACGT"), 5)
+	f.Add([]byte("acgtn"), 4)
+	f.Add([]byte("TTTTTTTTTTTTTTTTTTTTTTTTTTTTTTTT"), 32)
+	f.Add([]byte(""), 1)
+	f.Fuzz(func(t *testing.T, s []byte, k int) {
+		km, ok := Pack(s, k)
+		if k < 1 || k > len(s) || k > MaxK {
+			if ok {
+				t.Fatalf("Pack(%q, %d) accepted an invalid geometry", s, k)
+			}
+			return
+		}
+		clean := true
+		for i := 0; i < k; i++ {
+			if IsAmbiguous(s[i]) {
+				clean = false
+				break
+			}
+		}
+		if ok != clean {
+			t.Fatalf("Pack(%q, %d) ok=%v, window clean=%v", s[:k], k, ok, clean)
+		}
+		if !ok {
+			return
+		}
+		want := bytes.ToUpper(s[:k])
+		// Fresh allocation path.
+		if got := km.Unpack(k); !bytes.Equal(got, want) {
+			t.Fatalf("Unpack = %q want %q", got, want)
+		}
+		// Reuse path: undersized buffer grows, oversized buffer is reused.
+		small := km.UnpackInto(make([]byte, 0, 1), k)
+		if !bytes.Equal(small, want) {
+			t.Fatalf("UnpackInto(small) = %q want %q", small, want)
+		}
+		big := make([]byte, MaxK+7)
+		got := km.UnpackInto(big, k)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("UnpackInto(big) = %q want %q", got, want)
+		}
+		if len(got) != k || &got[0] != &big[0] {
+			t.Fatal("UnpackInto did not reuse the provided buffer")
+		}
+		// Round trip.
+		km2, ok2 := Pack(got, k)
+		if !ok2 || km2 != km {
+			t.Fatalf("re-Pack(%q) = %v,%v want %v", got, km2, ok2, km)
+		}
+		if km.StringK(k) != string(want) {
+			t.Fatalf("StringK = %q want %q", km.StringK(k), want)
+		}
+	})
+}
+
+// FuzzReverseComplementInto checks the involution property and the
+// buffer-reuse contract of the in-place reverse complement.
+func FuzzReverseComplementInto(f *testing.F) {
+	f.Add([]byte("ACGTN"))
+	f.Add([]byte("nnNNacgt"))
+	f.Fuzz(func(t *testing.T, s []byte) {
+		rc := ReverseComplement(s)
+		if len(rc) != len(s) {
+			t.Fatalf("length changed: %d -> %d", len(s), len(rc))
+		}
+		buf := make([]byte, len(s))
+		back := ReverseComplementInto(buf, rc)
+		if len(s) > 0 && &back[0] != &buf[0] {
+			t.Fatal("ReverseComplementInto did not reuse the buffer")
+		}
+		// rc(rc(s)) restores s with every ACGT base upper-cased and
+		// ambiguity characters untouched.
+		for i, ch := range s {
+			want := ch
+			if code, ok := BaseFromChar(ch); ok {
+				want = code.Char()
+			}
+			if back[i] != want {
+				t.Fatalf("involution broke at %d: %q -> %q -> %q", i, s, rc, back)
+			}
+		}
+	})
+}

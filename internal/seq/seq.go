@@ -69,9 +69,11 @@ func IsAmbiguous(ch byte) bool { return baseCodes[ch] == 0xFF }
 type Kmer uint64
 
 // Pack encodes s[0:k] into a Kmer. It returns ok=false if the window
-// contains any non-ACGT character.
+// contains any non-ACGT character or the geometry is invalid (k outside
+// [1, min(len(s), MaxK)] — found by FuzzPackUnpack: a non-positive k used
+// to pack successfully into the empty kmer).
 func Pack(s []byte, k int) (Kmer, bool) {
-	if k > len(s) || k > MaxK {
+	if k < 1 || k > len(s) || k > MaxK {
 		return 0, false
 	}
 	var km Kmer
@@ -98,18 +100,34 @@ func MustPack(s string) Kmer {
 	return km
 }
 
-// Unpack decodes km into a fresh byte slice of length k.
+// Unpack decodes km into a fresh byte slice of length k. Hot paths that
+// cannot afford the allocation use UnpackInto with a reused buffer.
 func (km Kmer) Unpack(k int) []byte {
-	out := make([]byte, k)
-	for i := k - 1; i >= 0; i-- {
-		out[i] = baseChars[km&3]
-		km >>= 2
-	}
-	return out
+	return km.UnpackInto(nil, k)
 }
 
-// String is Unpack with an assumed length: it trims leading A's, so it is
-// only for debugging; use Unpack(k) in real code.
+// UnpackInto decodes km into dst, reusing dst's storage when its capacity
+// allows (allocating only otherwise), and returns the filled k-length
+// slice. It is the allocation-free decoding primitive of the correction
+// inner loop; callers keep the returned slice as the buffer for the next
+// call.
+func (km Kmer) UnpackInto(dst []byte, k int) []byte {
+	if cap(dst) < k {
+		dst = make([]byte, k)
+	} else {
+		dst = dst[:k]
+	}
+	for i := k - 1; i >= 0; i-- {
+		dst[i] = baseChars[km&3]
+		km >>= 2
+	}
+	return dst
+}
+
+// StringK renders a k-long kmer as a string. The packed form cannot
+// distinguish leading A's from a shorter kmer, so the length must be
+// supplied; it allocates per call and is meant for debugging and error
+// messages — real code uses Unpack(k) or UnpackInto.
 func (km Kmer) StringK(k int) string { return string(km.Unpack(k)) }
 
 // At returns the base at position i (0-based from the 5' end) of a k-long kmer.
@@ -181,16 +199,29 @@ func Hamming(a, b []byte) int {
 // ReverseComplement returns the reverse complement of an ASCII DNA string.
 // Ambiguous characters map to themselves ('N' stays 'N').
 func ReverseComplement(s []byte) []byte {
-	out := make([]byte, len(s))
-	for i, ch := range s {
-		j := len(s) - 1 - i
+	return ReverseComplementInto(nil, s)
+}
+
+// ReverseComplementInto writes the reverse complement of src into dst,
+// reusing dst's storage when its capacity allows, and returns the filled
+// slice. src and dst must not overlap partially; passing the same slice
+// for both is not supported (the forward scan would read already-written
+// bytes).
+func ReverseComplementInto(dst, src []byte) []byte {
+	if cap(dst) < len(src) {
+		dst = make([]byte, len(src))
+	} else {
+		dst = dst[:len(src)]
+	}
+	for i, ch := range src {
+		j := len(src) - 1 - i
 		if code, ok := BaseFromChar(ch); ok {
-			out[j] = code.Complement().Char()
+			dst[j] = code.Complement().Char()
 		} else {
-			out[j] = ch
+			dst[j] = ch
 		}
 	}
-	return out
+	return dst
 }
 
 // Read is a sequenced fragment: an identifier, the called bases (over

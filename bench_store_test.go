@@ -1,0 +1,99 @@
+package repro
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/kspectrum"
+	"repro/internal/reptile"
+	"repro/internal/simulate"
+)
+
+// BenchmarkSpectrumReadWrite measures the persistent spectrum store
+// (kspectrum.WriteSpectrum/ReadSpectrum) on the D3-scale spectrum: the
+// encode and decode legs separately, with bytes/op reflecting the on-disk
+// size so the ns/op convert to MB/s. The decode leg includes the full
+// validation pass (ordering, range, CRC) and the frozen-index rebuild —
+// the real cost of a daemon loading a spectrum at startup.
+func BenchmarkSpectrumReadWrite(b *testing.B) {
+	spec := simulate.Chapter2Specs(benchScale())[2] // D3
+	ds := buildDataset(b, spec)
+	s, err := kspectrum.Build(simulate.Reads(ds.Sim), 13, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var blob bytes.Buffer
+	if err := kspectrum.WriteSpectrum(&blob, s); err != nil {
+		b.Fatal(err)
+	}
+	size := int64(blob.Len())
+
+	b.Run("write", func(b *testing.B) {
+		defer recordBench(b, map[string]float64{"kmers": float64(s.Size()), "bytes": float64(size)})
+		b.SetBytes(size)
+		for i := 0; i < b.N; i++ {
+			var buf bytes.Buffer
+			buf.Grow(int(size))
+			if err := kspectrum.WriteSpectrum(&buf, s); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read", func(b *testing.B) {
+		defer recordBench(b, map[string]float64{"kmers": float64(s.Size()), "bytes": float64(size)})
+		b.SetBytes(size)
+		data := blob.Bytes()
+		for i := 0; i < b.N; i++ {
+			got, err := kspectrum.ReadSpectrum(bytes.NewReader(data))
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got.Size() != s.Size() {
+				b.Fatalf("decoded %d kmers want %d", got.Size(), s.Size())
+			}
+		}
+	})
+}
+
+// BenchmarkServeCorrectChunk measures the serve path of the correction
+// daemon (cmd/kserve) without the HTTP framing: a shared
+// reptile.Service — spectrum and neighbor index built once — correcting
+// independent request-sized chunks. The serial leg is one request's
+// latency; the parallel leg is the daemon's steady-state shape, many
+// requests sharing the read-only Phase 1 products.
+func BenchmarkServeCorrectChunk(b *testing.B) {
+	spec := simulate.Chapter2Specs(benchScale())[2] // D3
+	ds := buildDataset(b, spec)
+	reads := simulate.Reads(ds.Sim)
+	s, err := kspectrum.Build(reads, 13, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := reptile.NewService(s, reptile.Params{D: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	chunkLen := min(512, len(reads))
+	chunk := reads[:chunkLen]
+
+	b.Run("serial", func(b *testing.B) {
+		defer recordBench(b, map[string]float64{"chunk_reads": float64(chunkLen)})
+		for i := 0; i < b.N; i++ {
+			if _, _, err := svc.CorrectChunk(chunk, 1); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(chunkLen), "chunk_reads")
+	})
+	b.Run("parallel", func(b *testing.B) {
+		defer recordBench(b, map[string]float64{"chunk_reads": float64(chunkLen)})
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, _, err := svc.CorrectChunk(chunk, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.ReportMetric(float64(chunkLen), "chunk_reads")
+	})
+}

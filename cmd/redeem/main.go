@@ -9,8 +9,15 @@
 //
 //	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] \
 //	       [-workers N] [-shards N] [-mem-budget 64MB] \
+//	       [-load-spectrum spec.kspc] [-save-spectrum spec.kspc] \
 //	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //	redeem -in reads.fastq -detect-only -k 11            # print the T histogram + threshold
+//
+// -save-spectrum persists the counted k-spectrum; -load-spectrum reuses a
+// persisted one, skipping the counting pass entirely (EM and correction
+// still run, so output is byte-identical to a fresh build over the same
+// input). The stored k is authoritative: it overrides the default when -k
+// is not given, and an explicitly disagreeing -k is an error.
 package main
 
 import (
@@ -39,6 +46,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
 		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+		loadSpec   = flag.String("load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
+		saveSpec   = flag.String("save-spectrum", "", "persist the run's k-spectrum to this path")
 		detectOnly = flag.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -55,8 +64,25 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	var spec *kspectrum.Spectrum
+	if *loadSpec != "" {
+		// -k has a non-zero default, so explicitness needs flag.Visit;
+		// core.LoadSpectrumForK then owns the k-authority rule.
+		explicitK := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "k" {
+				explicitK = *k
+			}
+		})
+		spec, err = core.LoadSpectrumForK(*loadSpec, explicitK)
+		if err != nil {
+			log.Fatal(err)
+		}
+		*k = spec.K // the stored k is authoritative over the default
+	}
 	model := simulate.NewUniformKmerModel(*k, *errorRate)
 	cfg := redeem.DefaultConfig(*k)
+	cfg.Spectrum = spec
 	cfg.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
 	cfg.MemoryBudget = budget
 	// The CLI has always swept up to 4 mixture components; keep the
@@ -65,14 +91,20 @@ func main() {
 	start := time.Now()
 
 	if *detectOnly {
-		f, err := os.Open(*in)
-		if err != nil {
-			log.Fatal(err)
-		}
-		reads, err := fastq.NewReader(f).ReadAll()
-		f.Close()
-		if err != nil {
-			log.Fatal(err)
+		// With a preloaded spectrum the reads are never consulted —
+		// detection runs purely on the stored counts — so skip reading
+		// the (possibly huge) input entirely.
+		var reads []seq.Read
+		if spec == nil {
+			f, err := os.Open(*in)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if reads, err = fastq.NewReader(f).ReadAll(); err != nil {
+				f.Close()
+				log.Fatal(err)
+			}
+			f.Close()
 		}
 		m, err := redeem.New(reads, model, cfg)
 		if err != nil {
@@ -82,6 +114,11 @@ func main() {
 		thr, mix, err := m.InferThreshold(1, 4)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *saveSpec != "" {
+			if err := kspectrum.WriteSpectrumFile(*saveSpec, m.Spec); err != nil {
+				log.Fatal(err)
+			}
 		}
 		fmt.Printf("spectrum %d kmers; EM converged in %d iterations; inferred threshold %.2f (coverage constant %.1f, G=%d) in %v\n",
 			m.Spec.Size(), iters, thr, mix.Theta, mix.G, time.Since(start).Round(time.Millisecond))
@@ -137,6 +174,11 @@ func main() {
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	if *saveSpec != "" {
+		if err := kspectrum.WriteSpectrumFile(*saveSpec, m.Spec); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("spectrum %d kmers; inferred threshold %.2f; corrected %d of %d reads (budget %s) in %v\n",
 		m.Spec.Size(), thr, changed, total, *memBudget, time.Since(start).Round(time.Millisecond))

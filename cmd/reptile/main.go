@@ -8,7 +8,15 @@
 //
 //	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] \
 //	        [-workers N] [-shards N] [-mem-budget 64MB] \
+//	        [-load-spectrum spec.kspc] [-save-spectrum spec.kspc] \
 //	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
+//
+// -save-spectrum persists the k-spectrum built by the run to the versioned
+// store format; -load-spectrum reuses a persisted spectrum, skipping the
+// kmer counting of the build pass (tile counts are still taken from the
+// input, so output is byte-identical to a fresh build over the same data).
+// The stored k is authoritative: it overrides the derived default, and an
+// explicitly disagreeing -k is an error.
 package main
 
 import (
@@ -38,6 +46,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
 		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
 		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+		loadSpec   = flag.String("load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
+		saveSpec   = flag.String("save-spectrum", "", "persist the run's k-spectrum to this path")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -90,6 +100,17 @@ func main() {
 		params.K = *k
 		params.C = min(params.K, params.D+4)
 	}
+	if *loadSpec != "" {
+		// core.LoadSpectrumForK owns the k-authority rule: an explicit
+		// disagreeing -k errors, otherwise the stored k wins.
+		spec, err := core.LoadSpectrumForK(*loadSpec, *k)
+		if err != nil {
+			log.Fatal(err)
+		}
+		params.K = spec.K
+		params.C = min(params.K, params.D+4)
+		params.Spectrum = spec
+	}
 	params.D = *d
 	if params.C <= params.D {
 		params.C = params.D + 2
@@ -121,6 +142,11 @@ func main() {
 	}
 	if err := w.Flush(); err != nil {
 		log.Fatal(err)
+	}
+	if *saveSpec != "" {
+		if err := kspectrum.WriteSpectrumFile(*saveSpec, c.Spec); err != nil {
+			log.Fatal(err)
+		}
 	}
 	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles, budget %s) in %v\n",
 		changed, total, c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), *memBudget, time.Since(start).Round(time.Millisecond))

@@ -48,6 +48,19 @@ type CorrectOptions struct {
 	// kspectrum.StreamBuilder. 0 keeps everything in memory.
 	MemoryBudget int64
 
+	// SpectrumPath, when set, loads a prebuilt k-spectrum from the
+	// persistent store (kspectrum.ReadSpectrumFile) instead of counting
+	// the input: Reptile skips Phase 1's kmer accumulation (tiles are
+	// still counted) and REDEEM skips its counting pass entirely. The
+	// stored k is authoritative — a zero method k adopts it, an explicit
+	// disagreeing k is an error. Reptile and REDEEM only; SHREC has no
+	// spectrum to load.
+	SpectrumPath string
+	// SaveSpectrumPath, when set, writes the k-spectrum the run built
+	// (or loaded) to the persistent store after correction, so later
+	// invocations can reuse it via SpectrumPath.
+	SaveSpectrumPath string
+
 	// Reptile overrides; zero values take data-derived defaults.
 	Reptile reptile.Params
 
@@ -78,6 +91,97 @@ type CorrectReport struct {
 	Changed int
 }
 
+// LoadSpectrumForK loads a persisted spectrum and enforces the single
+// k-authority rule shared by the facade and the CLIs: the stored k is
+// authoritative, so an explicit requested k (non-zero) that disagrees
+// with it is an error, while explicitK == 0 defers to the store (the
+// caller then adopts spec.K). Keeping the rule here means cmd/reptile,
+// cmd/redeem and the CorrectOptions paths cannot drift apart.
+func LoadSpectrumForK(path string, explicitK int) (*kspectrum.Spectrum, error) {
+	spec, err := kspectrum.ReadSpectrumFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if explicitK != 0 && explicitK != spec.K {
+		return nil, fmt.Errorf("core: requested k=%d disagrees with %s (stored k=%d)", explicitK, path, spec.K)
+	}
+	return spec, nil
+}
+
+// loadSpectrumOption resolves opts.SpectrumPath: nil when unset, the
+// loaded and k-validated spectrum otherwise.
+func loadSpectrumOption(opts CorrectOptions, explicitK int) (*kspectrum.Spectrum, error) {
+	if opts.SpectrumPath == "" {
+		return nil, nil
+	}
+	return LoadSpectrumForK(opts.SpectrumPath, explicitK)
+}
+
+// saveSpectrumOption persists spec when opts.SaveSpectrumPath is set.
+func saveSpectrumOption(opts CorrectOptions, spec *kspectrum.Spectrum) error {
+	if opts.SaveSpectrumPath == "" {
+		return nil
+	}
+	return kspectrum.WriteSpectrumFile(opts.SaveSpectrumPath, spec)
+}
+
+// reptileParams finalizes the Reptile parameter block shared by Correct
+// and CorrectStream: data-derived defaults from sample when K is unset,
+// the facade-level build/budget fallbacks, and the preloaded spectrum
+// (whose stored k overrides a data-derived default but conflicts with an
+// explicit one — reptile.Params.validate reports that).
+func reptileParams(sample []seq.Read, opts CorrectOptions, spec *kspectrum.Spectrum) reptile.Params {
+	p := opts.Reptile
+	explicitK := p.K != 0
+	if !explicitK {
+		build := p.Build // survives the defaults swap
+		p = reptile.DefaultParams(sample, opts.GenomeLen)
+		p.Build = build
+	}
+	if spec != nil {
+		if !explicitK && p.K != spec.K {
+			p.K = spec.K
+			p.C = min(p.K, p.D+4)
+		}
+		p.Spectrum = spec
+	}
+	if p.Build == (kspectrum.BuildOptions{}) {
+		p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+	}
+	if p.MemoryBudget == 0 {
+		p.MemoryBudget = opts.MemoryBudget
+	}
+	return p
+}
+
+// redeemConfig finalizes the REDEEM configuration and error model shared
+// by Correct and CorrectStream. A preloaded spectrum's k wins over the
+// package default when RedeemK is unset; an explicit disagreeing RedeemK
+// is reported by redeem's validation.
+func redeemConfig(opts CorrectOptions, spec *kspectrum.Spectrum) (redeem.Config, *simulate.KmerErrorModel) {
+	k := opts.RedeemK
+	if k == 0 {
+		if spec != nil {
+			k = spec.K
+		} else {
+			k = 11
+		}
+	}
+	model := opts.RedeemModel
+	if model == nil {
+		rate := opts.RedeemErrorRate
+		if rate == 0 {
+			rate = 0.01
+		}
+		model = simulate.NewUniformKmerModel(k, rate)
+	}
+	cfg := redeem.DefaultConfig(k)
+	cfg.Spectrum = spec
+	cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+	cfg.MemoryBudget = opts.MemoryBudget
+	return cfg, model
+}
+
 // Correct runs the selected error corrector over the reads and returns
 // corrected copies.
 func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport, error) {
@@ -85,42 +189,28 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 	rep := &CorrectReport{Method: opts.Method}
 	switch opts.Method {
 	case MethodReptile, "":
-		p := opts.Reptile
-		if p.K == 0 {
-			build := p.Build // survives the defaults swap
-			p = reptile.DefaultParams(reads, opts.GenomeLen)
-			p.Build = build
+		spec, err := loadSpectrumOption(opts, opts.Reptile.K)
+		if err != nil {
+			return nil, nil, err
 		}
-		if p.Build == (kspectrum.BuildOptions{}) {
-			p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
-		}
-		if p.MemoryBudget == 0 {
-			p.MemoryBudget = opts.MemoryBudget
-		}
+		p := reptileParams(reads, opts, spec)
 		c, err := reptile.New(reads, p)
 		if err != nil {
 			return nil, nil, err
 		}
 		out := c.CorrectAll(reads, opts.Workers)
+		if err := saveSpectrumOption(opts, c.Spec); err != nil {
+			return nil, nil, err
+		}
 		rep.Method = MethodReptile
 		rep.Duration = time.Since(start)
 		return out, rep, nil
 	case MethodRedeem:
-		k := opts.RedeemK
-		if k == 0 {
-			k = 11
+		spec, err := loadSpectrumOption(opts, opts.RedeemK)
+		if err != nil {
+			return nil, nil, err
 		}
-		model := opts.RedeemModel
-		if model == nil {
-			rate := opts.RedeemErrorRate
-			if rate == 0 {
-				rate = 0.01
-			}
-			model = simulate.NewUniformKmerModel(k, rate)
-		}
-		cfg := redeem.DefaultConfig(k)
-		cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
-		cfg.MemoryBudget = opts.MemoryBudget
+		cfg, model := redeemConfig(opts, spec)
 		m, err := redeem.New(reads, model, cfg)
 		if err != nil {
 			return nil, nil, err
@@ -132,9 +222,15 @@ func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport,
 		}
 		rep.Threshold = thr
 		out := m.CorrectReads(reads, thr, opts.Workers)
+		if err := saveSpectrumOption(opts, m.Spec); err != nil {
+			return nil, nil, err
+		}
 		rep.Duration = time.Since(start)
 		return out, rep, nil
 	case MethodShrec:
+		if opts.SpectrumPath != "" || opts.SaveSpectrumPath != "" {
+			return nil, nil, fmt.Errorf("core: method %q has no k-spectrum to load or save", MethodShrec)
+		}
 		cfg := opts.Shrec
 		if cfg.FromLevel == 0 {
 			workers := cfg.Workers // survives the defaults swap

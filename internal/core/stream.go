@@ -9,11 +9,9 @@ import (
 	"time"
 
 	"repro/internal/fastq"
-	"repro/internal/kspectrum"
 	"repro/internal/redeem"
 	"repro/internal/reptile"
 	"repro/internal/seq"
-	"repro/internal/simulate"
 )
 
 // CorrectStream runs the streaming FASTQ→correct→FASTQ pipeline: reads are
@@ -42,49 +40,48 @@ func CorrectStream(open func() (io.ReadCloser, error), out io.Writer, opts Corre
 	switch opts.Method {
 	case MethodReptile, "":
 		rep.Method = MethodReptile
-		p := opts.Reptile
-		if p.K == 0 {
-			sample, err := firstChunk(open)
-			if err != nil {
+		spec, err := loadSpectrumOption(opts, opts.Reptile.K)
+		if err != nil {
+			return nil, err
+		}
+		var sample []seq.Read
+		if opts.Reptile.K == 0 {
+			// Data-dependent defaults (Qc, default k) come from a bounded
+			// leading sample of a fresh stream.
+			if sample, err = firstChunk(open); err != nil {
 				return nil, err
 			}
-			build := p.Build // survives the defaults swap
-			p = reptile.DefaultParams(sample, opts.GenomeLen)
-			p.Build = build
 		}
-		if p.Build == (kspectrum.BuildOptions{}) {
-			p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
+		p := reptileParams(sample, opts, spec)
+		c, err := reptile.CorrectStream(chunkSource(open), emit, p, opts.Workers)
+		if err != nil {
+			return nil, err
 		}
-		if p.MemoryBudget == 0 {
-			p.MemoryBudget = opts.MemoryBudget
-		}
-		if _, err := reptile.CorrectStream(chunkSource(open), emit, p, opts.Workers); err != nil {
+		if err := saveSpectrumOption(opts, c.Spec); err != nil {
 			return nil, err
 		}
 	case MethodRedeem:
-		k := opts.RedeemK
-		if k == 0 {
-			k = 11
-		}
-		model := opts.RedeemModel
-		if model == nil {
-			rate := opts.RedeemErrorRate
-			if rate == 0 {
-				rate = 0.01
-			}
-			model = simulate.NewUniformKmerModel(k, rate)
-		}
-		cfg := redeem.DefaultConfig(k)
-		cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
-		cfg.MemoryBudget = opts.MemoryBudget
-		_, thr, err := redeem.CorrectStream(chunkSource(open), emit, model, cfg, opts.Workers)
+		spec, err := loadSpectrumOption(opts, opts.RedeemK)
 		if err != nil {
+			return nil, err
+		}
+		cfg, model := redeemConfig(opts, spec)
+		m, thr, err := redeem.CorrectStream(chunkSource(open), emit, model, cfg, opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		if err := saveSpectrumOption(opts, m.Spec); err != nil {
 			return nil, err
 		}
 		rep.Threshold = thr
 	default:
 		// No streaming path (SHREC and unknown methods): buffer the input
-		// and delegate, preserving Correct's semantics and errors.
+		// and delegate, preserving Correct's semantics and errors — but
+		// reject incompatible spectrum options before the I/O Correct
+		// would only fail after.
+		if opts.SpectrumPath != "" || opts.SaveSpectrumPath != "" {
+			return nil, fmt.Errorf("core: method %q has no k-spectrum to load or save", opts.Method)
+		}
 		reads, err := readAllStream(open)
 		if err != nil {
 			return nil, err
@@ -160,6 +157,21 @@ func readAllStream(open func() (io.ReadCloser, error)) ([]seq.Read, error) {
 	return reads, nil
 }
 
+// byteSuffixes maps size suffixes to their power-of-two shifts, ordered
+// longest-first. Matching must walk this slice in order: with suffixes
+// that are suffixes of one another ("MIB" ends in "B", "KB" ends in "B"),
+// iterating an unordered container (the original implementation ranged
+// over a Go map) parses correctly only while the key set happens to be
+// suffix-free — one added key away from a nondeterministic result.
+var byteSuffixes = []struct {
+	suffix string
+	shift  int
+}{
+	{"KIB", 10}, {"MIB", 20}, {"GIB", 30}, {"TIB", 40},
+	{"KB", 10}, {"MB", 20}, {"GB", 30}, {"TB", 40},
+	{"K", 10}, {"M", 20}, {"G", 30}, {"T", 40},
+}
+
 // ParseByteSize parses a human-readable byte count: a plain integer, or one
 // with a B/KB/MB/GB/TB suffix (KiB/MiB/... also accepted; both forms are
 // 1024-based). Case and surrounding space are ignored. "0" disables a
@@ -170,13 +182,9 @@ func ParseByteSize(s string) (int64, error) {
 		return 0, fmt.Errorf("core: empty byte size")
 	}
 	shift := 0
-	for suffix, sh := range map[string]int{
-		"KIB": 10, "MIB": 20, "GIB": 30, "TIB": 40,
-		"KB": 10, "MB": 20, "GB": 30, "TB": 40,
-		"K": 10, "M": 20, "G": 30, "T": 40,
-	} {
-		if strings.HasSuffix(t, suffix) && len(t) > len(suffix) {
-			t, shift = strings.TrimSpace(strings.TrimSuffix(t, suffix)), sh
+	for _, sfx := range byteSuffixes {
+		if strings.HasSuffix(t, sfx.suffix) && len(t) > len(sfx.suffix) {
+			t, shift = strings.TrimSpace(strings.TrimSuffix(t, sfx.suffix)), sfx.shift
 			break
 		}
 	}

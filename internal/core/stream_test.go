@@ -3,9 +3,11 @@ package core
 import (
 	"bytes"
 	"io"
+	"path/filepath"
 	"testing"
 
 	"repro/internal/fastq"
+	"repro/internal/kspectrum"
 	"repro/internal/reptile"
 	"repro/internal/simulate"
 )
@@ -85,6 +87,108 @@ func TestCorrectStreamMatchesInMemory(t *testing.T) {
 	}
 }
 
+// TestCorrectStreamSpectrumReuse is the persistence acceptance property:
+// a run that saves its spectrum, followed by a run that loads it, must
+// produce byte-identical corrected output to a fresh-build run over the
+// same input — for both streaming methods — and the save/load cycle must
+// also agree with the in-memory Correct path under SpectrumPath.
+func TestCorrectStreamSpectrumReuse(t *testing.T) {
+	ds := smallDataset(t, 23)
+	reads := simulate.Reads(ds.Sim)
+	blob := fastqBlob(t, ds)
+	model := simulate.IlluminaModel(36, 0.008, simulate.EcoliBias)
+	km, err := simulate.KmerModelFromReadModel(model, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	for _, m := range []Method{MethodReptile, MethodRedeem} {
+		opts := CorrectOptions{
+			Method:      m,
+			GenomeLen:   len(ds.Genome),
+			Workers:     2,
+			RedeemK:     11,
+			RedeemModel: km,
+		}
+		if m == MethodReptile {
+			opts.Reptile = reptile.DefaultParams(reads, len(ds.Genome))
+		}
+
+		// Fresh build, saving the spectrum.
+		opts.SaveSpectrumPath = filepath.Join(dir, string(m)+".kspc")
+		var fresh bytes.Buffer
+		if _, err := CorrectStream(memOpener{blob}.open, &fresh, opts); err != nil {
+			t.Fatalf("%s: fresh run: %v", m, err)
+		}
+
+		// Reuse run: load the saved spectrum, build nothing.
+		opts.SpectrumPath = opts.SaveSpectrumPath
+		opts.SaveSpectrumPath = ""
+		var reused bytes.Buffer
+		if _, err := CorrectStream(memOpener{blob}.open, &reused, opts); err != nil {
+			t.Fatalf("%s: reuse run: %v", m, err)
+		}
+		if !bytes.Equal(fresh.Bytes(), reused.Bytes()) {
+			t.Errorf("%s: -load-spectrum output diverges from fresh build", m)
+		}
+
+		// The in-memory facade under the same loaded spectrum agrees too.
+		want, _, err := Correct(reads, opts)
+		if err != nil {
+			t.Fatalf("%s: in-memory reuse: %v", m, err)
+		}
+		var buf bytes.Buffer
+		if err := fastq.Write(&buf, want); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf.Bytes(), reused.Bytes()) {
+			t.Errorf("%s: in-memory SpectrumPath output diverges from streamed", m)
+		}
+	}
+}
+
+// TestCorrectSpectrumMismatch: a loaded spectrum disagreeing with an
+// explicitly requested k is a clean error, and SHREC rejects spectrum
+// options outright.
+func TestCorrectSpectrumMismatch(t *testing.T) {
+	ds := smallDataset(t, 24)
+	reads := simulate.Reads(ds.Sim)
+	spec, err := kspectrum.Build(reads, 13, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "k13.kspc")
+	if err := kspectrum.WriteSpectrumFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+
+	// Explicit k disagreeing with the stored k.
+	p := reptile.DefaultParams(reads, len(ds.Genome))
+	p.K = 12
+	if _, _, err := Correct(reads, CorrectOptions{
+		Method: MethodReptile, Reptile: p, SpectrumPath: path, Workers: 1,
+	}); err == nil {
+		t.Error("reptile: explicit k mismatch accepted")
+	}
+	if _, _, err := Correct(reads, CorrectOptions{
+		Method: MethodRedeem, RedeemK: 11, SpectrumPath: path, Workers: 1,
+	}); err == nil {
+		t.Error("redeem: explicit k mismatch accepted")
+	}
+	// Unset k adopts the stored k instead.
+	if _, _, err := Correct(reads, CorrectOptions{
+		Method: MethodRedeem, SpectrumPath: path, Workers: 1,
+	}); err != nil {
+		t.Errorf("redeem: adopting stored k failed: %v", err)
+	}
+	// SHREC has no spectrum to load or save.
+	if _, _, err := Correct(reads, CorrectOptions{
+		Method: MethodShrec, SpectrumPath: path, Workers: 1,
+	}); err == nil {
+		t.Error("shrec: spectrum option accepted")
+	}
+}
+
 // TestCorrectStreamShrecFallback covers the buffering fallback for methods
 // without a streaming path.
 func TestCorrectStreamShrecFallback(t *testing.T) {
@@ -124,10 +228,22 @@ func TestParseByteSize(t *testing.T) {
 		{"64MB", 64 << 20, true},
 		{" 2 GiB ", 2 << 30, true},
 		{"1tb", 1 << 40, true},
+		// Suffix-of-a-suffix cases: every "<X>iB"/"<X>B" form must bind to
+		// the longest suffix, never stop early at the trailing "B" (the
+		// nondeterminism the ordered byteSuffixes slice exists to prevent).
+		{"3MiB", 3 << 20, true},
+		{"7gib", 7 << 30, true},
+		{"4TiB", 4 << 40, true},
+		{"5TB", 5 << 40, true},
+		{"10m", 10 << 20, true},
+		{"1B", 1, true},
 		{"", 0, false},
 		{"MB", 0, false},
+		{"KiB", 0, false},
+		{"B", 0, false},
 		{"-1MB", 0, false},
 		{"12XB", 0, false},
+		{"5IB", 0, false},
 		{"9999999999G", 0, false},
 	}
 	for _, tc := range cases {

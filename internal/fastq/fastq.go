@@ -71,6 +71,9 @@ func (r *Reader) Next() (seq.Read, error) {
 		if ch < PhredOffset {
 			return seq.Read{}, fmt.Errorf("fastq: line %d: quality character %q below Phred+33 range", r.line, ch)
 		}
+		if ch > PhredOffset+MaxQuality {
+			return seq.Read{}, fmt.Errorf("fastq: line %d: quality character %q above Phred+33 range (max %q)", r.line, ch, byte(PhredOffset+MaxQuality))
+		}
 		read.Qual[i] = ch - PhredOffset
 	}
 	return read, nil

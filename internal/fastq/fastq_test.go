@@ -2,6 +2,7 @@ package fastq
 
 import (
 	"bytes"
+	"fmt"
 	"io"
 	"strings"
 	"testing"
@@ -66,6 +67,7 @@ func TestReaderErrors(t *testing.T) {
 		{"length mismatch", "@r\nACG\n+\nII\n"},
 		{"truncated", "@r\nACG\n+\n"},
 		{"quality below range", "@r\nA\n+\n\x1f\n"},
+		{"quality above range", "@r\nA\n+\n\x7f\n"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -96,6 +98,34 @@ func TestWriteRoundTrip(t *testing.T) {
 		if out[i].ID != in[i].ID || string(out[i].Seq) != string(in[i].Seq) || !bytes.Equal(out[i].Qual, in[i].Qual) {
 			t.Errorf("record %d mismatch: %+v vs %+v", i, out[i], in[i])
 		}
+	}
+}
+
+// TestReaderWriterIdentity proves decode→encode is the identity over the
+// full accepted quality range: every character the Reader admits survives
+// a write→read cycle unchanged, and in particular the top of the range
+// ('~', quality 93) is no longer silently clamped into a different value.
+func TestReaderWriterIdentity(t *testing.T) {
+	// One read per quality value, plus one read sweeping the whole range.
+	var buf bytes.Buffer
+	sweep := make([]byte, 0, MaxQuality+1)
+	for q := 0; q <= MaxQuality; q++ {
+		fmt.Fprintf(&buf, "@q%d\nA\n+\n%c\n", q, byte(q)+PhredOffset)
+		sweep = append(sweep, byte(q)+PhredOffset)
+	}
+	fmt.Fprintf(&buf, "@sweep\n%s\n+\n%s\n", strings.Repeat("C", len(sweep)), sweep)
+	original := buf.String()
+
+	reads, err := NewReader(strings.NewReader(original)).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := Write(&out, reads); err != nil {
+		t.Fatal(err)
+	}
+	if out.String() != original {
+		t.Errorf("decode→encode is not the identity:\n in: %q\nout: %q", original, out.String())
 	}
 }
 

@@ -214,9 +214,10 @@ func (sb *SpectrumBuilder) Build() *Spectrum {
 		total += len(r.kmers)
 	}
 	s := &Spectrum{
-		K:      sb.k,
-		Kmers:  make([]seq.Kmer, 0, total),
-		Counts: make([]uint32, 0, total),
+		K:           sb.k,
+		BothStrands: sb.bothStrands,
+		Kmers:       make([]seq.Kmer, 0, total),
+		Counts:      make([]uint32, 0, total),
 	}
 	for _, r := range runs {
 		s.Kmers = append(s.Kmers, r.kmers...)

@@ -26,6 +26,13 @@ type Spectrum struct {
 	Kmers  []seq.Kmer // sorted ascending, unique
 	Counts []uint32   // parallel to Kmers
 
+	// BothStrands records whether the build counted reverse complements
+	// alongside forward windows (the spectrum is then RC-closed). It is
+	// metadata, not used by queries; the persistent store (store.go)
+	// round-trips it so a loaded spectrum can be validated against the
+	// requesting configuration. Hand-assembled spectra leave it false.
+	BothStrands bool
+
 	// pshift/pbuckets are the frozen query index: bucket b spans
 	// Kmers[pbuckets[b]:pbuckets[b+1]], where a kmer's bucket is its top
 	// pbits bits (km >> pshift). nil pbuckets — a hand-assembled Spectrum

@@ -233,9 +233,10 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 		total += len(r.kmers)
 	}
 	spec := &Spectrum{
-		K:      st.sb.k,
-		Kmers:  make([]seq.Kmer, 0, total),
-		Counts: make([]uint32, 0, total),
+		K:           st.sb.k,
+		BothStrands: st.sb.bothStrands,
+		Kmers:       make([]seq.Kmer, 0, total),
+		Counts:      make([]uint32, 0, total),
 	}
 	for _, r := range merged {
 		spec.Kmers = append(spec.Kmers, r.kmers...)

@@ -33,6 +33,11 @@ type Config struct {
 	MaxIter int
 	// Tol is the relative log-likelihood improvement at which EM stops.
 	Tol float64
+	// Spectrum, when non-nil, is a preloaded k-spectrum (typically from
+	// kspectrum.ReadSpectrumFile): New and CorrectStream skip the
+	// counting pass and model the preloaded counts directly. It must
+	// match K and have been built from both strands.
+	Spectrum *kspectrum.Spectrum
 	// Build configures the sharded parallel spectrum engine; the zero
 	// value selects full parallelism (see kspectrum.BuildOptions).
 	Build kspectrum.BuildOptions
@@ -69,6 +74,14 @@ func (c Config) validate() error {
 	}
 	if c.MaxIter < 1 {
 		return fmt.Errorf("redeem: need at least one EM iteration")
+	}
+	if c.Spectrum != nil {
+		if c.Spectrum.K != c.K {
+			return fmt.Errorf("redeem: preloaded spectrum has k=%d but config wants k=%d", c.Spectrum.K, c.K)
+		}
+		if !c.Spectrum.BothStrands {
+			return fmt.Errorf("redeem: preloaded spectrum was not built from both strands")
+		}
 	}
 	return nil
 }
@@ -110,11 +123,14 @@ func New(reads []seq.Read, errModel *simulate.KmerErrorModel, cfg Config) (*Mode
 	}
 	var spec *kspectrum.Spectrum
 	var err error
-	if cfg.MemoryBudget > 0 {
+	switch {
+	case cfg.Spectrum != nil:
+		spec = cfg.Spectrum
+	case cfg.MemoryBudget > 0:
 		spec, _, err = kspectrum.BuildOutOfCore(reads, cfg.K, true, kspectrum.StreamOptions{
 			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
 		})
-	} else {
+	default:
 		spec, err = kspectrum.BuildParallel(reads, cfg.K, true, cfg.Build)
 	}
 	if err != nil {

@@ -26,22 +26,26 @@ func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected [
 	if errModel == nil || errModel.K != cfg.K {
 		return nil, 0, fmt.Errorf("redeem: error model k mismatch")
 	}
-	st, err := kspectrum.NewStreamBuilder(cfg.K, true, kspectrum.StreamOptions{
-		Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
-	})
-	if err != nil {
-		return nil, 0, err
-	}
-	defer st.Close() // reclaim spill files if any stage aborts
-	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
-		st.Add(chunk)
-		return nil
-	}); err != nil {
-		return nil, 0, fmt.Errorf("redeem: build pass: %w", err)
-	}
-	spec, err := st.Build()
-	if err != nil {
-		return nil, 0, err
+	spec := cfg.Spectrum
+	if spec == nil {
+		// No preloaded spectrum: the first pass streams every chunk
+		// through the (possibly spilling) accumulator.
+		st, err := kspectrum.NewStreamBuilder(cfg.K, true, kspectrum.StreamOptions{
+			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+		})
+		if err != nil {
+			return nil, 0, err
+		}
+		defer st.Close() // reclaim spill files if any stage aborts
+		if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+			st.Add(chunk)
+			return nil
+		}); err != nil {
+			return nil, 0, fmt.Errorf("redeem: build pass: %w", err)
+		}
+		if spec, err = st.Build(); err != nil {
+			return nil, 0, err
+		}
 	}
 	m, err := NewFromSpectrum(spec, errModel, cfg)
 	if err != nil {

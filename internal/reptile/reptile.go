@@ -38,6 +38,13 @@ type Params struct {
 	// ambiguous bases (defaults to D).
 	MaxNPerWindow int
 
+	// Spectrum, when non-nil, is a preloaded k-spectrum (typically from
+	// kspectrum.ReadSpectrumFile): Phase 1 skips kmer counting entirely
+	// and uses it as-is, leaving only the (much cheaper) tile counting on
+	// the build pass. It must match K and have been built from both
+	// strands — the corrector's reverse-complement pass depends on the
+	// spectrum being RC-closed.
+	Spectrum *kspectrum.Spectrum
 	// Build configures the sharded parallel spectrum engine of Phase 1;
 	// the zero value selects full parallelism (see kspectrum.BuildOptions).
 	Build kspectrum.BuildOptions
@@ -84,6 +91,14 @@ func (p Params) validate() error {
 	}
 	if p.Cr <= 1 {
 		return fmt.Errorf("reptile: Cr must exceed 1, got %v", p.Cr)
+	}
+	if p.Spectrum != nil {
+		if p.Spectrum.K != p.K {
+			return fmt.Errorf("reptile: preloaded spectrum has k=%d but params want k=%d", p.Spectrum.K, p.K)
+		}
+		if !p.Spectrum.BothStrands {
+			return fmt.Errorf("reptile: preloaded spectrum was not built from both strands")
+		}
 	}
 	return nil
 }
@@ -132,11 +147,15 @@ func NewBuilder(p Params) (*Builder, error) {
 	}
 	b := &Builder{p: p}
 	var err error
-	if p.MemoryBudget > 0 {
+	switch {
+	case p.Spectrum != nil:
+		// Preloaded spectrum: no kmer accumulator at all — Add feeds only
+		// the tile counts and Finish adopts the spectrum directly.
+	case p.MemoryBudget > 0:
 		b.stream, err = kspectrum.NewStreamBuilder(p.K, true, kspectrum.StreamOptions{
 			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir,
 		})
-	} else {
+	default:
 		b.sb, err = kspectrum.NewSpectrumBuilder(p.K, true, p.Build)
 	}
 	if err != nil {
@@ -168,9 +187,10 @@ func (b *Builder) Add(reads []seq.Read) {
 	for i, r := range reads {
 		prepared[i] = prepareRead(r, b.p)
 	}
-	if b.stream != nil {
+	switch {
+	case b.stream != nil:
 		b.stream.Add(prepared)
-	} else {
+	case b.sb != nil:
 		b.sb.Add(prepared)
 	}
 	b.tiles.Add(prepared)
@@ -181,13 +201,16 @@ func (b *Builder) Add(reads []seq.Read) {
 func (b *Builder) Finish() (*Corrector, error) {
 	p := b.p
 	var spec *kspectrum.Spectrum
-	if b.stream != nil {
+	switch {
+	case p.Spectrum != nil:
+		spec = p.Spectrum
+	case b.stream != nil:
 		var err error
 		spec, err = b.stream.Build()
 		if err != nil {
 			return nil, err
 		}
-	} else {
+	default:
 		spec = b.sb.Build()
 	}
 	ni, err := kspectrum.NewNeighborIndex(spec, p.D, p.C)

@@ -1,0 +1,108 @@
+package reptile
+
+import (
+	"fmt"
+
+	"repro/internal/kspectrum"
+	"repro/internal/seq"
+)
+
+// Service is the correction-as-a-service form of Reptile: one spectrum
+// and one Hamming-neighborhood index, built once, shared read-only across
+// many independent correction requests. Per request only the cheap,
+// chunk-local state is computed — tile counts and the data-derived
+// thresholds (Qc, Cg, Cm) over the request's reads — so a long-lived
+// daemon (cmd/kserve) amortizes the expensive Phase-1 products across its
+// whole lifetime.
+//
+// CorrectChunk is safe for concurrent use: the shared spectrum and index
+// are never written after New, and everything else is request-local.
+type Service struct {
+	p    Params
+	spec *kspectrum.Spectrum
+	ni   *kspectrum.NeighborIndex
+}
+
+// NewService validates the parameters against the preloaded spectrum and
+// builds the shared neighborhood index. A zero p.K adopts the spectrum's
+// k; zero D/C/Cr take the package defaults. Parameters that are derived
+// from read data when left zero (Qc, Cg, Cm) stay zero here and are
+// derived per chunk instead.
+func NewService(spec *kspectrum.Spectrum, p Params) (*Service, error) {
+	if spec == nil {
+		return nil, fmt.Errorf("reptile: service needs a spectrum")
+	}
+	if p.K == 0 {
+		p.K = spec.K
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.C == 0 {
+		p.C = min(p.K, p.D+4)
+	}
+	if p.Cr == 0 {
+		p.Cr = 2
+	}
+	if p.DefaultBase == 0 {
+		p.DefaultBase = 'A'
+	}
+	if p.MaxNPerWindow == 0 {
+		p.MaxNPerWindow = p.D
+	}
+	// An explicit Qc with Qm left zero would make applyIfLowQuality's
+	// "quality below Qm" condition unsatisfiable and silently suppress
+	// every correction; pair them like DefaultParams does.
+	if p.Qc != 0 && p.Qm == 0 {
+		p.Qm = p.Qc + 15
+	}
+	p.Spectrum = spec
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	ni, err := kspectrum.NewNeighborIndex(spec, p.D, p.C)
+	if err != nil {
+		return nil, err
+	}
+	return &Service{p: p, spec: spec, ni: ni}, nil
+}
+
+// Params returns the service's resolved parameter block (request-derived
+// fields still zero).
+func (s *Service) Params() Params { return s.p }
+
+// Spectrum returns the shared spectrum.
+func (s *Service) Spectrum() *kspectrum.Spectrum { return s.spec }
+
+// CorrectChunk corrects one independent chunk of reads with `workers`
+// goroutines and returns the corrected copies plus the fully-resolved
+// corrector used (exposing the thresholds derived for this chunk). The
+// input reads are not modified. Unlike the batch pipeline — where tile
+// counts aggregate over the whole input — tile support here comes from
+// the request chunk alone, the service trade-off that keeps requests
+// independent.
+func (s *Service) CorrectChunk(reads []seq.Read, workers int) ([]seq.Read, *Corrector, error) {
+	p := s.p
+	if p.Qc == 0 {
+		p.Qc = kspectrum.QualityQuantile(reads, 0.17)
+		p.Qm = p.Qc + 15
+	}
+	tiles, err := kspectrum.CountTiles(nil, p.K, p.Overlap, p.Qc)
+	if err != nil {
+		return nil, nil, err
+	}
+	prepared := make([]seq.Read, len(reads))
+	for i, r := range reads {
+		prepared[i] = prepareRead(r, p)
+	}
+	tiles.Add(prepared)
+	cg, cm := deriveThresholds(tiles)
+	if p.Cg == 0 {
+		p.Cg = cg
+	}
+	if p.Cm == 0 {
+		p.Cm = cm
+	}
+	c := &Corrector{P: p, Spec: s.spec, NI: s.ni, Tiles: tiles}
+	return c.CorrectAll(reads, workers), c, nil
+}

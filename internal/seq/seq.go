@@ -167,9 +167,14 @@ func Canonical(km Kmer, k int) Kmer {
 	return km
 }
 
-// HammingKmer counts positions at which two k-long kmers differ.
+// HammingKmer counts positions at which two k-long kmers differ. Bits
+// above position 2k do not participate: stray high bits (a hand-built
+// kmer, an unmasked scratch value) never inflate the distance.
 func HammingKmer(a, b Kmer, k int) int {
-	x := uint64(a ^ b)
+	// Mask the XOR to the low 2k bits. At k=32 the shift count is 0 and
+	// the mask is all ones; Go defines shifts >= 64 as 0, so k <= 0
+	// degenerates to a zero mask rather than undefined behavior.
+	x := uint64(a^b) & (^uint64(0) >> (64 - 2*uint(k)))
 	// Collapse each 2-bit base to a single indicator bit, then popcount.
 	x = (x | x>>1) & 0x5555555555555555
 	n := 0

@@ -136,6 +136,34 @@ func TestHammingKmer(t *testing.T) {
 	}
 }
 
+// TestHammingKmerIgnoresHighBits is the regression test for the unmasked
+// XOR: bits above position 2k — a hand-built kmer, a scratch value that
+// was never masked — must not count as mismatches. Before the fix every
+// dirty high bit pair inflated the distance.
+func TestHammingKmerIgnoresHighBits(t *testing.T) {
+	for _, k := range []int{1, 4, 8, 31, 32} {
+		rng := rand.New(rand.NewSource(int64(k)))
+		for trial := 0; trial < 100; trial++ {
+			a := randomKmerBytes(rng, k)
+			b := randomKmerBytes(rng, k)
+			ka, _ := Pack(a, k)
+			kb, _ := Pack(b, k)
+			// Smear garbage into the bits above 2k (none exist at k=32,
+			// where the identity must hold trivially).
+			dirtyA, dirtyB := ka, kb
+			if k < MaxK {
+				high := ^(Kmer(1)<<(2*uint(k)) - 1)
+				dirtyA |= Kmer(rng.Uint64()) & high
+				dirtyB |= Kmer(rng.Uint64()) & high
+			}
+			want := Hamming(a, b)
+			if got := HammingKmer(dirtyA, dirtyB, k); got != want {
+				t.Fatalf("k=%d dirty HammingKmer=%d want %d (a=%s b=%s)", k, got, want, a, b)
+			}
+		}
+	}
+}
+
 func TestHammingKmerMatchesBytes(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 200; trial++ {

@@ -1,165 +1,12 @@
-// Command closet clusters metagenomic reads (Chapter 4): sketch-based edge
-// construction followed by incremental γ-quasi-clique enumeration over a
-// decreasing similarity-threshold ladder, executed on the in-process
-// MapReduce engine.
-//
-// Usage:
-//
-//	closet -in meta.fastq -out clusters.tsv [-thresholds 0.95,0.92,0.90] \
-//	       [-gamma 0.667] [-cmin 0.60] [-workers N] [-nodes 32] [-labels labels.tsv]
-//
-// With -labels (a TSV from ngsim -mode meta), the Adjusted Rand Index
-// against the ground-truth species partition is reported per threshold.
+// Command closet clusters metagenomic reads (Chapter 4): sketch-based
+// edge construction followed by incremental γ-quasi-clique enumeration
+// over a decreasing similarity-threshold ladder. It is a thin wrapper
+// over `repro closet` — the same subcommand function, flags and output;
+// see internal/cli.
 package main
 
-import (
-	"bufio"
-	"flag"
-	"fmt"
-	"log"
-	"os"
-	"strconv"
-	"strings"
-	"time"
-
-	"repro/internal/closet"
-	"repro/internal/eval"
-	"repro/internal/fastq"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("closet: ")
-	var (
-		in         = flag.String("in", "", "input FASTQ (required)")
-		out        = flag.String("out", "", "output cluster TSV (required)")
-		thresholds = flag.String("thresholds", "0.95,0.92,0.90", "decreasing similarity ladder")
-		gamma      = flag.Float64("gamma", 2.0/3.0, "quasi-clique density γ")
-		cmin       = flag.Float64("cmin", 0.60, "candidate similarity cutoff Cmin")
-		nodes      = flag.Int("nodes", 32, "simulated cluster nodes")
-		workers    = flag.Int("workers", 0, "parallel workers, mapped onto the MapReduce node count (0 = keep -nodes)")
-		labelsPath = flag.String("labels", "", "optional taxonomy TSV for ARI evaluation")
-	)
-	flag.Parse()
-	if *in == "" || *out == "" {
-		log.Fatal("-in and -out are required")
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	reads, err := fastq.NewReader(f).ReadAll()
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	meanLen := 0
-	for _, r := range reads {
-		meanLen += len(r.Seq)
-	}
-	if len(reads) > 0 {
-		meanLen /= len(reads)
-	}
-	cfg := closet.DefaultConfig(meanLen)
-	cfg.Gamma = *gamma
-	cfg.Cmin = *cmin
-	cfg.Nodes = *nodes
-	// -workers is the cross-CLI parallelism knob: here it sizes the
-	// simulated cluster (mapreduce.Config.Nodes bounds both the shuffle
-	// partitions and the concurrent map/reduce workers).
-	if *workers > 0 {
-		cfg.Nodes = *workers
-	}
-	cfg.Thresholds = nil
-	for _, s := range strings.Split(*thresholds, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
-		if err != nil {
-			log.Fatalf("bad threshold %q: %v", s, err)
-		}
-		cfg.Thresholds = append(cfg.Thresholds, v)
-	}
-	start := time.Now()
-	res, err := closet.Run(reads, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("edges: predicted %d, unique %d, confirmed %d\n", res.PredictedEdges, res.UniqueEdges, res.ConfirmedEdges)
-	for _, st := range res.Timings {
-		fmt.Printf("stage %-16s %v\n", st.Stage, st.Duration.Round(time.Millisecond))
-	}
-
-	var truth []int
-	if *labelsPath != "" {
-		truth, err = readLabels(*labelsPath, len(reads))
-		if err != nil {
-			log.Fatal(err)
-		}
-	}
-	o, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer o.Close()
-	w := bufio.NewWriter(o)
-	defer w.Flush()
-	fmt.Fprintln(w, "threshold\tcluster\tread")
-	for _, tr := range res.ByThreshold {
-		fmt.Printf("t=%.2f: %d edges, %d clusters processed, %d resulting clusters",
-			tr.Threshold, tr.EdgesUsed, tr.ClustersProcessed, len(tr.Clusters))
-		if truth != nil {
-			labels := closet.PartitionLabels(tr.Clusters, len(reads))
-			ari, err := eval.ARI(truth, labels)
-			if err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf(", ARI=%.3f", ari)
-		}
-		fmt.Println()
-		for ci, c := range tr.Clusters {
-			for _, v := range c.Verts {
-				fmt.Fprintf(w, "%.2f\t%d\t%s\n", tr.Threshold, ci, reads[v].ID)
-			}
-		}
-	}
-	fmt.Printf("total %v\n", time.Since(start).Round(time.Millisecond))
-}
-
-// readLabels parses the ngsim label TSV, matching rows to read order.
-func readLabels(path string, n int) ([]int, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	s := bufio.NewScanner(f)
-	var out []int
-	first := true
-	for s.Scan() {
-		line := strings.TrimSpace(s.Text())
-		if line == "" {
-			continue
-		}
-		if first {
-			first = false
-			if strings.HasPrefix(line, "read\t") {
-				continue
-			}
-		}
-		fields := strings.Split(line, "\t")
-		if len(fields) < 4 {
-			return nil, fmt.Errorf("labels: bad line %q", line)
-		}
-		sp, err := strconv.Atoi(fields[3])
-		if err != nil {
-			return nil, fmt.Errorf("labels: bad species id in %q", line)
-		}
-		out = append(out, sp)
-	}
-	if err := s.Err(); err != nil {
-		return nil, err
-	}
-	if len(out) != n {
-		return nil, fmt.Errorf("labels: %d rows but %d reads", len(out), n)
-	}
-	return out, nil
+	cli.Main("closet", cli.Closet)
 }

@@ -1,72 +1,11 @@
-// Command eceval scores an error correction run at base level (§2.4): given
-// the original reads, the corrected reads, and the error-free truth (all
-// FASTQ, same order), it reports TP/FP/TN/FN, EBA, Sensitivity, Specificity
-// and Gain.
-//
-// Usage:
-//
-//	eceval -before reads.fastq -after corrected.fastq -truth truth.fastq [-workers N]
+// Command eceval scores an error correction run at base level (§2.4):
+// TP/FP/TN/FN, EBA, Sensitivity, Specificity and Gain against error-free
+// truth. It is a thin wrapper over `repro eceval` — the same subcommand
+// function, flags and output; see internal/cli.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"log"
-	"os"
-	"runtime"
-
-	"repro/internal/eval"
-	"repro/internal/fastq"
-	"repro/internal/seq"
-	"repro/internal/simulate"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("eceval: ")
-	var (
-		before  = flag.String("before", "", "original reads FASTQ (required)")
-		after   = flag.String("after", "", "corrected reads FASTQ (required)")
-		truth   = flag.String("truth", "", "error-free truth FASTQ (required)")
-		workers = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-	)
-	flag.Parse()
-	if *before == "" || *after == "" || *truth == "" {
-		log.Fatal("-before, -after and -truth are required")
-	}
-	b := readAll(*before)
-	a := readAll(*after)
-	tr := readAll(*truth)
-	if len(b) != len(a) || len(b) != len(tr) {
-		log.Fatalf("read counts differ: before=%d after=%d truth=%d", len(b), len(a), len(tr))
-	}
-	sim := make([]simulate.SimRead, len(b))
-	for i := range b {
-		if b[i].ID != tr[i].ID {
-			log.Fatalf("read %d: id mismatch %q vs truth %q", i, b[i].ID, tr[i].ID)
-		}
-		sim[i] = simulate.SimRead{Read: b[i], True: tr[i].Seq}
-	}
-	w := *workers
-	if w <= 0 {
-		w = runtime.GOMAXPROCS(0)
-	}
-	stats, err := eval.EvaluateCorrectionParallel(sim, a, w)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Println(stats)
-}
-
-func readAll(path string) []seq.Read {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	reads, err := fastq.NewReader(f).ReadAll()
-	if err != nil {
-		log.Fatal(err)
-	}
-	return reads
+	cli.Main("eceval", cli.Eceval)
 }

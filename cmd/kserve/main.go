@@ -1,430 +1,12 @@
 // Command kserve is the correction-as-a-service daemon: it loads one or
-// more persisted k-spectra (see reptile/redeem -save-spectrum) into a
-// named registry at startup and serves correction requests over HTTP from
-// then on, so the expensive Phase-1 spectrum work is paid once per corpus
-// instead of once per invocation.
-//
-// Usage:
-//
-//	kserve -spectrum ecoli=ecoli.kspc [-spectrum human=h.kspc ...] \
-//	       [-listen :8424] [-max-inflight N] [-max-chunk-reads N] \
-//	       [-workers N] [-error-rate 0.01] [-d 1]
-//
-// Endpoints:
-//
-//	POST /v1/correct?spectrum=NAME&method=reptile|redeem
-//	    Request body: a FASTQ chunk. Response body: the corrected chunk,
-//	    same order and count. The spectrum parameter may be omitted when
-//	    exactly one spectrum is loaded. Per-request stats come back in
-//	    X-Kserve-Reads / X-Kserve-Changed / X-Kserve-Duration-Ms headers.
-//	GET /v1/spectra
-//	    JSON list of the loaded spectra (name, k, kmers, both_strands).
-//	GET /healthz
-//	    Liveness plus aggregate request counters.
-//
-// Concurrency is bounded by a semaphore of -max-inflight slots; requests
-// beyond the bound queue until a slot frees or the client gives up.
-// SIGINT/SIGTERM drain in-flight requests before exit.
+// more persisted k-spectra into a named registry at startup and serves
+// correction requests over HTTP (legacy /v1, registry-driven /v2). It is
+// a thin wrapper over `repro serve` — the same subcommand function, flags
+// and endpoints; see internal/cli.
 package main
 
-import (
-	"bytes"
-	"context"
-	"encoding/json"
-	"errors"
-	"flag"
-	"fmt"
-	"log"
-	"net/http"
-	"os"
-	"os/signal"
-	"runtime"
-	"sort"
-	"strings"
-	"sync"
-	"sync/atomic"
-	"syscall"
-	"time"
-
-	"repro/internal/core"
-	"repro/internal/fastq"
-	"repro/internal/kspectrum"
-	"repro/internal/redeem"
-	"repro/internal/reptile"
-	"repro/internal/seq"
-	"repro/internal/simulate"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("kserve: ")
-	var specs specFlags
-	var (
-		listen        = flag.String("listen", ":8424", "HTTP listen address")
-		maxInflight   = flag.Int("max-inflight", 0, "max concurrent correction requests (0 = 2x GOMAXPROCS)")
-		maxChunkReads = flag.Int("max-chunk-reads", 100000, "max reads accepted per request (0 = unlimited)")
-		maxChunkBytes = flag.String("max-chunk-bytes", "64MB", "max raw request body size")
-		workers       = flag.Int("workers", 1, "correction workers per request (0 = all cores; keep small, requests already run in parallel)")
-		errorRate     = flag.Float64("error-rate", 0.01, "assumed substitution rate for the REDEEM error model")
-		d             = flag.Int("d", 1, "Reptile max Hamming distance per constituent kmer")
-		readTimeout   = flag.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
-		drainTimeout  = flag.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
-	)
-	flag.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable, required)")
-	flag.Parse()
-	if len(specs) == 0 {
-		log.Fatal("at least one -spectrum name=path is required")
-	}
-
-	loaded := make(map[string]*kspectrum.Spectrum, len(specs))
-	for _, nv := range specs {
-		name, path, ok := strings.Cut(nv, "=")
-		if !ok || name == "" || path == "" {
-			log.Fatalf("-spectrum %q: want name=path", nv)
-		}
-		if _, dup := loaded[name]; dup {
-			log.Fatalf("-spectrum %q: duplicate name", name)
-		}
-		start := time.Now()
-		spec, err := kspectrum.ReadSpectrumFile(path)
-		if err != nil {
-			log.Fatal(err)
-		}
-		loaded[name] = spec
-		log.Printf("loaded spectrum %q: k=%d, %d kmers, bothStrands=%v (%v)",
-			name, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
-	}
-
-	chunkBytes, err := core.ParseByteSize(*maxChunkBytes)
-	if err != nil {
-		log.Fatal(err)
-	}
-	srv, err := newServer(loaded, serverOptions{
-		MaxInflight:   *maxInflight,
-		MaxChunkReads: *maxChunkReads,
-		MaxChunkBytes: chunkBytes,
-		Workers:       *workers,
-		ErrorRate:     *errorRate,
-		D:             *d,
-	})
-	if err != nil {
-		log.Fatal(err)
-	}
-	for name, e := range srv.entries {
-		if e.reptileErr != nil {
-			log.Printf("spectrum %q serves redeem only (%v)", name, e.reptileErr)
-		}
-	}
-
-	httpSrv := &http.Server{
-		Addr:    *listen,
-		Handler: srv.mux(),
-		// Without read deadlines, max-inflight slow uploads would pin
-		// every correction slot forever (each handler reads the body
-		// while holding its semaphore slot).
-		ReadTimeout:       *readTimeout,
-		ReadHeaderTimeout: 10 * time.Second,
-	}
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d spectra on %s (max-inflight %d)", len(loaded), *listen, srv.maxInflight)
-	select {
-	case err := <-errc:
-		log.Fatal(err)
-	case <-ctx.Done():
-	}
-	log.Print("shutting down, draining in-flight requests")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
-	defer cancel()
-	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
-		log.Fatalf("drain: %v", err)
-	}
-	log.Printf("served %d requests (%d reads, %d changed)",
-		srv.stats.requests.Load(), srv.stats.reads.Load(), srv.stats.changed.Load())
-}
-
-// specFlags collects repeated -spectrum name=path arguments.
-type specFlags []string
-
-func (s *specFlags) String() string     { return strings.Join(*s, ",") }
-func (s *specFlags) Set(v string) error { *s = append(*s, v); return nil }
-
-// serverOptions configures a correction server.
-type serverOptions struct {
-	// MaxInflight bounds concurrently-executing correction requests
-	// (<= 0 selects 2x GOMAXPROCS).
-	MaxInflight int
-	// MaxChunkReads caps the reads accepted per request (0 = unlimited).
-	MaxChunkReads int
-	// MaxChunkBytes caps the raw request body size (<= 0 selects 64 MiB)
-	// via http.MaxBytesReader, so a hostile or misconfigured client
-	// cannot balloon the daemon before read-count limits even apply.
-	MaxChunkBytes int64
-	// Workers is the per-request correction parallelism (the inter-request
-	// parallelism is MaxInflight; <= 0 uses all cores per request).
-	Workers int
-	// ErrorRate parameterizes the uniform REDEEM error model.
-	ErrorRate float64
-	// D is Reptile's per-kmer Hamming budget (0 selects the default 1).
-	D int
-}
-
-// entry is one registry slot: a loaded spectrum plus the per-algorithm
-// service state derived from it. The Reptile side (neighbor index) is
-// built at registration; the REDEEM side (EM fit + threshold inference)
-// is built lazily on first use, once, because it is the more expensive
-// derivation and many deployments serve a single algorithm.
-type entry struct {
-	name string
-	spec *kspectrum.Spectrum
-	// reptile is nil when the spectrum cannot serve Reptile (e.g. k > 16
-	// overflows the packed tile); reptileErr then says why, and the
-	// spectrum still serves REDEEM.
-	reptile    *reptile.Service
-	reptileErr error
-
-	redeemOnce sync.Once
-	redeemMdl  *redeem.Model
-	redeemThr  float64
-	redeemErr  error
-
-	rate float64
-}
-
-// redeemModel returns the lazily-fitted REDEEM model for this spectrum.
-func (e *entry) redeemModel() (*redeem.Model, float64, error) {
-	e.redeemOnce.Do(func() {
-		cfg := redeem.DefaultConfig(e.spec.K)
-		cfg.Spectrum = e.spec
-		model := simulate.NewUniformKmerModel(e.spec.K, e.rate)
-		m, err := redeem.NewFromSpectrum(e.spec, model, cfg)
-		if err != nil {
-			e.redeemErr = err
-			return
-		}
-		m.Run()
-		thr, _, err := m.InferThreshold(1, 3)
-		if err != nil {
-			e.redeemErr = err
-			return
-		}
-		e.redeemMdl, e.redeemThr = m, thr
-	})
-	return e.redeemMdl, e.redeemThr, e.redeemErr
-}
-
-// server is the HTTP correction service: an immutable registry of named
-// spectra and a semaphore bounding in-flight correction work.
-type server struct {
-	entries     map[string]*entry
-	sem         chan struct{}
-	maxInflight int
-	opts        serverOptions
-
-	stats struct {
-		requests atomic.Int64
-		reads    atomic.Int64
-		changed  atomic.Int64
-	}
-}
-
-// newServer builds the registry: every spectrum gets its Reptile service
-// (shared neighbor index) constructed eagerly so the first request pays
-// no index-build latency.
-func newServer(specs map[string]*kspectrum.Spectrum, opts serverOptions) (*server, error) {
-	if opts.MaxInflight <= 0 {
-		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
-	}
-	if opts.MaxChunkBytes <= 0 {
-		opts.MaxChunkBytes = 64 << 20
-	}
-	if opts.ErrorRate <= 0 {
-		opts.ErrorRate = 0.01
-	}
-	s := &server{
-		entries:     make(map[string]*entry, len(specs)),
-		sem:         make(chan struct{}, opts.MaxInflight),
-		maxInflight: opts.MaxInflight,
-		opts:        opts,
-	}
-	for name, spec := range specs {
-		e := &entry{name: name, spec: spec, rate: opts.ErrorRate}
-		// A spectrum Reptile cannot serve (2k-base tiles need k <= 16)
-		// is not fatal: it still serves REDEEM, and method=reptile
-		// requests get the stored reason back as a clean 400.
-		if e.reptile, e.reptileErr = reptile.NewService(spec, reptile.Params{D: opts.D}); e.reptileErr != nil {
-			e.reptile = nil
-		}
-		s.entries[name] = e
-	}
-	return s, nil
-}
-
-// mux wires the endpoints.
-func (s *server) mux() http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/healthz", s.handleHealthz)
-	mux.HandleFunc("/v1/spectra", s.handleSpectra)
-	mux.HandleFunc("/v1/correct", s.handleCorrect)
-	return mux
-}
-
-func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"spectra":  len(s.entries),
-		"requests": s.stats.requests.Load(),
-		"reads":    s.stats.reads.Load(),
-		"changed":  s.stats.changed.Load(),
-	})
-}
-
-func (s *server) handleSpectra(w http.ResponseWriter, r *http.Request) {
-	type specInfo struct {
-		Name        string `json:"name"`
-		K           int    `json:"k"`
-		Kmers       int    `json:"kmers"`
-		BothStrands bool   `json:"both_strands"`
-	}
-	out := make([]specInfo, 0, len(s.entries))
-	for name, e := range s.entries {
-		out = append(out, specInfo{Name: name, K: e.spec.K, Kmers: e.spec.Size(), BothStrands: e.spec.BothStrands})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
-	writeJSON(w, http.StatusOK, out)
-}
-
-// handleCorrect is the serve path: decode the FASTQ chunk, take a
-// semaphore slot, correct with the selected algorithm against the
-// selected spectrum, encode the result.
-func (s *server) handleCorrect(w http.ResponseWriter, r *http.Request) {
-	if r.Method != http.MethodPost {
-		http.Error(w, "POST a FASTQ chunk", http.StatusMethodNotAllowed)
-		return
-	}
-	e, ok := s.selectEntry(w, r)
-	if !ok {
-		return
-	}
-	method := r.URL.Query().Get("method")
-	if method == "" {
-		method = "reptile"
-	}
-	if method != "reptile" && method != "redeem" {
-		http.Error(w, fmt.Sprintf("unknown method %q (want reptile or redeem)", method), http.StatusBadRequest)
-		return
-	}
-	if method == "reptile" && e.reptile == nil {
-		http.Error(w, fmt.Sprintf("spectrum %q cannot serve method reptile: %v", e.name, e.reptileErr), http.StatusBadRequest)
-		return
-	}
-
-	// Bounded in-flight concurrency: block for a slot, give up if the
-	// client does. Admission happens BEFORE the body is decoded so at
-	// most max-inflight fully-parsed chunks exist at once; the time a
-	// slow upload can then occupy a slot is bounded by the server's
-	// ReadTimeout (-read-timeout), not by client goodwill.
-	select {
-	case s.sem <- struct{}{}:
-		defer func() { <-s.sem }()
-	case <-r.Context().Done():
-		http.Error(w, "client gave up waiting for a correction slot", http.StatusServiceUnavailable)
-		return
-	}
-
-	capped := http.MaxBytesReader(w, r.Body, s.opts.MaxChunkBytes)
-	reads, err := fastq.DecodeChunk(capped, s.opts.MaxChunkReads)
-	if err != nil {
-		status := http.StatusBadRequest
-		var tooBig *http.MaxBytesError
-		if errors.Is(err, fastq.ErrChunkTooLarge) || errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
-		}
-		http.Error(w, err.Error(), status)
-		return
-	}
-	if len(reads) == 0 {
-		http.Error(w, "empty chunk", http.StatusBadRequest)
-		return
-	}
-
-	start := time.Now()
-	var corrected []seq.Read
-	switch method {
-	case "reptile":
-		corrected, _, err = e.reptile.CorrectChunk(reads, s.opts.Workers)
-	case "redeem":
-		var m *redeem.Model
-		var thr float64
-		if m, thr, err = e.redeemModel(); err == nil {
-			corrected = m.CorrectReads(reads, thr, s.opts.Workers)
-		}
-	}
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	body, err := fastq.EncodeChunk(corrected)
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-
-	changed := 0
-	for i := range reads {
-		if !bytes.Equal(reads[i].Seq, corrected[i].Seq) {
-			changed++
-		}
-	}
-	s.stats.requests.Add(1)
-	s.stats.reads.Add(int64(len(reads)))
-	s.stats.changed.Add(int64(changed))
-
-	h := w.Header()
-	h.Set("Content-Type", "text/x-fastq")
-	h.Set("X-Kserve-Spectrum", e.name)
-	h.Set("X-Kserve-Method", method)
-	h.Set("X-Kserve-Reads", fmt.Sprint(len(reads)))
-	h.Set("X-Kserve-Changed", fmt.Sprint(changed))
-	h.Set("X-Kserve-Duration-Ms", fmt.Sprint(time.Since(start).Milliseconds()))
-	w.WriteHeader(http.StatusOK)
-	// A write failure means the client disconnected mid-response; the
-	// work is already done and counted, nothing to clean up.
-	_, _ = w.Write(body)
-}
-
-// selectEntry resolves the spectrum query parameter: an explicit name, or
-// the sole loaded spectrum when the parameter is omitted.
-func (s *server) selectEntry(w http.ResponseWriter, r *http.Request) (*entry, bool) {
-	name := r.URL.Query().Get("spectrum")
-	if name == "" {
-		if len(s.entries) == 1 {
-			for _, e := range s.entries {
-				return e, true
-			}
-		}
-		http.Error(w, "spectrum parameter required (several spectra loaded)", http.StatusBadRequest)
-		return nil, false
-	}
-	e, ok := s.entries[name]
-	if !ok {
-		known := make([]string, 0, len(s.entries))
-		for n := range s.entries {
-			known = append(known, n)
-		}
-		sort.Strings(known)
-		http.Error(w, fmt.Sprintf("unknown spectrum %q (loaded: %s)", name, strings.Join(known, ", ")), http.StatusNotFound)
-		return nil, false
-	}
-	return e, true
-}
-
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	// The status line is already out; an encode failure only means the
-	// client went away.
-	_ = json.NewEncoder(w).Encode(v)
+	cli.Main("kserve", cli.Serve)
 }

@@ -1,156 +1,12 @@
 // Command ngsim synthesizes the evaluation datasets of the dissertation:
-// reference genomes with controlled repeat content, Illumina-like short
-// reads with position-specific error profiles and ground truth, and
-// 454-like metagenomic 16S read pools with taxonomy labels.
-//
-// Usage:
-//
-//	ngsim -mode reads  -genome-len 100000 -read-len 36 -coverage 80 \
-//	      -error-rate 0.006 -repeat-frac 0.5 -out reads.fastq \
-//	      -truth truth.fastq -ref ref.fasta [-workers N]
-//	ngsim -mode meta   -n 50000 -out meta.fastq -labels labels.tsv
-//
-// The truth file carries the error-free read sequences in the same order as
-// the read file, enabling exact evaluation with eceval.
+// reference genomes, Illumina-like short reads with ground truth, and
+// 454-like metagenomic 16S read pools with taxonomy labels. It is a thin
+// wrapper over `repro ngsim` — the same subcommand function, flags and
+// output; see internal/cli.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"log"
-	"math/rand"
-	"os"
-
-	"repro/internal/fastq"
-	"repro/internal/seq"
-	"repro/internal/simulate"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("ngsim: ")
-	var (
-		mode       = flag.String("mode", "reads", "what to simulate: reads | meta")
-		out        = flag.String("out", "", "output FASTQ path (required)")
-		seed       = flag.Int64("seed", 1, "random seed")
-		genomeLen  = flag.Int("genome-len", 100000, "reference genome length (reads mode)")
-		repeatFrac = flag.Float64("repeat-frac", 0, "fraction of genome covered by repeats (reads mode)")
-		readLen    = flag.Int("read-len", 36, "read length (reads mode)")
-		coverage   = flag.Float64("coverage", 80, "sequencing coverage (reads mode)")
-		errorRate  = flag.Float64("error-rate", 0.006, "mean substitution rate")
-		bias       = flag.String("bias", "ecoli", "platform bias profile: ecoli | asp | uniform")
-		nRate      = flag.Float64("n-rate", 0, "ambiguous base rate (reads mode)")
-		truth      = flag.String("truth", "", "optional error-free truth FASTQ (reads mode)")
-		ref        = flag.String("ref", "", "optional reference genome FASTA (reads mode)")
-		n          = flag.Int("n", 10000, "number of reads (meta mode)")
-		labels     = flag.String("labels", "", "optional taxonomy label TSV (meta mode)")
-		workers    = flag.Int("workers", 1, "read-synthesis workers (reads mode); <=1 = the single-stream sampler, >1 = parallel per-read RNG streams (identical output for any worker count >1, but different from the single-stream sampler)")
-	)
-	flag.Parse()
-	if *out == "" {
-		log.Fatal("-out is required")
-	}
-	switch *mode {
-	case "reads":
-		if err := simReads(*out, *truth, *ref, *seed, *genomeLen, *repeatFrac, *readLen, *coverage, *errorRate, *bias, *nRate, *workers); err != nil {
-			log.Fatal(err)
-		}
-	case "meta":
-		if err := simMeta(*out, *labels, *seed, *n, *errorRate); err != nil {
-			log.Fatal(err)
-		}
-	default:
-		log.Fatalf("unknown mode %q", *mode)
-	}
-}
-
-func simReads(out, truth, ref string, seed int64, genomeLen int, repeatFrac float64, readLen int, coverage, errorRate float64, bias string, nRate float64, workers int) error {
-	var platform simulate.PlatformBias
-	switch bias {
-	case "ecoli":
-		platform = simulate.EcoliBias
-	case "asp":
-		platform = simulate.AspBias
-	case "uniform":
-		platform = simulate.PlatformBias{Name: "uniform", Bias: simulate.Matrix4{
-			{0, 1, 1, 1}, {1, 0, 1, 1}, {1, 1, 0, 1}, {1, 1, 1, 0},
-		}}
-	default:
-		return fmt.Errorf("unknown bias %q", bias)
-	}
-	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
-		Name: "ngsim", GenomeLen: genomeLen, RepeatFrac: repeatFrac,
-		ReadLen: readLen, Coverage: coverage, ErrorRate: errorRate,
-		Bias: platform, QualityNoise: 2, AmbiguousRate: nRate, Seed: seed,
-		Workers: workers,
-	})
-	if err != nil {
-		return err
-	}
-	if err := writeFastq(out, simulate.Reads(ds.Sim)); err != nil {
-		return err
-	}
-	if truth != "" {
-		tr := make([]seq.Read, len(ds.Sim))
-		for i, s := range ds.Sim {
-			tr[i] = seq.Read{ID: s.Read.ID, Seq: s.True}
-		}
-		if err := writeFastq(truth, tr); err != nil {
-			return err
-		}
-	}
-	if ref != "" {
-		f, err := os.Create(ref)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := fastq.WriteFasta(f, []fastq.FastaRecord{{ID: "ngsim-ref", Seq: ds.Genome}}); err != nil {
-			return err
-		}
-	}
-	fmt.Printf("wrote %d reads (%dbp, %.0fx, %.2f%% error) over a %d bp genome (%.0f%% repeats)\n",
-		len(ds.Sim), readLen, coverage, 100*errorRate, genomeLen, 100*repeatFrac)
-	return nil
-}
-
-func simMeta(out, labels string, seed int64, n int, errorRate float64) error {
-	rng := rand.New(rand.NewSource(seed))
-	tax, err := simulate.NewTaxonomy(simulate.DefaultTaxonomyConfig(), rng)
-	if err != nil {
-		return err
-	}
-	cfg := simulate.DefaultMetagenomeConfig(n)
-	if errorRate > 0 {
-		cfg.ErrorRate = errorRate
-	}
-	reads, err := simulate.SampleMetagenome(tax, cfg, rng)
-	if err != nil {
-		return err
-	}
-	if err := writeFastq(out, simulate.MetaReads(reads)); err != nil {
-		return err
-	}
-	if labels != "" {
-		f, err := os.Create(labels)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		fmt.Fprintln(f, "read\tphylum\tgenus\tspecies")
-		for _, r := range reads {
-			fmt.Fprintf(f, "%s\t%d\t%d\t%d\n", r.Read.ID, r.Taxon.Phylum, r.Taxon.Genus, r.Taxon.Species)
-		}
-	}
-	fmt.Printf("wrote %d metagenomic reads from %d species\n", len(reads), len(tax.Species))
-	return nil
-}
-
-func writeFastq(path string, reads []seq.Read) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	return fastq.Write(f, reads)
+	cli.Main("ngsim", cli.Ngsim)
 }

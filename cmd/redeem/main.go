@@ -1,188 +1,12 @@
 // Command redeem performs repeat-aware error detection and correction
-// (Chapter 3): EM estimation of per-kmer expected read attempts, automatic
-// threshold inference via the §3.7 mixture model, and per-base posterior
-// correction. Correction runs as a streaming pipeline: two chunked passes
-// over the input, so with -mem-budget the k-spectrum accumulator spills to
-// disk and peak memory is bounded regardless of input size.
-//
-// Usage:
-//
-//	redeem -in reads.fastq -out corrected.fastq [-k 11] [-error-rate 0.01] \
-//	       [-workers N] [-shards N] [-mem-budget 64MB] \
-//	       [-load-spectrum spec.kspc] [-save-spectrum spec.kspc] \
-//	       [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//	redeem -in reads.fastq -detect-only -k 11            # print the T histogram + threshold
-//
-// -save-spectrum persists the counted k-spectrum; -load-spectrum reuses a
-// persisted one, skipping the counting pass entirely (EM and correction
-// still run, so output is byte-identical to a fresh build over the same
-// input). The stored k is authoritative: it overrides the default when -k
-// is not given, and an explicitly disagreeing -k is an error.
+// (Chapter 3): EM estimation of per-kmer expected read attempts,
+// automatic threshold inference, and per-base posterior correction. It is
+// a thin wrapper over `repro redeem` — the same subcommand function,
+// flags and output; see internal/cli.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"log"
-	"os"
-	"time"
-
-	"repro/internal/core"
-	"repro/internal/fastq"
-	"repro/internal/kspectrum"
-	"repro/internal/redeem"
-	"repro/internal/seq"
-	"repro/internal/simulate"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("redeem: ")
-	var (
-		in         = flag.String("in", "", "input FASTQ (required)")
-		out        = flag.String("out", "", "output FASTQ (required unless -detect-only)")
-		k          = flag.Int("k", 11, "kmer length")
-		errorRate  = flag.Float64("error-rate", 0.01, "assumed uniform substitution rate for the error model")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
-		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
-		loadSpec   = flag.String("load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
-		saveSpec   = flag.String("save-spectrum", "", "persist the run's k-spectrum to this path")
-		detectOnly = flag.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
-	if *in == "" || (*out == "" && !*detectOnly) {
-		log.Fatal("-in is required, and -out unless -detect-only")
-	}
-	budget, err := core.ParseByteSize(*memBudget)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stopProfiles, err := core.StartProfiles(*cpuprofile, *memprofile)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var spec *kspectrum.Spectrum
-	if *loadSpec != "" {
-		// -k has a non-zero default, so explicitness needs flag.Visit;
-		// core.LoadSpectrumForK then owns the k-authority rule.
-		explicitK := 0
-		flag.Visit(func(f *flag.Flag) {
-			if f.Name == "k" {
-				explicitK = *k
-			}
-		})
-		spec, err = core.LoadSpectrumForK(*loadSpec, explicitK)
-		if err != nil {
-			log.Fatal(err)
-		}
-		*k = spec.K // the stored k is authoritative over the default
-	}
-	model := simulate.NewUniformKmerModel(*k, *errorRate)
-	cfg := redeem.DefaultConfig(*k)
-	cfg.Spectrum = spec
-	cfg.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
-	cfg.MemoryBudget = budget
-	// The CLI has always swept up to 4 mixture components; keep the
-	// correction pass consistent with the -detect-only report.
-	cfg.MixtureMaxG = 4
-	start := time.Now()
-
-	if *detectOnly {
-		// With a preloaded spectrum the reads are never consulted —
-		// detection runs purely on the stored counts — so skip reading
-		// the (possibly huge) input entirely.
-		var reads []seq.Read
-		if spec == nil {
-			f, err := os.Open(*in)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if reads, err = fastq.NewReader(f).ReadAll(); err != nil {
-				f.Close()
-				log.Fatal(err)
-			}
-			f.Close()
-		}
-		m, err := redeem.New(reads, model, cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-		iters := m.Run()
-		thr, mix, err := m.InferThreshold(1, 4)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if *saveSpec != "" {
-			if err := kspectrum.WriteSpectrumFile(*saveSpec, m.Spec); err != nil {
-				log.Fatal(err)
-			}
-		}
-		fmt.Printf("spectrum %d kmers; EM converged in %d iterations; inferred threshold %.2f (coverage constant %.1f, G=%d) in %v\n",
-			m.Spec.Size(), iters, thr, mix.Theta, mix.G, time.Since(start).Round(time.Millisecond))
-		flagged := m.DetectByT(thr)
-		n := 0
-		for _, b := range flagged {
-			if b {
-				n++
-			}
-		}
-		fmt.Printf("flagged %d of %d kmers as erroneous\n", n, len(flagged))
-		fmt.Println("T histogram (bin width = coverage/20):")
-		width := mix.Theta / 20
-		if width <= 0 {
-			width = 1
-		}
-		h := m.THistogram(width, 2.5*mix.Theta)
-		for b, c := range h {
-			fmt.Printf("%8.1f %d\n", float64(b)*width, c)
-		}
-		if err := stopProfiles(); err != nil {
-			log.Fatal(err)
-		}
-		return
-	}
-
-	open := func() (redeem.ChunkSource, error) {
-		f, err := os.Open(*in)
-		if err != nil {
-			return nil, err
-		}
-		return fastq.NewChunkReader(f, 0), nil
-	}
-	o, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer o.Close()
-	w := fastq.NewWriter(o)
-	total, changed := 0, 0
-	emit := func(orig, corrected []seq.Read) error {
-		total += len(orig)
-		for i := range orig {
-			if string(orig[i].Seq) != string(corrected[i].Seq) {
-				changed++
-			}
-		}
-		return w.WriteChunk(corrected)
-	}
-	m, thr, err := redeem.CorrectStream(open, emit, model, cfg, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	if *saveSpec != "" {
-		if err := kspectrum.WriteSpectrumFile(*saveSpec, m.Spec); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("spectrum %d kmers; inferred threshold %.2f; corrected %d of %d reads (budget %s) in %v\n",
-		m.Spec.Size(), thr, changed, total, *memBudget, time.Since(start).Round(time.Millisecond))
-	if err := stopProfiles(); err != nil {
-		log.Fatal(err)
-	}
+	cli.Main("redeem", cli.Redeem)
 }

@@ -1,156 +1,11 @@
 // Command reptile corrects substitution errors in short-read FASTQ data
-// using the representative-tiling algorithm of Chapter 2. It runs as a
-// streaming pipeline: two chunked passes over the input, so with
-// -mem-budget the k-spectrum accumulators spill to disk and peak memory is
-// bounded regardless of input size.
-//
-// Usage:
-//
-//	reptile -in reads.fastq -out corrected.fastq [-k 12] [-d 1] [-genome-len 0] \
-//	        [-workers N] [-shards N] [-mem-budget 64MB] \
-//	        [-load-spectrum spec.kspc] [-save-spectrum spec.kspc] \
-//	        [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
-//
-// -save-spectrum persists the k-spectrum built by the run to the versioned
-// store format; -load-spectrum reuses a persisted spectrum, skipping the
-// kmer counting of the build pass (tile counts are still taken from the
-// input, so output is byte-identical to a fresh build over the same data).
-// The stored k is authoritative: it overrides the derived default, and an
-// explicitly disagreeing -k is an error.
+// using the representative-tiling algorithm of Chapter 2. It is a thin
+// wrapper over `repro reptile` — the same subcommand function, flags and
+// output; see internal/cli.
 package main
 
-import (
-	"flag"
-	"fmt"
-	"io"
-	"log"
-	"os"
-	"time"
-
-	"repro/internal/core"
-	"repro/internal/fastq"
-	"repro/internal/kspectrum"
-	"repro/internal/reptile"
-	"repro/internal/seq"
-)
+import "repro/internal/cli"
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("reptile: ")
-	var (
-		in         = flag.String("in", "", "input FASTQ (required)")
-		out        = flag.String("out", "", "output FASTQ (required)")
-		k          = flag.Int("k", 0, "kmer length (0 = derive from genome length)")
-		d          = flag.Int("d", 1, "max Hamming distance per constituent kmer")
-		genomeLen  = flag.Int("genome-len", 0, "estimated genome length for parameter selection")
-		workers    = flag.Int("workers", 0, "parallel workers (0 = all cores)")
-		shards     = flag.Int("shards", 0, "spectrum shard count (0 = derive from workers)")
-		memBudget  = flag.String("mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
-		loadSpec   = flag.String("load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
-		saveSpec   = flag.String("save-spectrum", "", "persist the run's k-spectrum to this path")
-		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
-		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
-	)
-	flag.Parse()
-	if *in == "" || *out == "" {
-		log.Fatal("-in and -out are required")
-	}
-	budget, err := core.ParseByteSize(*memBudget)
-	if err != nil {
-		log.Fatal(err)
-	}
-	stopProfiles, err := core.StartProfiles(*cpuprofile, *memprofile)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	open := func() (reptile.ChunkSource, error) {
-		f, err := os.Open(*in)
-		if err != nil {
-			return nil, err
-		}
-		return fastq.NewChunkReader(f, 0), nil
-	}
-
-	// Derive data-dependent parameters (Qc, default k) from a bounded
-	// leading sample — large enough to smooth quality drift across the run.
-	const sampleReads = 20000
-	src, err := open()
-	if err != nil {
-		log.Fatal(err)
-	}
-	var sample []seq.Read
-	for len(sample) < sampleReads {
-		chunk, err := src.Next()
-		if err == io.EOF {
-			break
-		}
-		if err != nil {
-			src.Close()
-			log.Fatalf("sampling %s: %v", *in, err)
-		}
-		sample = append(sample, chunk...)
-	}
-	src.Close()
-	if len(sample) == 0 {
-		log.Fatalf("sampling %s: no reads", *in)
-	}
-	params := reptile.DefaultParams(sample, *genomeLen)
-	if *k > 0 {
-		params.K = *k
-		params.C = min(params.K, params.D+4)
-	}
-	if *loadSpec != "" {
-		// core.LoadSpectrumForK owns the k-authority rule: an explicit
-		// disagreeing -k errors, otherwise the stored k wins.
-		spec, err := core.LoadSpectrumForK(*loadSpec, *k)
-		if err != nil {
-			log.Fatal(err)
-		}
-		params.K = spec.K
-		params.C = min(params.K, params.D+4)
-		params.Spectrum = spec
-	}
-	params.D = *d
-	if params.C <= params.D {
-		params.C = params.D + 2
-	}
-	params.Build = kspectrum.BuildOptions{Workers: *workers, Shards: *shards}
-	params.MemoryBudget = budget
-
-	o, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer o.Close()
-	w := fastq.NewWriter(o)
-
-	total, changed := 0, 0
-	emit := func(orig, corrected []seq.Read) error {
-		total += len(orig)
-		for i := range orig {
-			if string(orig[i].Seq) != string(corrected[i].Seq) {
-				changed++
-			}
-		}
-		return w.WriteChunk(corrected)
-	}
-	start := time.Now()
-	c, err := reptile.CorrectStream(open, emit, params, *workers)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	if *saveSpec != "" {
-		if err := kspectrum.WriteSpectrumFile(*saveSpec, c.Spec); err != nil {
-			log.Fatal(err)
-		}
-	}
-	fmt.Printf("corrected %d of %d reads (k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles, budget %s) in %v\n",
-		changed, total, c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size(), *memBudget, time.Since(start).Round(time.Millisecond))
-	if err := stopProfiles(); err != nil {
-		log.Fatal(err)
-	}
+	cli.Main("reptile", cli.Reptile)
 }

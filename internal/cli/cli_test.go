@@ -1,0 +1,93 @@
+package cli
+
+import (
+	"bytes"
+	"errors"
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// TestRunHelp: `repro help` prints the subcommand synopsis and succeeds.
+func TestRunHelp(t *testing.T) {
+	var out bytes.Buffer
+	if err := Run([]string{"help"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"reptile", "redeem", "shrec", "serve", "ngsim", "eceval", "closet"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("top-level usage misses %q", name)
+		}
+	}
+}
+
+// TestRunUnknownSubcommand: unknown names fail through the shared usage
+// path with a non-nil error.
+func TestRunUnknownSubcommand(t *testing.T) {
+	err := Run([]string{"frobnicate"}, io.Discard)
+	var ue *usageError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error = %v, want usageError", err)
+	}
+	if !strings.Contains(ue.msg, "frobnicate") {
+		t.Errorf("usage error %q does not name the subcommand", ue.msg)
+	}
+	if err := Run(nil, io.Discard); !errors.As(err, &ue) {
+		t.Errorf("empty invocation error = %v, want usageError", err)
+	}
+}
+
+// TestSubcommandHelp: `-h` on every subcommand resolves to flag.ErrHelp —
+// the shared wrapper maps it to exit 0, which the CI smoke step relies
+// on.
+func TestSubcommandHelp(t *testing.T) {
+	for _, c := range commands() {
+		if err := c.run([]string{"-h"}, io.Discard); !errors.Is(err, flag.ErrHelp) {
+			t.Errorf("%s -h: error = %v, want flag.ErrHelp", c.name, err)
+		}
+	}
+}
+
+// TestSubcommandMissingArgs: every correction-shaped subcommand reports
+// bad invocations as usage errors (message + usage to stderr, exit 2)
+// instead of log.Fatal.
+func TestSubcommandMissingArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		run  func([]string, io.Writer) error
+	}{
+		{"reptile", reptileCmd},
+		{"redeem", redeemCmd},
+		{"shrec", shrecCmd},
+		{"serve", serveCmd},
+		{"ngsim", ngsimCmd},
+		{"eceval", ecevalCmd},
+		{"closet", closetCmd},
+	}
+	for _, tc := range cases {
+		err := tc.run([]string{}, io.Discard)
+		var ue *usageError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s with no args: error = %v, want usageError", tc.name, err)
+		}
+	}
+}
+
+// TestSubcommandBadFlag: unparseable flags map onto the silent errParse
+// path (flag already printed the message and usage).
+func TestSubcommandBadFlag(t *testing.T) {
+	err := reptileCmd([]string{"-definitely-not-a-flag"}, io.Discard)
+	if !errors.Is(err, errParse) {
+		t.Errorf("bad flag error = %v, want errParse", err)
+	}
+}
+
+// TestNgsimBadMode: mode validation flows through the usage path too.
+func TestNgsimBadMode(t *testing.T) {
+	err := ngsimCmd([]string{"-out", "/dev/null", "-mode", "nope"}, io.Discard)
+	var ue *usageError
+	if !errors.As(err, &ue) {
+		t.Errorf("bad mode error = %v, want usageError", err)
+	}
+}

@@ -1,0 +1,75 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+
+	"repro/internal/eval"
+	"repro/internal/fastq"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// ecevalCmd scores an error correction run at base level (§2.4): given
+// the original reads, the corrected reads, and the error-free truth (all
+// FASTQ, same order), it reports TP/FP/TN/FN, EBA, Sensitivity,
+// Specificity and Gain.
+func ecevalCmd(args []string, stdout io.Writer) error {
+	fs := newFlagSet("eceval")
+	var (
+		before  = fs.String("before", "", "original reads FASTQ (required)")
+		after   = fs.String("after", "", "corrected reads FASTQ (required)")
+		truth   = fs.String("truth", "", "error-free truth FASTQ (required)")
+		workers = fs.Int("workers", 0, "parallel workers (0 = all cores)")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *before == "" || *after == "" || *truth == "" {
+		return usagef(fs, "-before, -after and -truth are required")
+	}
+	b, err := readAllFastq(*before)
+	if err != nil {
+		return err
+	}
+	a, err := readAllFastq(*after)
+	if err != nil {
+		return err
+	}
+	tr, err := readAllFastq(*truth)
+	if err != nil {
+		return err
+	}
+	if len(b) != len(a) || len(b) != len(tr) {
+		return fmt.Errorf("read counts differ: before=%d after=%d truth=%d", len(b), len(a), len(tr))
+	}
+	sim := make([]simulate.SimRead, len(b))
+	for i := range b {
+		if b[i].ID != tr[i].ID {
+			return fmt.Errorf("read %d: id mismatch %q vs truth %q", i, b[i].ID, tr[i].ID)
+		}
+		sim[i] = simulate.SimRead{Read: b[i], True: tr[i].Seq}
+	}
+	w := *workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	stats, err := eval.EvaluateCorrectionParallel(sim, a, w)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(stdout, stats)
+	return nil
+}
+
+// readAllFastq loads a whole FASTQ file.
+func readAllFastq(path string) ([]seq.Read, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return fastq.NewReader(f).ReadAll()
+}

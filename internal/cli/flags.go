@@ -1,0 +1,173 @@
+package cli
+
+import (
+	"context"
+	"flag"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fastq"
+	"repro/internal/seq"
+)
+
+// correctFlags is the flag block shared by the correction subcommands —
+// declared once here instead of re-declared by every main, so names,
+// defaults and help strings cannot drift between front ends.
+type correctFlags struct {
+	in, out    string
+	workers    int
+	shards     int
+	memBudget  string
+	loadSpec   string
+	saveSpec   string
+	cpuprofile string
+	memprofile string
+}
+
+// register installs the shared correction flags on fs. Engines without a
+// spectrum (SHREC) pass spectrum=false to omit the -load/-save-spectrum
+// pair.
+func (f *correctFlags) register(fs *flag.FlagSet, spectrum bool) {
+	fs.StringVar(&f.in, "in", "", "input FASTQ (required)")
+	fs.StringVar(&f.out, "out", "", "output FASTQ (required)")
+	fs.IntVar(&f.workers, "workers", 0, "parallel workers (0 = all cores)")
+	fs.IntVar(&f.shards, "shards", 0, "spectrum shard count (0 = derive from workers)")
+	fs.StringVar(&f.memBudget, "mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+	if spectrum {
+		fs.StringVar(&f.loadSpec, "load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
+		fs.StringVar(&f.saveSpec, "save-spectrum", "", "persist the run's k-spectrum to this path")
+	}
+	fs.StringVar(&f.cpuprofile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&f.memprofile, "memprofile", "", "write a heap profile to this file on exit")
+}
+
+// engineOptions translates the shared flags into cross-engine run
+// options, parsing the memory budget.
+func (f *correctFlags) engineOptions() ([]engine.Option, error) {
+	budget, err := core.ParseByteSize(f.memBudget)
+	if err != nil {
+		return nil, err
+	}
+	return []engine.Option{
+		engine.WithWorkers(f.workers),
+		engine.WithShards(f.shards),
+		engine.WithMemoryBudget(budget),
+		engine.WithSpectrumPath(f.loadSpec),
+		engine.WithSaveSpectrumPath(f.saveSpec),
+	}, nil
+}
+
+// opener returns the re-openable chunked source over the input file the
+// two-pass streaming engines require.
+func (f *correctFlags) opener() engine.SourceOpener {
+	path := f.in
+	return func() (engine.Source, error) {
+		file, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		return fastq.NewChunkReader(file, 0), nil
+	}
+}
+
+// signalContext is the interactive-run context: cancelled on SIGINT or
+// SIGTERM, so Ctrl-C aborts worker pools and spill/merge loops instead of
+// leaving a half-written run behind. The returned stop func releases the
+// signal handler.
+func signalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// correctToFile drives an engine's streaming correction from f.in to
+// f.out under a signal-aware context, returning the engine result. The
+// output is staged in a temp file and renamed into place only on
+// success, so a failed or cancelled run (bad spectrum k, empty input,
+// Ctrl-C) never destroys a previous run's output — the historical CLIs
+// guaranteed this by validating before os.Create; the rename makes it
+// hold for every engine and failure mode.
+func (f *correctFlags) correctToFile(eng engine.Engine, run *engine.Run) (*engine.Result, error) {
+	ctx, stop := signalContext()
+	defer stop()
+	out, commit, err := createOutput(f.out)
+	if err != nil {
+		return nil, err
+	}
+	committed := false
+	defer func() {
+		if !committed {
+			commit(false)
+		}
+	}()
+	w := fastq.NewWriter(out)
+	sink := engine.SinkFunc(func(orig, corrected []seq.Read) error {
+		return w.WriteChunk(corrected)
+	})
+	res, err := eng.CorrectStream(ctx, f.opener(), sink, run)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if err := commit(true); err != nil {
+		return nil, err
+	}
+	committed = true
+	return res, nil
+}
+
+// createOutput opens the correction output for writing. Regular-file
+// destinations are staged in a same-directory temp file and renamed into
+// place only when commit(true) runs — so a failed or cancelled run never
+// destroys a previous run's output. Destinations that exist and are not
+// regular files (/dev/null, FIFOs, symlinked sinks — the README's
+// spectrum-build recipe discards output through /dev/null) cannot be
+// renamed over and are written directly, matching the historical
+// os.Create behavior. commit(false) abandons the attempt.
+func createOutput(path string) (*os.File, func(success bool) error, error) {
+	if fi, err := os.Lstat(path); err == nil && !fi.Mode().IsRegular() {
+		out, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err != nil {
+			return nil, nil, err
+		}
+		return out, func(success bool) error {
+			if !success {
+				out.Close()
+				return nil
+			}
+			return out.Close()
+		}, nil
+	}
+	dir, base := filepath.Split(path)
+	if dir == "" {
+		// A bare filename must stage in the destination directory, not
+		// os.TempDir() — the final rename cannot cross filesystems.
+		dir = "."
+	}
+	tmp, err := os.CreateTemp(dir, base+".tmp-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	commit := func(success bool) error {
+		if !success {
+			tmp.Close()
+			os.Remove(tmp.Name())
+			return nil
+		}
+		// CreateTemp's 0600 would surprise pipelines that read the
+		// output as another user; match os.Create's effective mode
+		// before publishing.
+		if err := tmp.Chmod(0o644); err != nil {
+			return err
+		}
+		if err := tmp.Close(); err != nil {
+			return err
+		}
+		return os.Rename(tmp.Name(), path)
+	}
+	return tmp, commit, nil
+}

@@ -1,0 +1,156 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fastq"
+	"repro/internal/kspectrum"
+	"repro/internal/redeem"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// redeemCmd performs repeat-aware error detection and correction
+// (Chapter 3) through the engine registry's streaming path; -detect-only
+// keeps its historical direct analysis mode (T histogram + inferred
+// threshold, no correction pass). Output is byte-identical to the
+// historical cmd/redeem pipeline (asserted by the golden tests).
+func redeemCmd(args []string, stdout io.Writer) error {
+	fs := newFlagSet("redeem")
+	var f correctFlags
+	f.register(fs, true)
+	var (
+		k          = fs.Int("k", 11, "kmer length")
+		errorRate  = fs.Float64("error-rate", 0.01, "assumed uniform substitution rate for the error model")
+		detectOnly = fs.Bool("detect-only", false, "estimate T, print histogram and inferred threshold, and exit")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if f.in == "" || (f.out == "" && !*detectOnly) {
+		return usagef(fs, "-in is required, and -out unless -detect-only")
+	}
+	stopProfiles, err := core.StartProfiles(f.cpuprofile, f.memprofile)
+	if err != nil {
+		return err
+	}
+	// -k has a non-zero default, so only an explicitly-set flag counts as
+	// an explicit k for the spectrum k-authority rule.
+	explicitK := 0
+	fs.Visit(func(fl *flag.Flag) {
+		if fl.Name == "k" {
+			explicitK = *k
+		}
+	})
+	start := time.Now()
+
+	if *detectOnly {
+		if err := redeemDetectOnly(f, *k, explicitK, *errorRate, start, stdout); err != nil {
+			return err
+		}
+		return stopProfiles()
+	}
+
+	opts, err := f.engineOptions()
+	if err != nil {
+		return err
+	}
+	runK := *k
+	if f.loadSpec != "" && explicitK == 0 {
+		runK = 0 // defer to the stored k
+	}
+	opts = append(opts,
+		engine.WithK(runK),
+		redeem.WithErrorRate(*errorRate),
+		// The CLI has always swept up to 4 mixture components; keep the
+		// correction pass consistent with the -detect-only report.
+		redeem.WithMixtureMaxG(4),
+	)
+	eng, err := engine.Lookup(redeem.EngineName)
+	if err != nil {
+		return err
+	}
+	res, err := f.correctToFile(eng, engine.NewRun(opts...))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "%s; corrected %d of %d reads (budget %s) in %v\n",
+		res.Summary, res.Changed, res.Reads, f.memBudget, time.Since(start).Round(time.Millisecond))
+	return stopProfiles()
+}
+
+// redeemDetectOnly is the historical analysis mode: fit the model, infer
+// the threshold, print the flagged-kmer tally and the T histogram.
+func redeemDetectOnly(f correctFlags, k, explicitK int, errorRate float64, start time.Time, stdout io.Writer) error {
+	var spec *kspectrum.Spectrum
+	var err error
+	if f.loadSpec != "" {
+		if spec, err = engine.LoadSpectrumForK(f.loadSpec, explicitK); err != nil {
+			return err
+		}
+		k = spec.K // the stored k is authoritative over the default
+	}
+	model := simulate.NewUniformKmerModel(k, errorRate)
+	cfg := redeem.DefaultConfig(k)
+	cfg.Spectrum = spec
+	cfg.Build = kspectrum.BuildOptions{Workers: f.workers, Shards: f.shards}
+	if cfg.MemoryBudget, err = core.ParseByteSize(f.memBudget); err != nil {
+		return err
+	}
+	cfg.MixtureMaxG = 4
+	// With a preloaded spectrum the reads are never consulted — detection
+	// runs purely on the stored counts — so skip reading the (possibly
+	// huge) input entirely.
+	var reads []seq.Read
+	if spec == nil {
+		file, err := os.Open(f.in)
+		if err != nil {
+			return err
+		}
+		if reads, err = fastq.NewReader(file).ReadAll(); err != nil {
+			file.Close()
+			return err
+		}
+		file.Close()
+	}
+	m, err := redeem.New(reads, model, cfg)
+	if err != nil {
+		return err
+	}
+	iters := m.Run()
+	thr, mix, err := m.InferThreshold(1, 4)
+	if err != nil {
+		return err
+	}
+	if f.saveSpec != "" {
+		if err := kspectrum.WriteSpectrumFile(f.saveSpec, m.Spec); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(stdout, "spectrum %d kmers; EM converged in %d iterations; inferred threshold %.2f (coverage constant %.1f, G=%d) in %v\n",
+		m.Spec.Size(), iters, thr, mix.Theta, mix.G, time.Since(start).Round(time.Millisecond))
+	flagged := m.DetectByT(thr)
+	n := 0
+	for _, b := range flagged {
+		if b {
+			n++
+		}
+	}
+	fmt.Fprintf(stdout, "flagged %d of %d kmers as erroneous\n", n, len(flagged))
+	fmt.Fprintln(stdout, "T histogram (bin width = coverage/20):")
+	width := mix.Theta / 20
+	if width <= 0 {
+		width = 1
+	}
+	h := m.THistogram(width, 2.5*mix.Theta)
+	for b, c := range h {
+		fmt.Fprintf(stdout, "%8.1f %d\n", float64(b)*width, c)
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package cli
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/reptile"
+)
+
+// reptileCmd corrects substitution errors with the representative-tiling
+// algorithm of Chapter 2 through the engine registry's streaming path:
+// two chunked passes over the input, so with -mem-budget the k-spectrum
+// accumulators spill to disk and peak memory is bounded regardless of
+// input size. Output is byte-identical to the historical cmd/reptile
+// pipeline (asserted by the golden tests).
+func reptileCmd(args []string, stdout io.Writer) error {
+	fs := newFlagSet("reptile")
+	var f correctFlags
+	f.register(fs, true)
+	var (
+		k         = fs.Int("k", 0, "kmer length (0 = derive from genome length)")
+		d         = fs.Int("d", 1, "max Hamming distance per constituent kmer")
+		genomeLen = fs.Int("genome-len", 0, "estimated genome length for parameter selection")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if f.in == "" || f.out == "" {
+		return usagef(fs, "-in and -out are required")
+	}
+	opts, err := f.engineOptions()
+	if err != nil {
+		return err
+	}
+	stopProfiles, err := core.StartProfiles(f.cpuprofile, f.memprofile)
+	if err != nil {
+		return err
+	}
+	opts = append(opts,
+		engine.WithK(*k),
+		engine.WithGenomeLen(*genomeLen),
+		reptile.WithD(*d),
+	)
+	eng, err := engine.Lookup(reptile.EngineName)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	res, err := f.correctToFile(eng, engine.NewRun(opts...))
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "corrected %d of %d reads (%s, budget %s) in %v\n",
+		res.Changed, res.Reads, res.Summary, f.memBudget, time.Since(start).Round(time.Millisecond))
+	return stopProfiles()
+}

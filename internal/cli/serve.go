@@ -1,0 +1,598 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/fastq"
+	"repro/internal/kspectrum"
+	"repro/internal/redeem"
+	"repro/internal/reptile"
+	"repro/internal/seq"
+)
+
+// serveCmd is the correction-as-a-service daemon: it loads one or more
+// persisted k-spectra into a named registry at startup and serves
+// correction requests over HTTP from then on, so the expensive Phase-1
+// spectrum work is paid once per corpus instead of once per invocation.
+//
+// Endpoints:
+//
+//	POST /v1/correct?spectrum=NAME&method=reptile|redeem
+//	    The legacy request shape, byte-for-byte compatible with the
+//	    original daemon: a FASTQ chunk in, the corrected chunk out.
+//	POST /v2/correct?spectrum=NAME&engine=NAME
+//	    The registry-driven path: any engine whose declared capabilities
+//	    allow the request is servable — including SHREC, which needs no
+//	    spectrum — and unknown engine names report the registered ones.
+//	    Same FASTQ body contract and X-Kserve-* stat headers as /v1.
+//	GET /v2/engines
+//	    JSON list of the registered engines: capabilities plus which
+//	    loaded spectra each can serve.
+//	GET /v1/spectra
+//	    JSON list of the loaded spectra (name, k, kmers, both_strands).
+//	GET /healthz
+//	    Liveness plus aggregate request counters.
+//
+// Concurrency is bounded by a semaphore of -max-inflight slots; requests
+// beyond the bound queue until a slot frees or the client gives up. A
+// dropped request's context cancels its correction work. SIGINT/SIGTERM
+// drain in-flight requests before exit.
+func serveCmd(args []string, stdout io.Writer) error {
+	fs := newFlagSet("serve")
+	var specs specFlags
+	var (
+		listen        = fs.String("listen", ":8424", "HTTP listen address")
+		maxInflight   = fs.Int("max-inflight", 0, "max concurrent correction requests (0 = 2x GOMAXPROCS)")
+		maxChunkReads = fs.Int("max-chunk-reads", 100000, "max reads accepted per request (0 = unlimited)")
+		maxChunkBytes = fs.String("max-chunk-bytes", "64MB", "max raw request body size")
+		workers       = fs.Int("workers", 1, "correction workers per request (0 = all cores; keep small, requests already run in parallel)")
+		errorRate     = fs.Float64("error-rate", 0.01, "assumed substitution rate for the REDEEM error model")
+		d             = fs.Int("d", 1, "Reptile max Hamming distance per constituent kmer")
+		readTimeout   = fs.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
+		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+	)
+	fs.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable, required)")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if len(specs) == 0 {
+		return usagef(fs, "at least one -spectrum name=path is required")
+	}
+
+	loaded := make(map[string]*kspectrum.Spectrum, len(specs))
+	for _, nv := range specs {
+		name, path, ok := strings.Cut(nv, "=")
+		if !ok || name == "" || path == "" {
+			return usagef(fs, "-spectrum %q: want name=path", nv)
+		}
+		if _, dup := loaded[name]; dup {
+			return usagef(fs, "-spectrum %q: duplicate name", name)
+		}
+		start := time.Now()
+		spec, err := kspectrum.ReadSpectrumFile(path)
+		if err != nil {
+			return err
+		}
+		loaded[name] = spec
+		log.Printf("loaded spectrum %q: k=%d, %d kmers, bothStrands=%v (%v)",
+			name, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
+	}
+
+	chunkBytes, err := core.ParseByteSize(*maxChunkBytes)
+	if err != nil {
+		return err
+	}
+	srv, err := newServer(loaded, serverOptions{
+		MaxInflight:   *maxInflight,
+		MaxChunkReads: *maxChunkReads,
+		MaxChunkBytes: chunkBytes,
+		Workers:       *workers,
+		ErrorRate:     *errorRate,
+		D:             *d,
+	})
+	if err != nil {
+		return err
+	}
+	for name, e := range srv.entries {
+		if e.reptileErr != nil {
+			log.Printf("spectrum %q serves redeem only on /v1 (%v)", name, e.reptileErr)
+		}
+	}
+
+	httpSrv := &http.Server{
+		Addr:    *listen,
+		Handler: srv.mux(),
+		// Without read deadlines, max-inflight slow uploads would pin
+		// every correction slot forever (each handler reads the body
+		// while holding its semaphore slot).
+		ReadTimeout:       *readTimeout,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	ctx, stop := signalContext()
+	defer stop()
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("serving %d spectra on %s (max-inflight %d, engines %s)",
+		len(loaded), *listen, srv.maxInflight, strings.Join(engine.Names(), ","))
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Print("shutting down, draining in-flight requests")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Fprintf(stdout, "served %d requests (%d reads, %d changed)\n",
+		srv.stats.requests.Load(), srv.stats.reads.Load(), srv.stats.changed.Load())
+	return nil
+}
+
+// specFlags collects repeated -spectrum name=path arguments.
+type specFlags []string
+
+func (s *specFlags) String() string     { return strings.Join(*s, ",") }
+func (s *specFlags) Set(v string) error { *s = append(*s, v); return nil }
+
+var _ flag.Value = (*specFlags)(nil)
+
+// serverOptions configures a correction server.
+type serverOptions struct {
+	// MaxInflight bounds concurrently-executing correction requests
+	// (<= 0 selects 2x GOMAXPROCS).
+	MaxInflight int
+	// MaxChunkReads caps the reads accepted per request (0 = unlimited).
+	MaxChunkReads int
+	// MaxChunkBytes caps the raw request body size (<= 0 selects 64 MiB)
+	// via http.MaxBytesReader, so a hostile or misconfigured client
+	// cannot balloon the daemon before read-count limits even apply.
+	MaxChunkBytes int64
+	// Workers is the per-request correction parallelism (the inter-request
+	// parallelism is MaxInflight; <= 0 uses all cores per request).
+	Workers int
+	// ErrorRate parameterizes the uniform REDEEM error model.
+	ErrorRate float64
+	// D is Reptile's per-kmer Hamming budget (0 selects the default 1).
+	D int
+}
+
+// entry is one registry slot: a loaded spectrum plus the per-engine
+// service slots derived from it. Both API versions share the slots —
+// one neighbor index and one EM fit per (spectrum, engine), however the
+// request arrives — so serving /v1 and /v2 together costs no more than
+// either alone. The Reptile slot is built eagerly at registration (the
+// original daemon's behavior: the first request pays no index-build
+// latency), the rest on first use, because many deployments serve a
+// single algorithm.
+type entry struct {
+	name string
+	spec *kspectrum.Spectrum
+	// reptileErr is non-nil when the spectrum cannot serve Reptile
+	// (e.g. k > 16 overflows the packed tile — now a declared
+	// capability); it says why, and the spectrum still serves REDEEM.
+	reptileErr error
+
+	// services are the per-engine correctors, keyed by engine name and
+	// built at most once through engine.Servicer.
+	services map[string]*serviceSlot
+}
+
+// serviceSlot builds one engine's chunk corrector at most once.
+type serviceSlot struct {
+	once sync.Once
+	svc  engine.ChunkCorrector
+	err  error
+}
+
+// server is the HTTP correction service: an immutable registry of named
+// spectra and a semaphore bounding in-flight correction work.
+type server struct {
+	entries     map[string]*entry
+	sem         chan struct{}
+	maxInflight int
+	opts        serverOptions
+	// global holds the /v2 service slots of spectrum-free engines
+	// (SHREC): one shared corrector per engine, independent of any
+	// loaded spectrum.
+	global map[string]*serviceSlot
+
+	stats struct {
+		requests atomic.Int64
+		reads    atomic.Int64
+		changed  atomic.Int64
+	}
+}
+
+// newServer builds the registry: a service slot per (spectrum, engine),
+// with the Reptile slot resolved eagerly so the first request pays no
+// index-build latency and startup can log which spectra are
+// Reptile-servable.
+func newServer(specs map[string]*kspectrum.Spectrum, opts serverOptions) (*server, error) {
+	if opts.MaxInflight <= 0 {
+		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxChunkBytes <= 0 {
+		opts.MaxChunkBytes = 64 << 20
+	}
+	if opts.ErrorRate <= 0 {
+		opts.ErrorRate = 0.01
+	}
+	s := &server{
+		entries:     make(map[string]*entry, len(specs)),
+		sem:         make(chan struct{}, opts.MaxInflight),
+		maxInflight: opts.MaxInflight,
+		opts:        opts,
+		global:      make(map[string]*serviceSlot),
+	}
+	for _, engName := range engine.Names() {
+		s.global[engName] = &serviceSlot{}
+	}
+	for name, spec := range specs {
+		e := &entry{name: name, spec: spec, services: make(map[string]*serviceSlot)}
+		for _, engName := range engine.Names() {
+			e.services[engName] = &serviceSlot{}
+		}
+		s.entries[name] = e
+		// A spectrum Reptile cannot serve (k > 16 overflows the packed
+		// 2k-base tile — the declared MaxSpectrumK capability) is not
+		// fatal: it still serves REDEEM, and method=reptile requests
+		// get the stored reason back as a clean 400.
+		if rep, err := engine.Lookup(reptile.EngineName); err == nil {
+			if e.reptileErr = s.checkServable(rep, e); e.reptileErr == nil {
+				_, e.reptileErr = s.service(rep, e)
+			}
+		}
+	}
+	return s, nil
+}
+
+// serviceRun builds the engine.Run a /v2 service is resolved against:
+// the entry's spectrum for engines that reuse spectra, plus the server's
+// request-independent tuning.
+func (s *server) serviceRun(eng engine.Engine, e *entry) *engine.Run {
+	opts := []engine.Option{
+		reptile.WithD(s.opts.D),
+		redeem.WithErrorRate(s.opts.ErrorRate),
+	}
+	if eng.Capabilities().SpectrumReuse && e != nil {
+		opts = append(opts, engine.WithSpectrum(e.spec))
+	}
+	return engine.NewRun(opts...)
+}
+
+// checkServable is the cheap capability gate, run before request
+// admission: an engine declared impossible for the request (e.g. Reptile
+// on a k=20 spectrum) fails fast with the declaration, not a
+// construction error, and without burning a correction slot.
+func (s *server) checkServable(eng engine.Engine, e *entry) error {
+	caps := eng.Capabilities()
+	if caps.SpectrumReuse && !caps.ServesSpectrum(e.spec.K) {
+		return fmt.Errorf("engine %q cannot serve spectrum %q (k=%d exceeds max spectrum k %d)",
+			eng.Name(), e.name, e.spec.K, caps.MaxSpectrumK)
+	}
+	if _, ok := eng.(engine.Servicer); !ok {
+		return fmt.Errorf("engine %q does not support request-independent serving", eng.Name())
+	}
+	return nil
+}
+
+// service resolves the chunk corrector for an engine, building it at
+// most once. Construction can be expensive (REDEEM's EM fit, Reptile's
+// neighbor index), so callers on the request path invoke it only while
+// holding a semaphore slot — cold-start work stays inside the
+// -max-inflight bound.
+func (s *server) service(eng engine.Engine, e *entry) (engine.ChunkCorrector, error) {
+	if err := s.checkServable(eng, e); err != nil {
+		return nil, err
+	}
+	sv := eng.(engine.Servicer) // checked by checkServable
+	// Spectrum-reusing engines amortize per spectrum entry; spectrum-free
+	// engines share one server-wide slot.
+	var slot *serviceSlot
+	if eng.Capabilities().SpectrumReuse && e != nil {
+		slot = e.services[eng.Name()]
+	} else {
+		slot = s.global[eng.Name()]
+	}
+	if slot == nil {
+		// An engine registered after server construction: serve it
+		// unamortized rather than failing.
+		return sv.NewService(s.serviceRun(eng, e))
+	}
+	slot.once.Do(func() {
+		slot.svc, slot.err = sv.NewService(s.serviceRun(eng, e))
+	})
+	return slot.svc, slot.err
+}
+
+// mux wires the endpoints.
+func (s *server) mux() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/v1/spectra", s.handleSpectra)
+	mux.HandleFunc("/v1/correct", s.handleCorrectV1)
+	mux.HandleFunc("/v2/engines", s.handleEngines)
+	mux.HandleFunc("/v2/correct", s.handleCorrectV2)
+	return mux
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":   "ok",
+		"spectra":  len(s.entries),
+		"engines":  engine.Names(),
+		"requests": s.stats.requests.Load(),
+		"reads":    s.stats.reads.Load(),
+		"changed":  s.stats.changed.Load(),
+	})
+}
+
+func (s *server) handleSpectra(w http.ResponseWriter, r *http.Request) {
+	type specInfo struct {
+		Name        string `json:"name"`
+		K           int    `json:"k"`
+		Kmers       int    `json:"kmers"`
+		BothStrands bool   `json:"both_strands"`
+	}
+	out := make([]specInfo, 0, len(s.entries))
+	for name, e := range s.entries {
+		out = append(out, specInfo{Name: name, K: e.spec.K, Kmers: e.spec.Size(), BothStrands: e.spec.BothStrands})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleEngines reports the registry: each engine's declared capabilities
+// and which loaded spectra it can serve ("*" for engines that need none).
+func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
+	type engineInfo struct {
+		Name          string   `json:"name"`
+		Streaming     bool     `json:"streaming"`
+		SpectrumReuse bool     `json:"spectrum_reuse"`
+		MaxSpectrumK  int      `json:"max_spectrum_k,omitempty"`
+		Spectra       []string `json:"spectra"`
+	}
+	out := make([]engineInfo, 0)
+	for _, eng := range engine.Engines() {
+		caps := eng.Capabilities()
+		info := engineInfo{
+			Name:          eng.Name(),
+			Streaming:     caps.Streaming,
+			SpectrumReuse: caps.SpectrumReuse,
+			MaxSpectrumK:  caps.MaxSpectrumK,
+		}
+		if caps.SpectrumReuse {
+			info.Spectra = make([]string, 0, len(s.entries))
+			for name, e := range s.entries {
+				if caps.ServesSpectrum(e.spec.K) {
+					info.Spectra = append(info.Spectra, name)
+				}
+			}
+			sort.Strings(info.Spectra)
+		} else {
+			// No spectrum needed: servable against any request.
+			info.Spectra = []string{"*"}
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCorrectV1 is the legacy serve path, byte-for-byte compatible
+// with the original daemon's responses: the method parameter selects
+// reptile (default) or redeem, everything else is a 400. It corrects
+// through the same per-entry engine slots as /v2, so both API versions
+// share one neighbor index and one EM fit per spectrum.
+func (s *server) handleCorrectV1(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a FASTQ chunk", http.StatusMethodNotAllowed)
+		return
+	}
+	e, ok := s.selectEntry(w, r)
+	if !ok {
+		return
+	}
+	method := r.URL.Query().Get("method")
+	if method == "" {
+		method = reptile.EngineName
+	}
+	if method != reptile.EngineName && method != redeem.EngineName {
+		http.Error(w, fmt.Sprintf("unknown method %q (want reptile or redeem)", method), http.StatusBadRequest)
+		return
+	}
+	if method == reptile.EngineName && e.reptileErr != nil {
+		http.Error(w, fmt.Sprintf("spectrum %q cannot serve method reptile: %v", e.name, e.reptileErr), http.StatusBadRequest)
+		return
+	}
+	eng, err := engine.Lookup(method)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	s.correctWithEngine(w, r, eng, e, method)
+}
+
+// handleCorrectV2 is the registry-driven serve path: any registered
+// engine whose capabilities allow the request is servable, and unknown
+// engine names report the registered ones (the same typed error every
+// front end shares).
+func (s *server) handleCorrectV2(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST a FASTQ chunk", http.StatusMethodNotAllowed)
+		return
+	}
+	name := r.URL.Query().Get("engine")
+	if name == "" {
+		name = reptile.EngineName
+	}
+	eng, err := engine.Lookup(name)
+	if err != nil {
+		// engine.Lookup's UnknownEngineError already lists the
+		// registered names — exactly what an API client needs.
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	var e *entry
+	if eng.Capabilities().SpectrumReuse {
+		var ok bool
+		if e, ok = s.selectEntry(w, r); !ok {
+			return
+		}
+	}
+	if err := s.checkServable(eng, e); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.correctWithEngine(w, r, eng, e, name)
+}
+
+// correctWithEngine is the shared tail of both serve paths: admit the
+// request (semaphore slot + body decode), resolve the engine's service
+// slot — only while holding the slot, so cold-start construction
+// (REDEEM's EM fit) stays inside the -max-inflight bound — and correct
+// under the request context, so a dropped connection aborts its work
+// instead of finishing it for nobody.
+func (s *server) correctWithEngine(w http.ResponseWriter, r *http.Request, eng engine.Engine, e *entry, method string) {
+	reads, ok := s.admit(w, r)
+	if !ok {
+		return
+	}
+	defer func() { <-s.sem }()
+
+	start := time.Now()
+	var corrected []seq.Read
+	svc, err := s.service(eng, e)
+	if err == nil {
+		corrected, err = svc.CorrectChunk(r.Context(), reads, s.opts.Workers)
+	}
+	specName := ""
+	if e != nil {
+		specName = e.name
+	}
+	s.respond(w, reads, corrected, err, specName, method, start)
+}
+
+// admit runs the shared request admission: take a semaphore slot (give up
+// if the client does), then decode the body under the size caps. On false
+// the response has been written and the slot released.
+func (s *server) admit(w http.ResponseWriter, r *http.Request) ([]seq.Read, bool) {
+	// Bounded in-flight concurrency: block for a slot, give up if the
+	// client does. Admission happens BEFORE the body is decoded so at
+	// most max-inflight fully-parsed chunks exist at once; the time a
+	// slow upload can then occupy a slot is bounded by the server's
+	// ReadTimeout (-read-timeout), not by client goodwill.
+	select {
+	case s.sem <- struct{}{}:
+	case <-r.Context().Done():
+		http.Error(w, "client gave up waiting for a correction slot", http.StatusServiceUnavailable)
+		return nil, false
+	}
+	release := func() { <-s.sem }
+	capped := http.MaxBytesReader(w, r.Body, s.opts.MaxChunkBytes)
+	reads, err := fastq.DecodeChunk(capped, s.opts.MaxChunkReads)
+	if err != nil {
+		release()
+		status := http.StatusBadRequest
+		var tooBig *http.MaxBytesError
+		if errors.Is(err, fastq.ErrChunkTooLarge) || errors.As(err, &tooBig) {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return nil, false
+	}
+	if len(reads) == 0 {
+		release()
+		http.Error(w, "empty chunk", http.StatusBadRequest)
+		return nil, false
+	}
+	return reads, true
+}
+
+// respond finishes a correction request: error mapping, stats, headers,
+// body.
+func (s *server) respond(w http.ResponseWriter, reads, corrected []seq.Read, err error, spectrum, method string, start time.Time) {
+	if err != nil {
+		status := http.StatusInternalServerError
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// The client is gone; the status is a formality.
+			status = http.StatusServiceUnavailable
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+	body, err := fastq.EncodeChunk(corrected)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	changed := engine.CountChanged(reads, corrected)
+	s.stats.requests.Add(1)
+	s.stats.reads.Add(int64(len(reads)))
+	s.stats.changed.Add(int64(changed))
+
+	h := w.Header()
+	h.Set("Content-Type", "text/x-fastq")
+	if spectrum != "" {
+		h.Set("X-Kserve-Spectrum", spectrum)
+	}
+	h.Set("X-Kserve-Method", method)
+	h.Set("X-Kserve-Reads", fmt.Sprint(len(reads)))
+	h.Set("X-Kserve-Changed", fmt.Sprint(changed))
+	h.Set("X-Kserve-Duration-Ms", fmt.Sprint(time.Since(start).Milliseconds()))
+	w.WriteHeader(http.StatusOK)
+	// A write failure means the client disconnected mid-response; the
+	// work is already done and counted, nothing to clean up.
+	_, _ = w.Write(body)
+}
+
+// selectEntry resolves the spectrum query parameter: an explicit name, or
+// the sole loaded spectrum when the parameter is omitted.
+func (s *server) selectEntry(w http.ResponseWriter, r *http.Request) (*entry, bool) {
+	name := r.URL.Query().Get("spectrum")
+	if name == "" {
+		if len(s.entries) == 1 {
+			for _, e := range s.entries {
+				return e, true
+			}
+		}
+		http.Error(w, "spectrum parameter required (several spectra loaded)", http.StatusBadRequest)
+		return nil, false
+	}
+	e, ok := s.entries[name]
+	if !ok {
+		known := make([]string, 0, len(s.entries))
+		for n := range s.entries {
+			known = append(known, n)
+		}
+		sort.Strings(known)
+		http.Error(w, fmt.Sprintf("unknown spectrum %q (loaded: %s)", name, strings.Join(known, ", ")), http.StatusNotFound)
+		return nil, false
+	}
+	return e, true
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode failure only means the
+	// client went away.
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -1,15 +1,20 @@
 // Package core is the high-level facade over the dissertation's three
 // systems: Reptile (Chapter 2) and REDEEM (Chapter 3) for short-read error
-// correction, and CLOSET (Chapter 4) for metagenomic read clustering. It
-// wires the substrates together behind task-shaped entry points so that
-// command-line tools, examples and benchmarks share one code path.
+// correction, and CLOSET (Chapter 4) for metagenomic read clustering. Its
+// correction entry points are thin, behavior-preserving shims over the
+// pluggable engine registry (see repro/internal/engine): CorrectOptions is
+// translated into an engine.Run plus engine-specific functional options and
+// dispatched by name. New code should use the engine package directly; the
+// facade remains so existing callers (CLIs, examples, benchmarks) keep one
+// stable surface.
 package core
 
 import (
-	"fmt"
+	"context"
 	"time"
 
 	"repro/internal/closet"
+	"repro/internal/engine"
 	"repro/internal/eval"
 	"repro/internal/kspectrum"
 	"repro/internal/mapper"
@@ -20,17 +25,25 @@ import (
 	"repro/internal/simulate"
 )
 
-// Method selects an error correction algorithm.
+// Method selects an error correction algorithm. It is the registry name
+// of an engine; the zero value selects Reptile.
 type Method string
 
 // Supported correction methods.
 const (
-	MethodReptile Method = "reptile"
-	MethodRedeem  Method = "redeem"
-	MethodShrec   Method = "shrec"
+	MethodReptile Method = reptile.EngineName
+	MethodRedeem  Method = redeem.EngineName
+	MethodShrec   Method = shrec.EngineName
 )
 
 // CorrectOptions configures Correct.
+//
+// It is the historical field-jungle configuration, kept as a stable
+// shim for existing callers (the formal deprecation marker is withheld
+// so they build clean). New code should build an engine.Run from
+// functional options (engine.WithK, engine.WithWorkers, reptile.WithD,
+// ...) and call the engine directly; see DESIGN.md §7 for the field →
+// option migration table.
 type CorrectOptions struct {
 	Method Method
 	// GenomeLen is the (estimated) genome length used for parameter
@@ -91,169 +104,79 @@ type CorrectReport struct {
 	Changed int
 }
 
-// LoadSpectrumForK loads a persisted spectrum and enforces the single
-// k-authority rule shared by the facade and the CLIs: the stored k is
-// authoritative, so an explicit requested k (non-zero) that disagrees
-// with it is an error, while explicitK == 0 defers to the store (the
-// caller then adopts spec.K). Keeping the rule here means cmd/reptile,
-// cmd/redeem and the CorrectOptions paths cannot drift apart.
+// LoadSpectrumForK loads a persisted spectrum under the single
+// k-authority rule; see engine.LoadSpectrumForK, which now owns it.
+// New code should call the engine package directly.
 func LoadSpectrumForK(path string, explicitK int) (*kspectrum.Spectrum, error) {
-	spec, err := kspectrum.ReadSpectrumFile(path)
+	return engine.LoadSpectrumForK(path, explicitK)
+}
+
+// engineRun translates the options into a registry lookup plus an
+// engine.Run: the cross-engine fields become run fields, the
+// method-specific blocks become that engine's functional options. An
+// unknown method yields engine.ErrUnknownEngine listing the registered
+// names.
+func (opts CorrectOptions) engineRun() (engine.Engine, *engine.Run, error) {
+	name := string(opts.Method)
+	if name == "" {
+		name = string(MethodReptile)
+	}
+	eng, err := engine.Lookup(name)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	if explicitK != 0 && explicitK != spec.K {
-		return nil, fmt.Errorf("core: requested k=%d disagrees with %s (stored k=%d)", explicitK, path, spec.K)
+	o := []engine.Option{
+		engine.WithGenomeLen(opts.GenomeLen),
+		engine.WithWorkers(opts.Workers),
+		engine.WithShards(opts.Shards),
+		engine.WithMemoryBudget(opts.MemoryBudget),
+		engine.WithSpectrumPath(opts.SpectrumPath),
+		engine.WithSaveSpectrumPath(opts.SaveSpectrumPath),
 	}
-	return spec, nil
+	switch name {
+	case reptile.EngineName:
+		o = append(o, reptile.WithParams(opts.Reptile))
+	case redeem.EngineName:
+		o = append(o,
+			engine.WithK(opts.RedeemK),
+			redeem.WithModel(opts.RedeemModel),
+			redeem.WithErrorRate(opts.RedeemErrorRate),
+		)
+	case shrec.EngineName:
+		o = append(o, shrec.WithConfig(opts.Shrec))
+	}
+	return eng, engine.NewRun(o...), nil
 }
 
-// loadSpectrumOption resolves opts.SpectrumPath: nil when unset, the
-// loaded and k-validated spectrum otherwise.
-func loadSpectrumOption(opts CorrectOptions, explicitK int) (*kspectrum.Spectrum, error) {
-	if opts.SpectrumPath == "" {
-		return nil, nil
+// report maps an engine result onto the facade's report shape.
+func report(res *engine.Result, start time.Time) *CorrectReport {
+	return &CorrectReport{
+		Method:      Method(res.Engine),
+		Duration:    time.Since(start),
+		Threshold:   res.Threshold,
+		Corrections: res.Corrections,
+		Reads:       res.Reads,
+		Changed:     res.Changed,
 	}
-	return LoadSpectrumForK(opts.SpectrumPath, explicitK)
-}
-
-// saveSpectrumOption persists spec when opts.SaveSpectrumPath is set.
-func saveSpectrumOption(opts CorrectOptions, spec *kspectrum.Spectrum) error {
-	if opts.SaveSpectrumPath == "" {
-		return nil
-	}
-	return kspectrum.WriteSpectrumFile(opts.SaveSpectrumPath, spec)
-}
-
-// reptileParams finalizes the Reptile parameter block shared by Correct
-// and CorrectStream: data-derived defaults from sample when K is unset,
-// the facade-level build/budget fallbacks, and the preloaded spectrum
-// (whose stored k overrides a data-derived default but conflicts with an
-// explicit one — reptile.Params.validate reports that).
-func reptileParams(sample []seq.Read, opts CorrectOptions, spec *kspectrum.Spectrum) reptile.Params {
-	p := opts.Reptile
-	explicitK := p.K != 0
-	if !explicitK {
-		build := p.Build // survives the defaults swap
-		p = reptile.DefaultParams(sample, opts.GenomeLen)
-		p.Build = build
-	}
-	if spec != nil {
-		if !explicitK && p.K != spec.K {
-			p.K = spec.K
-			p.C = min(p.K, p.D+4)
-		}
-		p.Spectrum = spec
-	}
-	if p.Build == (kspectrum.BuildOptions{}) {
-		p.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
-	}
-	if p.MemoryBudget == 0 {
-		p.MemoryBudget = opts.MemoryBudget
-	}
-	return p
-}
-
-// redeemConfig finalizes the REDEEM configuration and error model shared
-// by Correct and CorrectStream. A preloaded spectrum's k wins over the
-// package default when RedeemK is unset; an explicit disagreeing RedeemK
-// is reported by redeem's validation.
-func redeemConfig(opts CorrectOptions, spec *kspectrum.Spectrum) (redeem.Config, *simulate.KmerErrorModel) {
-	k := opts.RedeemK
-	if k == 0 {
-		if spec != nil {
-			k = spec.K
-		} else {
-			k = 11
-		}
-	}
-	model := opts.RedeemModel
-	if model == nil {
-		rate := opts.RedeemErrorRate
-		if rate == 0 {
-			rate = 0.01
-		}
-		model = simulate.NewUniformKmerModel(k, rate)
-	}
-	cfg := redeem.DefaultConfig(k)
-	cfg.Spectrum = spec
-	cfg.Build = kspectrum.BuildOptions{Workers: opts.Workers, Shards: opts.Shards}
-	cfg.MemoryBudget = opts.MemoryBudget
-	return cfg, model
 }
 
 // Correct runs the selected error corrector over the reads and returns
-// corrected copies.
+// corrected copies. It is a shim over the engine registry: the selected
+// engine resolves the options as the historical facade did, so output
+// stays byte-identical — with one deliberate exception: SHREC now
+// honors explicitly-set Alpha/Iterations alongside a zero FromLevel
+// instead of silently discarding them in the defaults swap.
 func Correct(reads []seq.Read, opts CorrectOptions) ([]seq.Read, *CorrectReport, error) {
 	start := time.Now()
-	rep := &CorrectReport{Method: opts.Method}
-	switch opts.Method {
-	case MethodReptile, "":
-		spec, err := loadSpectrumOption(opts, opts.Reptile.K)
-		if err != nil {
-			return nil, nil, err
-		}
-		p := reptileParams(reads, opts, spec)
-		c, err := reptile.New(reads, p)
-		if err != nil {
-			return nil, nil, err
-		}
-		out := c.CorrectAll(reads, opts.Workers)
-		if err := saveSpectrumOption(opts, c.Spec); err != nil {
-			return nil, nil, err
-		}
-		rep.Method = MethodReptile
-		rep.Duration = time.Since(start)
-		return out, rep, nil
-	case MethodRedeem:
-		spec, err := loadSpectrumOption(opts, opts.RedeemK)
-		if err != nil {
-			return nil, nil, err
-		}
-		cfg, model := redeemConfig(opts, spec)
-		m, err := redeem.New(reads, model, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		m.Run()
-		thr, _, err := m.InferThreshold(1, 3)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Threshold = thr
-		out := m.CorrectReads(reads, thr, opts.Workers)
-		if err := saveSpectrumOption(opts, m.Spec); err != nil {
-			return nil, nil, err
-		}
-		rep.Duration = time.Since(start)
-		return out, rep, nil
-	case MethodShrec:
-		if opts.SpectrumPath != "" || opts.SaveSpectrumPath != "" {
-			return nil, nil, fmt.Errorf("core: method %q has no k-spectrum to load or save", MethodShrec)
-		}
-		cfg := opts.Shrec
-		if cfg.FromLevel == 0 {
-			workers := cfg.Workers // survives the defaults swap
-			cfg = shrec.DefaultConfig(opts.GenomeLen)
-			cfg.Workers = workers
-		}
-		// SHREC's parallel trie build is opt-in (see shrec.Config.Workers):
-		// it changes the baseline's published memory profile, so only an
-		// explicit positive worker request enables it — the all-cores
-		// meaning of opts.Workers <= 0 deliberately does not apply here.
-		if cfg.Workers == 0 && opts.Workers > 0 {
-			cfg.Workers = opts.Workers
-		}
-		out, st, err := shrec.Correct(reads, cfg)
-		if err != nil {
-			return nil, nil, err
-		}
-		rep.Corrections = st.Corrections
-		rep.Duration = time.Since(start)
-		return out, rep, nil
-	default:
-		return nil, nil, fmt.Errorf("core: unknown correction method %q", opts.Method)
+	eng, run, err := opts.engineRun()
+	if err != nil {
+		return nil, nil, err
 	}
+	out, res, err := eng.Correct(context.Background(), reads, run)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, report(res, start), nil
 }
 
 // Cluster runs the CLOSET pipeline with the given configuration.

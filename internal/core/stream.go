@@ -1,16 +1,15 @@
 package core
 
 import (
-	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
 	"strings"
 	"time"
 
+	"repro/internal/engine"
 	"repro/internal/fastq"
-	"repro/internal/redeem"
-	"repro/internal/reptile"
 	"repro/internal/seq"
 )
 
@@ -23,138 +22,40 @@ import (
 // streaming path (SHREC) fall back to buffering the whole input in memory.
 //
 // For MethodReptile with zero Params, the data-derived defaults (Qc, K) are
-// estimated from the first chunk rather than the full read set.
+// estimated from a bounded leading sample rather than the full read set.
+//
+// It is a shim over the engine registry's canonical Source/Sink streaming
+// contract; output stays byte-identical to the historical pipeline.
 func CorrectStream(open func() (io.ReadCloser, error), out io.Writer, opts CorrectOptions) (*CorrectReport, error) {
 	start := time.Now()
-	rep := &CorrectReport{Method: opts.Method}
-	w := fastq.NewWriter(out)
-	emit := func(orig, corrected []seq.Read) error {
-		rep.Reads += len(orig)
-		for i := range orig {
-			if !bytes.Equal(orig[i].Seq, corrected[i].Seq) {
-				rep.Changed++
-			}
-		}
-		return w.WriteChunk(corrected)
+	eng, run, err := opts.engineRun()
+	if err != nil {
+		return nil, err
 	}
-	switch opts.Method {
-	case MethodReptile, "":
-		rep.Method = MethodReptile
-		spec, err := loadSpectrumOption(opts, opts.Reptile.K)
-		if err != nil {
-			return nil, err
-		}
-		var sample []seq.Read
-		if opts.Reptile.K == 0 {
-			// Data-dependent defaults (Qc, default k) come from a bounded
-			// leading sample of a fresh stream.
-			if sample, err = firstChunk(open); err != nil {
-				return nil, err
-			}
-		}
-		p := reptileParams(sample, opts, spec)
-		c, err := reptile.CorrectStream(chunkSource(open), emit, p, opts.Workers)
-		if err != nil {
-			return nil, err
-		}
-		if err := saveSpectrumOption(opts, c.Spec); err != nil {
-			return nil, err
-		}
-	case MethodRedeem:
-		spec, err := loadSpectrumOption(opts, opts.RedeemK)
-		if err != nil {
-			return nil, err
-		}
-		cfg, model := redeemConfig(opts, spec)
-		m, thr, err := redeem.CorrectStream(chunkSource(open), emit, model, cfg, opts.Workers)
-		if err != nil {
-			return nil, err
-		}
-		if err := saveSpectrumOption(opts, m.Spec); err != nil {
-			return nil, err
-		}
-		rep.Threshold = thr
-	default:
-		// No streaming path (SHREC and unknown methods): buffer the input
-		// and delegate, preserving Correct's semantics and errors — but
-		// reject incompatible spectrum options before the I/O Correct
-		// would only fail after.
-		if opts.SpectrumPath != "" || opts.SaveSpectrumPath != "" {
-			return nil, fmt.Errorf("core: method %q has no k-spectrum to load or save", opts.Method)
-		}
-		reads, err := readAllStream(open)
-		if err != nil {
-			return nil, err
-		}
-		corrected, inner, err := Correct(reads, opts)
-		if err != nil {
-			return nil, err
-		}
-		rep.Corrections = inner.Corrections
-		if err := emit(reads, corrected); err != nil {
-			return nil, err
-		}
+	w := fastq.NewWriter(out)
+	sink := engine.SinkFunc(func(orig, corrected []seq.Read) error {
+		return w.WriteChunk(corrected)
+	})
+	res, err := eng.CorrectStream(context.Background(), chunkSource(open), sink, run)
+	if err != nil {
+		return nil, err
 	}
 	if err := w.Flush(); err != nil {
 		return nil, err
 	}
-	rep.Duration = time.Since(start)
-	return rep, nil
+	return report(res, start), nil
 }
 
-// chunkSource adapts the byte-stream opener to the correctors' shared
-// seq.ChunkSource contract.
-func chunkSource(open func() (io.ReadCloser, error)) func() (seq.ChunkSource, error) {
-	return func() (seq.ChunkSource, error) {
+// chunkSource adapts the byte-stream opener to the engines' shared
+// chunked Source contract.
+func chunkSource(open func() (io.ReadCloser, error)) engine.SourceOpener {
+	return func() (engine.Source, error) {
 		rc, err := open()
 		if err != nil {
 			return nil, err
 		}
 		return fastq.NewChunkReader(rc, 0), nil
 	}
-}
-
-// paramSampleReads bounds the leading-read sample used to derive Reptile's
-// data-dependent parameters (the Qc quality quantile): large enough to
-// smooth per-tile quality drift, small enough to stay a footnote in the
-// memory budget.
-const paramSampleReads = 20000
-
-// firstChunk samples the leading reads of a fresh stream for parameter
-// derivation.
-func firstChunk(open func() (io.ReadCloser, error)) ([]seq.Read, error) {
-	var sample []seq.Read
-	err := seq.StreamChunks(chunkSource(open), func(chunk []seq.Read) error {
-		sample = append(sample, chunk...)
-		if len(sample) >= paramSampleReads {
-			return errSampleFull
-		}
-		return nil
-	})
-	if err != nil && err != errSampleFull {
-		return nil, err
-	}
-	if len(sample) == 0 {
-		return nil, fmt.Errorf("core: empty input stream")
-	}
-	return sample, nil
-}
-
-// errSampleFull is firstChunk's internal early-exit sentinel.
-var errSampleFull = fmt.Errorf("core: sample full")
-
-// readAllStream drains a fresh stream into memory (the non-streaming
-// fallback).
-func readAllStream(open func() (io.ReadCloser, error)) ([]seq.Read, error) {
-	var reads []seq.Read
-	err := seq.StreamChunks(chunkSource(open), func(chunk []seq.Read) error {
-		reads = append(reads, chunk...)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	return reads, nil
 }
 
 // byteSuffixes maps size suffixes to their power-of-two shifts, ordered

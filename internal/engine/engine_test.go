@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// fakeEngine is a registry probe.
+type fakeEngine struct{ name string }
+
+func (f fakeEngine) Name() string               { return f.name }
+func (f fakeEngine) Capabilities() Capabilities { return Capabilities{} }
+func (f fakeEngine) Correct(ctx context.Context, reads []seq.Read, run *Run) ([]seq.Read, *Result, error) {
+	return reads, &Result{Engine: f.name}, nil
+}
+func (f fakeEngine) CorrectStream(ctx context.Context, open SourceOpener, sink Sink, run *Run) (*Result, error) {
+	return &Result{Engine: f.name}, nil
+}
+
+func TestRegistryLookup(t *testing.T) {
+	Register(fakeEngine{name: "fake-lookup"})
+	e, err := Lookup("fake-lookup")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Name() != "fake-lookup" {
+		t.Errorf("looked up %q", e.Name())
+	}
+	found := false
+	for _, name := range Names() {
+		if name == "fake-lookup" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Names() = %v misses fake-lookup", Names())
+	}
+}
+
+// TestLookupUnknown: the typed error matches the sentinel and lists the
+// registered names — the same message every front end surfaces.
+func TestLookupUnknown(t *testing.T) {
+	Register(fakeEngine{name: "fake-known"})
+	_, err := Lookup("definitely-not-registered")
+	if err == nil {
+		t.Fatal("lookup of unknown engine succeeded")
+	}
+	if !errors.Is(err, ErrUnknownEngine) {
+		t.Errorf("error %v does not match ErrUnknownEngine", err)
+	}
+	var ue *UnknownEngineError
+	if !errors.As(err, &ue) {
+		t.Fatalf("error %T is not *UnknownEngineError", err)
+	}
+	if ue.Name != "definitely-not-registered" {
+		t.Errorf("UnknownEngineError.Name = %q", ue.Name)
+	}
+	if !strings.Contains(err.Error(), "fake-known") {
+		t.Errorf("error %q does not list registered engines", err)
+	}
+}
+
+func TestRegisterDuplicatePanics(t *testing.T) {
+	Register(fakeEngine{name: "fake-dup"})
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate Register did not panic")
+		}
+	}()
+	Register(fakeEngine{name: "fake-dup"})
+}
+
+func TestRunOptions(t *testing.T) {
+	r := NewRun(
+		WithK(13),
+		WithWorkers(4),
+		WithShards(8),
+		WithGenomeLen(100000),
+		WithMemoryBudget(1<<20),
+		WithTempDir("/tmp/x"),
+		WithSpectrumPath("in.kspc"),
+		WithSaveSpectrumPath("out.kspc"),
+	)
+	if r.K != 13 || r.Workers != 4 || r.Shards != 8 || r.GenomeLen != 100000 ||
+		r.MemoryBudget != 1<<20 || r.TempDir != "/tmp/x" ||
+		r.SpectrumPath != "in.kspc" || r.SaveSpectrumPath != "out.kspc" {
+		t.Errorf("options not applied: %+v", r)
+	}
+}
+
+func TestRunExt(t *testing.T) {
+	r := NewRun()
+	if _, ok := r.Ext("x"); ok {
+		t.Error("empty run has ext")
+	}
+	r.SetExt("x", 42)
+	v, ok := r.Ext("x")
+	if !ok || v.(int) != 42 {
+		t.Errorf("Ext = %v, %v", v, ok)
+	}
+	// nil options are ignored (engine packages may return nil for
+	// no-op settings).
+	r.Apply(nil, WithK(5))
+	if r.K != 5 {
+		t.Error("Apply after nil option dropped the real one")
+	}
+}
+
+func TestRejectSpectrumOptions(t *testing.T) {
+	if err := NewRun().RejectSpectrumOptions("x"); err != nil {
+		t.Errorf("zero run rejected: %v", err)
+	}
+	if err := NewRun(WithSpectrumPath("a.kspc")).RejectSpectrumOptions("x"); err == nil {
+		t.Error("spectrum path accepted by spectrum-free engine")
+	}
+	if err := NewRun(WithSaveSpectrumPath("a.kspc")).RejectSpectrumOptions("x"); err == nil {
+		t.Error("save path accepted by spectrum-free engine")
+	}
+}
+
+func TestCapabilitiesServesSpectrum(t *testing.T) {
+	cases := []struct {
+		caps Capabilities
+		k    int
+		want bool
+	}{
+		{Capabilities{}, 11, false},
+		{Capabilities{SpectrumReuse: true}, 31, true},
+		{Capabilities{SpectrumReuse: true, MaxSpectrumK: 16}, 16, true},
+		{Capabilities{SpectrumReuse: true, MaxSpectrumK: 16}, 17, false},
+	}
+	for _, tc := range cases {
+		if got := tc.caps.ServesSpectrum(tc.k); got != tc.want {
+			t.Errorf("%+v.ServesSpectrum(%d) = %v want %v", tc.caps, tc.k, got, tc.want)
+		}
+	}
+}

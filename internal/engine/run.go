@@ -1,0 +1,163 @@
+package engine
+
+import (
+	"fmt"
+
+	"repro/internal/kspectrum"
+)
+
+// Run is one correction invocation's configuration, built from functional
+// options. It replaces the historical CorrectOptions field jungle: the
+// cross-engine knobs are fields here, engine-specific settings ride in
+// extension slots filled by the engine packages' own options
+// (reptile.WithD, redeem.WithErrorRate, ...). The zero Run is valid and
+// means "derive everything from the data".
+type Run struct {
+	// K is the kmer length (0 = engine default / data-derived /
+	// adopted from a preloaded spectrum).
+	K int
+	// Workers bounds parallelism; <= 0 uses all cores (engines may
+	// document exceptions, e.g. SHREC's opt-in parallel trie build).
+	Workers int
+	// Shards is the kmer-space partition count of the sharded spectrum
+	// engine; <= 0 derives it from the worker count.
+	Shards int
+	// GenomeLen is the (estimated) genome length used for parameter
+	// selection; 0 means unknown.
+	GenomeLen int
+	// MemoryBudget, when positive, bounds the resident size of the
+	// k-spectrum accumulators by spilling oversized shards to sorted
+	// temp-file runs. 0 keeps everything in memory.
+	MemoryBudget int64
+	// TempDir hosts out-of-core spill files ("" = os.TempDir()).
+	TempDir string
+	// Spectrum, when non-nil, is a preloaded k-spectrum the engine
+	// adopts instead of counting the input.
+	Spectrum *kspectrum.Spectrum
+	// SpectrumPath, when set, loads the spectrum from the persistent
+	// store instead. The stored k is authoritative: an explicit
+	// disagreeing k is an error, an unset k adopts it.
+	SpectrumPath string
+	// SaveSpectrumPath, when set, persists the run's spectrum after
+	// correction for reuse via SpectrumPath.
+	SaveSpectrumPath string
+
+	// ext holds engine-specific payloads keyed by engine name; see
+	// SetExt/Ext.
+	ext map[string]any
+}
+
+// Option mutates a Run under construction.
+type Option func(*Run)
+
+// NewRun builds a Run from functional options.
+func NewRun(opts ...Option) *Run {
+	r := &Run{}
+	r.Apply(opts...)
+	return r
+}
+
+// Apply applies further options to an existing Run.
+func (r *Run) Apply(opts ...Option) {
+	for _, opt := range opts {
+		if opt != nil {
+			opt(r)
+		}
+	}
+}
+
+// SetExt stores an engine-specific payload under key (by convention the
+// engine name). Engine packages use it from their own options; callers
+// never touch it directly.
+func (r *Run) SetExt(key string, v any) {
+	if r.ext == nil {
+		r.ext = make(map[string]any)
+	}
+	r.ext[key] = v
+}
+
+// Ext retrieves the engine-specific payload stored under key.
+func (r *Run) Ext(key string) (any, bool) {
+	v, ok := r.ext[key]
+	return v, ok
+}
+
+// WithK sets the kmer length (0 = engine default / data-derived).
+func WithK(k int) Option { return func(r *Run) { r.K = k } }
+
+// WithWorkers bounds parallelism (<= 0 = all cores).
+func WithWorkers(n int) Option { return func(r *Run) { r.Workers = n } }
+
+// WithShards sets the spectrum shard count (<= 0 = derive from workers).
+func WithShards(n int) Option { return func(r *Run) { r.Shards = n } }
+
+// WithGenomeLen sets the estimated genome length for parameter selection.
+func WithGenomeLen(n int) Option { return func(r *Run) { r.GenomeLen = n } }
+
+// WithMemoryBudget bounds the spectrum accumulators' resident bytes
+// through the out-of-core engine (0 = unlimited, in-memory).
+func WithMemoryBudget(b int64) Option { return func(r *Run) { r.MemoryBudget = b } }
+
+// WithTempDir hosts out-of-core spill files ("" = os.TempDir()).
+func WithTempDir(dir string) Option { return func(r *Run) { r.TempDir = dir } }
+
+// WithSpectrum supplies a preloaded in-memory spectrum the engine adopts
+// instead of counting the input.
+func WithSpectrum(spec *kspectrum.Spectrum) Option { return func(r *Run) { r.Spectrum = spec } }
+
+// WithSpectrumPath loads the spectrum from the persistent store instead
+// of counting the input. The stored k is authoritative.
+func WithSpectrumPath(path string) Option { return func(r *Run) { r.SpectrumPath = path } }
+
+// WithSaveSpectrumPath persists the run's spectrum after correction.
+func WithSaveSpectrumPath(path string) Option { return func(r *Run) { r.SaveSpectrumPath = path } }
+
+// LoadSpectrumForK loads a persisted spectrum and enforces the single
+// k-authority rule shared by every front end: the stored k is
+// authoritative, so an explicit requested k (non-zero) that disagrees
+// with it is an error, while explicitK == 0 defers to the store (the
+// caller then adopts spec.K). Keeping the rule here means the CLI, the
+// facade and the daemon cannot drift apart.
+func LoadSpectrumForK(path string, explicitK int) (*kspectrum.Spectrum, error) {
+	spec, err := kspectrum.ReadSpectrumFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if explicitK != 0 && explicitK != spec.K {
+		return nil, fmt.Errorf("engine: requested k=%d disagrees with %s (stored k=%d)", explicitK, path, spec.K)
+	}
+	return spec, nil
+}
+
+// ResolveSpectrum resolves the run's spectrum inputs: the preloaded
+// in-memory spectrum if set, else the persistent store at SpectrumPath
+// under the k-authority rule, else nil (count the input). explicitK is
+// the caller's explicitly-requested k, 0 when unset.
+func (r *Run) ResolveSpectrum(explicitK int) (*kspectrum.Spectrum, error) {
+	if r.Spectrum != nil {
+		return r.Spectrum, nil
+	}
+	if r.SpectrumPath == "" {
+		return nil, nil
+	}
+	return LoadSpectrumForK(r.SpectrumPath, explicitK)
+}
+
+// SaveSpectrum persists spec when SaveSpectrumPath is set; a no-op
+// otherwise.
+func (r *Run) SaveSpectrum(spec *kspectrum.Spectrum) error {
+	if r.SaveSpectrumPath == "" {
+		return nil
+	}
+	return kspectrum.WriteSpectrumFile(r.SaveSpectrumPath, spec)
+}
+
+// RejectSpectrumOptions is the guard for engines without a k-spectrum
+// (Capabilities.SpectrumReuse == false): any spectrum option on the run
+// is a configuration error reported before work starts.
+func (r *Run) RejectSpectrumOptions(engineName string) error {
+	if r.Spectrum != nil || r.SpectrumPath != "" || r.SaveSpectrumPath != "" {
+		return fmt.Errorf("engine: %q has no k-spectrum to load or save", engineName)
+	}
+	return nil
+}

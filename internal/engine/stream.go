@@ -1,0 +1,97 @@
+package engine
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"repro/internal/seq"
+)
+
+// Source yields successive chunks of reads; it is the package-neutral
+// chunk contract every pipeline stage shares (fastq.ChunkReader satisfies
+// it).
+type Source = seq.ChunkSource
+
+// SourceOpener opens a fresh pass over the input. The correctors take two
+// passes (count, then correct), so the source must be re-openable.
+type SourceOpener func() (Source, error)
+
+// Sink receives (original, corrected) chunk pairs in input order — the
+// single streaming output contract unifying the correctors' historical
+// per-package callback shapes.
+type Sink interface {
+	WriteChunk(orig, corrected []seq.Read) error
+}
+
+// SinkFunc adapts a function to the Sink interface.
+type SinkFunc func(orig, corrected []seq.Read) error
+
+// WriteChunk calls f.
+func (f SinkFunc) WriteChunk(orig, corrected []seq.Read) error { return f(orig, corrected) }
+
+// StreamChunks drives one pass over a freshly opened source, handing
+// every chunk to fn and closing the source on all return paths. The
+// context is checked before each chunk, so a cancelled ctx stops the pass
+// at the next chunk boundary with ctx.Err().
+func StreamChunks(ctx context.Context, open SourceOpener, fn func([]seq.Read) error) error {
+	return seq.StreamChunksCtx(ctx, seq.SourceOpener(open), fn)
+}
+
+// CollectReads drains a source into memory — the buffering fallback for
+// engines without a streaming path. Cancellation stops the drain at the
+// next chunk boundary.
+func CollectReads(ctx context.Context, open SourceOpener) ([]seq.Read, error) {
+	var reads []seq.Read
+	err := StreamChunks(ctx, open, func(chunk []seq.Read) error {
+		reads = append(reads, chunk...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return reads, nil
+}
+
+// CountChanged tallies the reads whose sequence differs between the
+// original and corrected chunk — the shared throughput accounting of
+// every streaming front end.
+func CountChanged(orig, corrected []seq.Read) int {
+	changed := 0
+	for i := range orig {
+		if !bytes.Equal(orig[i].Seq, corrected[i].Seq) {
+			changed++
+		}
+	}
+	return changed
+}
+
+// SampleReads is the bounded leading-read sample engines use to derive
+// data-dependent parameters (e.g. Reptile's Qc quality quantile): large
+// enough to smooth per-tile quality drift, small enough to stay a
+// footnote in the memory budget.
+const SampleReads = 20000
+
+// Sample collects up to SampleReads leading reads from a fresh pass over
+// the source. An empty input is an error — there is nothing to derive
+// parameters from.
+func Sample(ctx context.Context, open SourceOpener) ([]seq.Read, error) {
+	var sample []seq.Read
+	err := StreamChunks(ctx, open, func(chunk []seq.Read) error {
+		sample = append(sample, chunk...)
+		if len(sample) >= SampleReads {
+			return errSampleFull
+		}
+		return nil
+	})
+	if err != nil && err != errSampleFull {
+		return nil, err
+	}
+	if len(sample) == 0 {
+		return nil, fmt.Errorf("engine: empty input stream")
+	}
+	return sample, nil
+}
+
+// errSampleFull is Sample's internal early-exit sentinel.
+var errSampleFull = fmt.Errorf("engine: sample full")

@@ -3,6 +3,7 @@ package kspectrum
 import (
 	"bufio"
 	"container/heap"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -28,6 +29,11 @@ type StreamOptions struct {
 	// TempDir is where spilled run files live; "" uses os.TempDir(). A
 	// fresh subdirectory is created per builder and removed by Build/Close.
 	TempDir string
+	// Context, when non-nil, cancels the out-of-core machinery: once it
+	// is done, spills stop writing and Build aborts its merge loops at
+	// the next batch boundary, returning ctx.Err(). nil is never
+	// cancelled (context.Background()).
+	Context context.Context
 }
 
 // minSpillEntries floors the per-shard spill threshold so pathological
@@ -57,6 +63,8 @@ type StreamStats struct {
 // runs and closes the builder.
 type StreamBuilder struct {
 	sb *SpectrumBuilder
+	// ctx cancels spill and merge work; never nil.
+	ctx context.Context
 	// spillBytes is the per-shard resident footprint beyond which a flush
 	// spills (0 = never); compared against Counter.ResidentBytes.
 	spillBytes int64
@@ -83,7 +91,10 @@ func NewStreamBuilder(k int, bothStrands bool, opts StreamOptions) (*StreamBuild
 	if err != nil {
 		return nil, err
 	}
-	st := &StreamBuilder{sb: sb}
+	st := &StreamBuilder{sb: sb, ctx: opts.Context}
+	if st.ctx == nil {
+		st.ctx = context.Background()
+	}
 	if opts.MemoryBudget > 0 {
 		// Floor each shard's slice at the footprint of a table holding
 		// minSpillEntries, so pathological budgets degrade into many small
@@ -120,6 +131,16 @@ func (st *StreamBuilder) Stats() StreamStats {
 // memory is no longer bounded).
 func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
 	if shard.counts.ResidentBytes() < st.spillBytes || shard.counts.Len() == 0 {
+		return
+	}
+	// A cancelled build stops investing in spill I/O; the recorded
+	// ctx.Err() surfaces from Build exactly like a spill failure.
+	if err := st.ctx.Err(); err != nil {
+		st.errMu.Lock()
+		if st.err == nil {
+			st.err = err
+		}
+		st.errMu.Unlock()
 		return
 	}
 	st.errMu.Lock()
@@ -194,6 +215,9 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 	st.errMu.Lock()
 	err := st.err
 	st.errMu.Unlock()
+	if err == nil {
+		err = st.ctx.Err()
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -312,7 +336,15 @@ func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 
 	var outK []seq.Kmer
 	var outC []uint32
-	for len(h) > 0 {
+	for n := 0; len(h) > 0; n++ {
+		// The merge is the long tail of an out-of-core build; poll the
+		// context every batch so cancellation aborts it promptly without
+		// a per-record overhead.
+		if n&8191 == 0 {
+			if err := st.ctx.Err(); err != nil {
+				return nil, nil, err
+			}
+		}
 		head := h[0]
 		if n := len(outK); n > 0 && outK[n-1] == head.km {
 			outC[n-1] += head.count

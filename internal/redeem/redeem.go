@@ -13,6 +13,7 @@
 package redeem
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -299,21 +300,45 @@ func (m *Model) InferThreshold(minG, maxG int) (float64, *stats.Mixture, error) 
 // their single observed instances are explained as misreads of their
 // surviving neighbors. workers bounds parallelism (<=0 uses GOMAXPROCS).
 func (m *Model) CorrectReads(reads []seq.Read, liberalThreshold float64, workers int) []seq.Read {
+	out, _ := m.CorrectReadsCtx(context.Background(), reads, liberalThreshold, workers)
+	return out
+}
+
+// cancelPollMask is the read-count stride at which correction workers
+// poll the context; see reptile.CorrectAllCtx for the rationale.
+const cancelPollMask = 63
+
+// CorrectReadsCtx is CorrectReads under a context: every worker polls ctx
+// every few dozen reads and the pool drains promptly once it is
+// cancelled, returning (nil, ctx.Err()). All workers have exited by the
+// time it returns — cancellation leaks no goroutines.
+func (m *Model) CorrectReadsCtx(ctx context.Context, reads []seq.Read, liberalThreshold float64, workers int) ([]seq.Read, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	done := ctx.Done()
 	out := make([]seq.Read, len(reads))
 	run := func(lo, hi int) {
 		// One scratch per worker: the kmer-index buffer is reused across
 		// the whole read range, so per read only the output copy allocates.
 		var s correctScratch
 		for i := lo; i < hi; i++ {
+			if (i-lo)&cancelPollMask == 0 {
+				select {
+				case <-done:
+					return
+				default:
+				}
+			}
 			out[i] = m.correctRead(reads[i], liberalThreshold, &s)
 		}
 	}
 	if workers == 1 || len(reads) < 2*workers {
 		run(0, len(reads))
-		return out
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	chunk := (len(reads) + workers - 1) / workers
@@ -329,7 +354,10 @@ func (m *Model) CorrectReads(reads []seq.Read, liberalThreshold float64, workers
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // correctScratch holds the per-goroutine buffers of redeem's correction

@@ -1,6 +1,7 @@
 package redeem
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kspectrum"
@@ -20,6 +21,15 @@ type ChunkSource = seq.ChunkSource
 // chunk with `workers` goroutines, and hands (original, corrected) chunk
 // pairs to emit. It returns the fitted model and the inferred threshold.
 func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected []seq.Read) error, errModel *simulate.KmerErrorModel, cfg Config, workers int) (*Model, float64, error) {
+	return correctStreamCtx(context.Background(), open, emit, errModel, cfg, workers)
+}
+
+// correctStreamCtx is the context-aware pipeline every front end (the
+// legacy CorrectStream, the engine adapter) shares: cancellation is
+// polled at every chunk boundary, inside the correction worker pool, and
+// in the out-of-core spill/merge loops, so a cancelled ctx aborts the run
+// promptly with ctx.Err() and leaks no goroutines or spill files.
+func correctStreamCtx(ctx context.Context, open seq.SourceOpener, emit func(orig, corrected []seq.Read) error, errModel *simulate.KmerErrorModel, cfg Config, workers int) (*Model, float64, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, 0, err
 	}
@@ -31,13 +41,13 @@ func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected [
 		// No preloaded spectrum: the first pass streams every chunk
 		// through the (possibly spilling) accumulator.
 		st, err := kspectrum.NewStreamBuilder(cfg.K, true, kspectrum.StreamOptions{
-			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir, Context: ctx,
 		})
 		if err != nil {
 			return nil, 0, err
 		}
 		defer st.Close() // reclaim spill files if any stage aborts
-		if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+		if err := seq.StreamChunksCtx(ctx, open, func(chunk []seq.Read) error {
 			st.Add(chunk)
 			return nil
 		}); err != nil {
@@ -60,8 +70,12 @@ func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected [
 	if err != nil {
 		return nil, 0, err
 	}
-	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
-		return emit(chunk, m.CorrectReads(chunk, thr, workers))
+	if err := seq.StreamChunksCtx(ctx, open, func(chunk []seq.Read) error {
+		corrected, err := m.CorrectReadsCtx(ctx, chunk, thr, workers)
+		if err != nil {
+			return err
+		}
+		return emit(chunk, corrected)
 	}); err != nil {
 		return nil, 0, fmt.Errorf("redeem: correct pass: %w", err)
 	}

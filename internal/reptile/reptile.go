@@ -10,6 +10,7 @@
 package reptile
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -136,6 +137,12 @@ type Builder struct {
 // NewBuilder validates the parameters and prepares an empty accumulator.
 // A positive Params.MemoryBudget selects the out-of-core engine.
 func NewBuilder(p Params) (*Builder, error) {
+	return newBuilderCtx(context.Background(), p)
+}
+
+// newBuilderCtx threads a context into the out-of-core machinery so a
+// cancelled streaming run aborts its spill and merge loops.
+func newBuilderCtx(ctx context.Context, p Params) (*Builder, error) {
 	if p.DefaultBase == 0 {
 		p.DefaultBase = 'A'
 	}
@@ -153,7 +160,7 @@ func NewBuilder(p Params) (*Builder, error) {
 		// the tile counts and Finish adopts the spectrum directly.
 	case p.MemoryBudget > 0:
 		b.stream, err = kspectrum.NewStreamBuilder(p.K, true, kspectrum.StreamOptions{
-			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir,
+			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir, Context: ctx,
 		})
 	default:
 		b.sb, err = kspectrum.NewSpectrumBuilder(p.K, true, p.Build)
@@ -604,16 +611,35 @@ func (c *Corrector) correctPass(bases, qual []byte, s *scratch) {
 // The input reads are not modified. Each worker owns one scratch for its
 // whole read range, so the per-read cost is the output copy alone.
 func (c *Corrector) CorrectAll(reads []seq.Read, workers int) []seq.Read {
+	out, _ := c.CorrectAllCtx(context.Background(), reads, workers)
+	return out
+}
+
+// cancelPollMask is the read-count stride at which correction workers
+// poll the context: frequent enough that cancellation lands well inside a
+// chunk, sparse enough to stay invisible next to per-read correction
+// cost.
+const cancelPollMask = 63
+
+// CorrectAllCtx is CorrectAll under a context: every worker polls ctx
+// every few dozen reads and the pool drains promptly once it is
+// cancelled, returning (nil, ctx.Err()). All workers have exited by the
+// time it returns — cancellation leaks no goroutines.
+func (c *Corrector) CorrectAllCtx(ctx context.Context, reads []seq.Read, workers int) ([]seq.Read, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	done := ctx.Done()
 	out := make([]seq.Read, len(reads))
 	if workers == 1 {
 		var s scratch
 		for i, r := range reads {
+			if i&cancelPollMask == 0 && canceled(done) {
+				return nil, ctx.Err()
+			}
 			out[i] = c.correctRead(r, &s)
 		}
-		return out
+		return out, nil
 	}
 	var wg sync.WaitGroup
 	chunk := (len(reads) + workers - 1) / workers
@@ -628,10 +654,27 @@ func (c *Corrector) CorrectAll(reads []seq.Read, workers int) []seq.Read {
 			defer wg.Done()
 			var s scratch
 			for i := lo; i < hi; i++ {
+				if (i-lo)&cancelPollMask == 0 && canceled(done) {
+					return
+				}
 				out[i] = c.correctRead(reads[i], &s)
 			}
 		}(lo, hi)
 	}
 	wg.Wait()
-	return out
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// canceled is the non-blocking poll of a context's done channel (nil for
+// context.Background, where the select always takes the default arm).
+func canceled(done <-chan struct{}) bool {
+	select {
+	case <-done:
+		return true
+	default:
+		return false
+	}
 }

@@ -1,6 +1,7 @@
 package reptile
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/kspectrum"
@@ -82,6 +83,13 @@ func (s *Service) Spectrum() *kspectrum.Spectrum { return s.spec }
 // the request chunk alone, the service trade-off that keeps requests
 // independent.
 func (s *Service) CorrectChunk(reads []seq.Read, workers int) ([]seq.Read, *Corrector, error) {
+	return s.CorrectChunkCtx(context.Background(), reads, workers)
+}
+
+// CorrectChunkCtx is CorrectChunk under a context: a cancelled ctx drains
+// the correction worker pool promptly and returns ctx.Err(), so a
+// dropped request aborts its correction work.
+func (s *Service) CorrectChunkCtx(ctx context.Context, reads []seq.Read, workers int) ([]seq.Read, *Corrector, error) {
 	p := s.p
 	if p.Qc == 0 {
 		p.Qc = kspectrum.QualityQuantile(reads, 0.17)
@@ -104,5 +112,9 @@ func (s *Service) CorrectChunk(reads []seq.Read, workers int) ([]seq.Read, *Corr
 		p.Cm = cm
 	}
 	c := &Corrector{P: p, Spec: s.spec, NI: s.ni, Tiles: tiles}
-	return c.CorrectAll(reads, workers), c, nil
+	out, err := c.CorrectAllCtx(ctx, reads, workers)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out, c, nil
 }

@@ -1,6 +1,7 @@
 package reptile
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/seq"
@@ -22,12 +23,21 @@ type ChunkSource = seq.ChunkSource
 // derive data-dependent settings before calling). The returned Corrector
 // exposes the derived thresholds and Phase 1 structures.
 func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected []seq.Read) error, p Params, workers int) (*Corrector, error) {
-	b, err := NewBuilder(p)
+	return correctStreamCtx(context.Background(), open, emit, p, workers)
+}
+
+// correctStreamCtx is the context-aware two-pass pipeline every front end
+// (the legacy CorrectStream, the engine adapter) shares: cancellation is
+// polled at every chunk boundary, inside the correction worker pool, and
+// in the out-of-core spill/merge loops, so a cancelled ctx aborts the run
+// promptly with ctx.Err() and leaks no goroutines or spill files.
+func correctStreamCtx(ctx context.Context, open seq.SourceOpener, emit func(orig, corrected []seq.Read) error, p Params, workers int) (*Corrector, error) {
+	b, err := newBuilderCtx(ctx, p)
 	if err != nil {
 		return nil, err
 	}
 	defer b.Close() // reclaim spill files if either pass aborts
-	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
+	if err := seq.StreamChunksCtx(ctx, open, func(chunk []seq.Read) error {
 		b.Add(chunk)
 		return nil
 	}); err != nil {
@@ -37,8 +47,12 @@ func CorrectStream(open func() (ChunkSource, error), emit func(orig, corrected [
 	if err != nil {
 		return nil, err
 	}
-	if err := seq.StreamChunks(open, func(chunk []seq.Read) error {
-		return emit(chunk, c.CorrectAll(chunk, workers))
+	if err := seq.StreamChunksCtx(ctx, open, func(chunk []seq.Read) error {
+		corrected, err := c.CorrectAllCtx(ctx, chunk, workers)
+		if err != nil {
+			return err
+		}
+		return emit(chunk, corrected)
 	}); err != nil {
 		return nil, fmt.Errorf("reptile: correct pass: %w", err)
 	}

@@ -1,6 +1,9 @@
 package seq
 
-import "io"
+import (
+	"context"
+	"io"
+)
 
 // ChunkSource yields successive chunks of reads, returning (nil, io.EOF)
 // when exhausted. fastq.ChunkReader satisfies it; the interface lives here —
@@ -11,15 +14,29 @@ type ChunkSource interface {
 	Close() error
 }
 
+// SourceOpener opens a fresh pass over a chunked input; the streaming
+// correctors take two passes, so sources must be re-openable.
+type SourceOpener func() (ChunkSource, error)
+
 // StreamChunks drives one pass over a freshly opened source: every chunk is
 // handed to fn, and the source is closed on all return paths.
-func StreamChunks(open func() (ChunkSource, error), fn func([]Read) error) error {
+func StreamChunks(open SourceOpener, fn func([]Read) error) error {
+	return StreamChunksCtx(context.Background(), open, fn)
+}
+
+// StreamChunksCtx is StreamChunks under a context: ctx is checked before
+// every chunk, so a cancelled context stops the pass at the next chunk
+// boundary with ctx.Err(). The source is closed on all return paths.
+func StreamChunksCtx(ctx context.Context, open SourceOpener, fn func([]Read) error) error {
 	src, err := open()
 	if err != nil {
 		return err
 	}
 	defer src.Close()
 	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		chunk, err := src.Next()
 		if err == io.EOF {
 			return src.Close()

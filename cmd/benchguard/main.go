@@ -42,6 +42,7 @@ func main() {
 		oldPath    = flag.String("old", "", "previous BENCH_pr<N>.json (missing file = skip)")
 		newPath    = flag.String("new", "", "fresh BENCH_pr<N>.json (required)")
 		maxRegress = flag.Float64("max-regress", 0.25, "allowed fractional ns/op regression on shared benchmarks")
+		minGateMs  = flag.Float64("min-gate-ms", 100, "minimum total measured milliseconds (ns/op x n, both sides) for a benchmark to gate")
 	)
 	flag.Parse()
 	if *newPath == "" {
@@ -66,7 +67,7 @@ func main() {
 		fmt.Printf("scales differ (old %d, new %d); skipping regression gate\n", oldFile.Scale, newFile.Scale)
 		return
 	}
-	report := compare(oldFile, newFile, *maxRegress)
+	report := compare(oldFile, newFile, *maxRegress, *minGateMs*1e6)
 	for _, line := range report.lines {
 		fmt.Println(line)
 	}
@@ -99,18 +100,14 @@ type compareReport struct {
 	failures []string // human-readable regression descriptions
 }
 
-// minGateNs is the minimum total measured time (ns_per_op × n) a record
-// needs on both sides to participate in the gate. The CI suite runs at
-// -benchtime 1x, so microsecond-scale benchmarks are single-sample noise
-// — a 2 µs lookup jittering to 3 µs is not a regression signal, while a
-// 200 ms build drifting 25% is.
-const minGateNs = 1e6
-
 // compare diffs the ns/op of benchmarks shared by name. Records with a
-// non-positive ns/op on either side, or whose total measured time is
-// below minGateNs, are ignored (a 1x run that measured nothing
-// meaningful must not gate).
-func compare(oldFile, newFile *benchFile, maxRegress float64) compareReport {
+// non-positive ns/op on either side, or whose total measured time
+// (ns_per_op × n) is below minGateNs on either side, are ignored. The CI
+// suite runs at -benchtime 1x, so short benchmarks are single-sample
+// noise — a 20 ms run jittering ±60% is not a regression signal, while a
+// 200 ms build drifting 25% is; the -min-gate-ms default of 100 ms is the
+// workload floor the in-repo benchmarks are sized against.
+func compare(oldFile, newFile *benchFile, maxRegress, minGateNs float64) compareReport {
 	oldByName := make(map[string]benchRecord, len(oldFile.Benchmarks))
 	for _, r := range oldFile.Benchmarks {
 		oldByName[r.Name] = r

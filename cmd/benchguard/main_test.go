@@ -5,10 +5,13 @@ import (
 	"testing"
 )
 
+// defaultGateNs mirrors the -min-gate-ms flag default (100 ms).
+const defaultGateNs = 100 * 1e6
+
 func bf(scale int, recs ...benchRecord) *benchFile {
 	for i := range recs {
 		if recs[i].N == 0 {
-			recs[i].N = 1 << 20 // amortized run, above the gate's time floor
+			recs[i].N = 1 << 21 // amortized run, above the gate's time floor
 		}
 	}
 	return &benchFile{PR: "t", Scale: scale, Benchmarks: recs}
@@ -27,7 +30,7 @@ func TestCompareFlagsOnlyExcessRegressions(t *testing.T) {
 		benchRecord{Name: "C", NsPerOp: 60},  // improvement
 		benchRecord{Name: "Fresh", NsPerOp: 10},
 	)
-	rep := compare(oldF, newF, 0.25)
+	rep := compare(oldF, newF, 0.25, defaultGateNs)
 	if rep.shared != 3 {
 		t.Fatalf("shared = %d want 3", rep.shared)
 	}
@@ -39,37 +42,65 @@ func TestCompareFlagsOnlyExcessRegressions(t *testing.T) {
 func TestCompareIgnoresUnmeasuredRecords(t *testing.T) {
 	oldF := bf(5000, benchRecord{Name: "A", NsPerOp: 0})
 	newF := bf(5000, benchRecord{Name: "A", NsPerOp: 1e9})
-	rep := compare(oldF, newF, 0.25)
+	rep := compare(oldF, newF, 0.25, defaultGateNs)
 	if rep.shared != 0 || len(rep.failures) != 0 {
 		t.Fatalf("zero ns/op records must not gate: %+v", rep)
 	}
 }
 
-func TestCompareSkipsSubMillisecondSamples(t *testing.T) {
-	// A 2 µs lookup doubling at -benchtime 1x is single-sample noise, not
-	// a regression; a repeated run crossing the floor via N gates again.
-	oldF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 2000})
-	newF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 4000})
-	rep := compare(oldF, newF, 0.25)
+func TestCompareSkipsShortSamples(t *testing.T) {
+	// A 20 ms run swinging ±60% at -benchtime 1x is single-sample noise,
+	// not a regression; a run above the floor (via N or per-op workload)
+	// gates again.
+	oldF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 20e6})
+	newF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 32e6})
+	rep := compare(oldF, newF, 0.25, defaultGateNs)
 	if rep.shared != 0 || len(rep.failures) != 0 {
-		t.Fatalf("sub-millisecond samples must not gate: %+v", rep)
+		t.Fatalf("sub-floor samples must not gate: %+v", rep)
 	}
-	oldF.Benchmarks[0].N = 1000
-	newF.Benchmarks[0].N = 1000
-	rep = compare(oldF, newF, 0.25)
+	oldF.Benchmarks[0].NsPerOp = 200e6
+	newF.Benchmarks[0].NsPerOp = 320e6
+	rep = compare(oldF, newF, 0.25, defaultGateNs)
 	if rep.shared != 1 || len(rep.failures) != 1 {
-		t.Fatalf("amortized samples must gate: %+v", rep)
+		t.Fatalf("above-floor samples must gate: %+v", rep)
+	}
+}
+
+func TestCompareSkipsFloorCrossings(t *testing.T) {
+	// A benchmark whose workload was raised past the floor in this PR has
+	// a sub-floor old record: the pair must be skipped, not read as a
+	// 100x regression (and the reverse direction must skip too).
+	oldF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 5e6})
+	newF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 400e6})
+	rep := compare(oldF, newF, 0.25, defaultGateNs)
+	if rep.shared != 0 || len(rep.failures) != 0 {
+		t.Fatalf("floor-crossing pair must not gate: %+v", rep)
+	}
+	rep = compare(newF, oldF, 0.25, defaultGateNs)
+	if rep.shared != 0 || len(rep.failures) != 0 {
+		t.Fatalf("reverse floor-crossing pair must not gate: %+v", rep)
+	}
+}
+
+func TestCompareHonorsGateFloorOverride(t *testing.T) {
+	oldF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 2e6})
+	newF := bf(5000, benchRecord{Name: "Q", N: 1, NsPerOp: 4e6})
+	if rep := compare(oldF, newF, 0.25, defaultGateNs); rep.shared != 0 {
+		t.Fatalf("default floor must skip 2 ms samples: %+v", rep)
+	}
+	if rep := compare(oldF, newF, 0.25, 1e6); rep.shared != 1 || len(rep.failures) != 1 {
+		t.Fatalf("a lowered floor must gate them: %+v", rep)
 	}
 }
 
 func TestCompareBoundary(t *testing.T) {
 	oldF := bf(5000, benchRecord{Name: "A", NsPerOp: 100})
 	newF := bf(5000, benchRecord{Name: "A", NsPerOp: 125})
-	if rep := compare(oldF, newF, 0.25); len(rep.failures) != 0 {
+	if rep := compare(oldF, newF, 0.25, defaultGateNs); len(rep.failures) != 0 {
 		t.Fatalf("exactly-at-limit must pass: %v", rep.failures)
 	}
 	newF.Benchmarks[0].NsPerOp = 125.2
-	if rep := compare(oldF, newF, 0.25); len(rep.failures) != 1 {
+	if rep := compare(oldF, newF, 0.25, defaultGateNs); len(rep.failures) != 1 {
 		t.Fatal("just-over-limit must fail")
 	}
 }

@@ -91,7 +91,7 @@ func redeemDetectOnly(f correctFlags, k, explicitK int, errorRate float64, start
 	var spec *kspectrum.Spectrum
 	var err error
 	if f.loadSpec != "" {
-		if spec, err = engine.LoadSpectrumForK(f.loadSpec, explicitK); err != nil {
+		if spec, err = engine.LoadSpectrumForK(f.loadSpec, explicitK, f.spectrumMode()); err != nil {
 			return err
 		}
 		k = spec.K // the stored k is authoritative over the default

@@ -65,6 +65,7 @@ func serveCmd(args []string, stdout io.Writer) error {
 		d             = fs.Int("d", 1, "Reptile max Hamming distance per constituent kmer")
 		readTimeout   = fs.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
 		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+		mapSpectrum   = fs.Bool("map-spectrum", true, "serve spectra zero-copy off read-only memory mappings (false = copy each into memory with eager validation)")
 	)
 	fs.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable, required)")
 	if err := parse(fs, args); err != nil {
@@ -74,7 +75,16 @@ func serveCmd(args []string, stdout io.Writer) error {
 		return usagef(fs, "at least one -spectrum name=path is required")
 	}
 
+	mode := engine.SpectrumMapped
+	if !*mapSpectrum {
+		mode = engine.SpectrumCopied
+	}
 	loaded := make(map[string]*kspectrum.Spectrum, len(specs))
+	defer func() {
+		for _, spec := range loaded {
+			spec.Close()
+		}
+	}()
 	for _, nv := range specs {
 		name, path, ok := strings.Cut(nv, "=")
 		if !ok || name == "" || path == "" {
@@ -84,13 +94,28 @@ func serveCmd(args []string, stdout io.Writer) error {
 			return usagef(fs, "-spectrum %q: duplicate name", name)
 		}
 		start := time.Now()
-		spec, err := kspectrum.ReadSpectrumFile(path)
+		spec, err := engine.LoadSpectrumForK(path, 0, mode)
 		if err != nil {
 			return err
 		}
 		loaded[name] = spec
-		log.Printf("loaded spectrum %q: k=%d, %d kmers, bothStrands=%v (%v)",
-			name, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
+		how := "copied"
+		if spec.Mapped() {
+			how = "mapped"
+		}
+		log.Printf("loaded spectrum %q (%s): k=%d, %d kmers, bothStrands=%v (%v)",
+			name, how, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
+		if spec.Mapped() {
+			// Surface latent file corruption without delaying startup: the
+			// whole-file check runs in the background; a failure is sticky
+			// on the spectrum, so requests touching it turn into clean 500s
+			// (see correctWithEngine) instead of silently wrong corrections.
+			go func(name string, spec *kspectrum.Spectrum) {
+				if err := spec.Verify(); err != nil {
+					log.Printf("spectrum %q failed verification, refusing its requests: %v", name, err)
+				}
+			}(name, spec)
+		}
 	}
 
 	chunkBytes, err := core.ParseByteSize(*maxChunkBytes)
@@ -470,6 +495,16 @@ func (s *server) handleCorrectV2(w http.ResponseWriter, r *http.Request) {
 // under the request context, so a dropped connection aborts its work
 // instead of finishing it for nobody.
 func (s *server) correctWithEngine(w http.ResponseWriter, r *http.Request, eng engine.Engine, e *entry, method string) {
+	// A mapped spectrum that failed its deferred integrity checks (lazy
+	// bucket validation or the background whole-file scan) answers every
+	// query "absent" — correct for library callers but silently useless
+	// corrections for a daemon client. Refuse the request instead.
+	if e != nil {
+		if specErr := e.spec.Err(); specErr != nil {
+			http.Error(w, fmt.Sprintf("spectrum %q is unserviceable: %v", e.name, specErr), http.StatusInternalServerError)
+			return
+		}
+	}
 	reads, ok := s.admit(w, r)
 	if !ok {
 		return

@@ -106,9 +106,11 @@ type CorrectReport struct {
 
 // LoadSpectrumForK loads a persisted spectrum under the single
 // k-authority rule; see engine.LoadSpectrumForK, which now owns it.
-// New code should call the engine package directly.
+// The load is memory-mapped (the engine default); callers needing an
+// eagerly-validated copy call the engine package directly. New code
+// should call the engine package directly.
 func LoadSpectrumForK(path string, explicitK int) (*kspectrum.Spectrum, error) {
-	return engine.LoadSpectrumForK(path, explicitK)
+	return engine.LoadSpectrumForK(path, explicitK, engine.SpectrumMapped)
 }
 
 // engineRun translates the options into a registry lookup plus an

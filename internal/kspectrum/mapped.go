@@ -1,0 +1,372 @@
+package kspectrum
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"unsafe"
+
+	"repro/internal/seq"
+)
+
+// The zero-copy spectrum store: OpenMapped serves Index/Contains/Count
+// straight off a read-only memory mapping of a KSPC file instead of
+// decoding it into fresh columns. Opening validates the header and the
+// file geometry eagerly — O(1) work, so a daemon restart or autoscale
+// event costs microseconds regardless of spectrum size — and defers the
+// expensive integrity work:
+//
+//   - Each prefix bucket is structurally validated (in-range, strictly
+//     ascending, correct prefix) on the first query that touches it.
+//   - The whole-file CRC-32C is checked on the first full scan — an
+//     explicit Verify call, an eager NeighborIndex build, a lazy replica
+//     materialization, or re-encoding through WriteSpectrum — never
+//     silently skipped.
+//   - The prefix-bucket boundary table is resolved lazily per bucket by
+//     binary search instead of a full counting pass, so first-query
+//     latency pays for one bucket, not the whole file.
+//
+// A validation failure is sticky: Err reports it, every later query
+// answers absent, and the serving layers surface it (the daemon fails
+// requests against a spectrum whose verification failed). Close unmaps;
+// afterwards queries answer absent and Err reports ErrSpectrumClosed —
+// never a fault. Callers that want the eager PR-4 guarantee (whole file
+// checked before anything serves) either call Verify after OpenMapped or
+// load copied via ReadSpectrumFile.
+
+// ErrSpectrumClosed is the sticky error reported by Err, Verify and
+// WriteSpectrum after Close. Queries on a closed spectrum answer absent;
+// they never fault.
+var ErrSpectrumClosed = errors.New("kspectrum: spectrum is closed")
+
+// MmapSupported reports whether this build serves OpenMapped spectra off
+// a real memory mapping. When false (non-unix or big-endian platforms, or
+// the repro_nommap build tag), OpenMapped transparently falls back to the
+// copying reader with its eager whole-file validation.
+const MmapSupported = mmapSupported
+
+// mappedState is the lazy-validation machinery behind a mapped Spectrum.
+// All fields are safe for concurrent readers: boundary resolution and
+// bucket validation are idempotent (two racing goroutines both compute
+// the same answer) and publish through atomics.
+type mappedState struct {
+	data []byte // the whole mapping, trailer included
+	path string
+
+	// bounds caches lazily-resolved bucket boundaries: bounds[b] == 0
+	// means unresolved, v > 0 means bucket b starts at Kmers[v-1].
+	bounds []atomic.Int32
+	// checked is a bitset of structurally-validated buckets.
+	checked []atomic.Uint32
+
+	// failed flags a sticky validation failure; err (under mu) holds the
+	// first cause. The fast query path loads only the bool.
+	failed atomic.Bool
+	mu     sync.Mutex
+	err    error
+
+	verifyOnce sync.Once
+}
+
+// OpenMapped opens the spectrum stored at path as a read-only memory
+// mapping: the returned Spectrum's Kmers and Counts columns are views
+// over the file, so opening allocates nothing proportional to its size
+// and N processes share one copy of page cache. The header and file
+// geometry are validated eagerly; ordering and the CRC-32C lazily (see
+// the package comment above). Call Close to unmap when done; exiting the
+// process also releases the mapping.
+//
+// On platforms without mmap support — or if mapping fails — OpenMapped
+// falls back to ReadSpectrumFile: a fully-validated in-memory copy whose
+// Close and Verify obey the same contract.
+func OpenMapped(path string) (*Spectrum, error) {
+	if !mmapSupported {
+		return ReadSpectrumFile(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, fmt.Errorf("kspectrum: open mapped: %w", err)
+	}
+	size := fi.Size()
+	if size < storeHeaderLen+4 {
+		return nil, fmt.Errorf("%s: %w", path, storeErr("truncated header"))
+	}
+	if size > int64(int(^uint(0)>>1)) {
+		return nil, fmt.Errorf("%s: %w", path, storeErr("file too large to map"))
+	}
+	data, err := mmapFile(f, int(size))
+	if err != nil {
+		// A filesystem that cannot map (or the fallback build) still
+		// serves, just without the zero-copy win.
+		return ReadSpectrumFile(path)
+	}
+	s, err := newMappedSpectrum(data, path)
+	if err != nil {
+		munmapFile(data)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// newMappedSpectrum validates the header and geometry of a complete
+// mapped store image and builds the lazy Spectrum over it. It performs
+// exactly the eager checks ReadSpectrum performs before its first column
+// byte, plus the exact-size check that replaces streaming truncation
+// detection.
+func newMappedSpectrum(data []byte, path string) (*Spectrum, error) {
+	hdr := data[:storeHeaderLen]
+	if [4]byte(hdr[0:4]) != storeMagic {
+		return nil, storeErr("bad magic %q", hdr[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(hdr[4:8]); v != StoreVersion {
+		return nil, storeErr("unsupported version %d (want %d)", v, StoreVersion)
+	}
+	k := int(binary.LittleEndian.Uint32(hdr[8:12]))
+	if k < 1 || k > seq.MaxK {
+		return nil, storeErr("invalid k=%d", k)
+	}
+	flags := binary.LittleEndian.Uint32(hdr[12:16])
+	if flags&^storeFlagBothStrands != 0 {
+		return nil, storeErr("unknown flags %#x", flags)
+	}
+	count64 := binary.LittleEndian.Uint64(hdr[16:24])
+	if k < seq.MaxK && count64 > 1<<(2*uint(k)) {
+		return nil, storeErr("count %d exceeds 4^%d distinct kmers", count64, k)
+	}
+	if count64 > (1<<31)-1 {
+		return nil, storeErr("count %d exceeds the index limit", count64)
+	}
+	count := int(count64)
+	want := int64(storeHeaderLen) + 12*int64(count) + 4
+	if int64(len(data)) != want {
+		if int64(len(data)) < want {
+			return nil, storeErr("truncated store: %d bytes, want %d for %d kmers", len(data), want, count)
+		}
+		return nil, storeErr("trailing data after checksum")
+	}
+
+	s := &Spectrum{
+		K:           k,
+		BothStrands: flags&storeFlagBothStrands != 0,
+	}
+	if count > 0 {
+		// The columns start at offsets 24 and 24+8*count — 8- and 4-byte
+		// aligned within a page-aligned mapping — so on the little-endian
+		// platforms this file is built for, the fixed-width LE columns ARE
+		// the in-memory representation and can be reinterpreted in place.
+		s.Kmers = unsafe.Slice((*seq.Kmer)(unsafe.Pointer(&data[storeHeaderLen])), count)
+		s.Counts = unsafe.Slice((*uint32)(unsafe.Pointer(&data[storeHeaderLen+8*count])), count)
+	}
+	pbits := pickPBits(count, k)
+	s.pshift = uint(2*k - pbits)
+	s.mapped = &mappedState{
+		data:    data,
+		path:    path,
+		bounds:  make([]atomic.Int32, (1<<pbits)+1),
+		checked: make([]atomic.Uint32, (1<<pbits+31)/32),
+	}
+	return s, nil
+}
+
+// fail records the first validation failure; later queries answer absent
+// and Err reports the cause.
+func (m *mappedState) fail(err error) {
+	m.mu.Lock()
+	if m.err == nil {
+		m.err = err
+	}
+	m.mu.Unlock()
+	m.failed.Store(true)
+}
+
+// stickyErr returns the recorded validation failure, if any.
+func (m *mappedState) stickyErr() error {
+	if !m.failed.Load() {
+		return nil
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.err
+}
+
+// bound resolves the start index of bucket b lazily: a cached atomic read
+// when already resolved, one binary search over the mapped kmer column
+// otherwise. Racing resolvers compute the same value, so publication
+// order does not matter.
+func (m *mappedState) bound(s *Spectrum, b int) int {
+	if v := m.bounds[b].Load(); v != 0 {
+		return int(v) - 1
+	}
+	var lo int
+	if b >= len(m.bounds)-1 {
+		// One past the last bucket: the shifted target would overflow for
+		// k = 32; the boundary is the column end by definition.
+		lo = len(s.Kmers)
+	} else {
+		target := seq.Kmer(uint64(b) << s.pshift)
+		lo = sort.Search(len(s.Kmers), func(i int) bool { return s.Kmers[i] >= target })
+	}
+	m.bounds[b].Store(int32(lo) + 1)
+	return lo
+}
+
+// ensureBucket structurally validates bucket b — every kmer in range,
+// carrying prefix b, strictly ascending — the first time a query touches
+// it. Corruption inside a bucket is therefore detected on first touch,
+// without ever scanning the rest of the file. Validation is idempotent;
+// racing goroutines may both run it and both set the bit.
+func (m *mappedState) ensureBucket(s *Spectrum, b, lo, hi int) bool {
+	w, bit := b>>5, uint32(1)<<(b&31)
+	if m.checked[w].Load()&bit != 0 {
+		return true
+	}
+	if lo > hi {
+		m.fail(fmt.Errorf("%s: %w", m.path, storeErr("bucket %#x has inverted bounds (kmers not sorted)", b)))
+		return false
+	}
+	kmax := ^uint64(0) >> (64 - 2*uint(s.K))
+	for i := lo; i < hi; i++ {
+		km := uint64(s.Kmers[i])
+		switch {
+		case km > kmax:
+			m.fail(fmt.Errorf("%s: %w", m.path, storeErr("kmer %#x out of range for k=%d", km, s.K)))
+			return false
+		case km>>s.pshift != uint64(b):
+			m.fail(fmt.Errorf("%s: %w", m.path, storeErr("bucket %#x contains out-of-order kmer %#x", b, km)))
+			return false
+		case i > lo && km <= uint64(s.Kmers[i-1]):
+			m.fail(fmt.Errorf("%s: %w", m.path, storeErr("kmers not strictly ascending in bucket %#x", b)))
+			return false
+		}
+	}
+	for {
+		old := m.checked[w].Load()
+		if old&bit != 0 || m.checked[w].CompareAndSwap(old, old|bit) {
+			return true
+		}
+	}
+}
+
+// index is the mapped query path: lazy bucket boundaries, first-touch
+// bucket validation, then the same short in-bucket scan as the frozen
+// index.
+func (m *mappedState) index(s *Spectrum, km seq.Kmer) int {
+	if len(s.Kmers) == 0 || m.failed.Load() {
+		return -1
+	}
+	b := int(uint64(km) >> s.pshift)
+	if b >= len(m.bounds)-1 {
+		// km carries bits beyond 2k — it cannot be a member, and (unlike
+		// the frozen index, whose inputs are always masked to k) a corrupt
+		// mapped column can hand such a kmer back to a caller probing the
+		// spectrum's own entries. Answer absent instead of indexing past
+		// the bucket table.
+		return -1
+	}
+	lo, hi := m.bound(s, b), m.bound(s, b+1)
+	if !m.ensureBucket(s, b, lo, hi) {
+		return -1
+	}
+	for i := lo; i < hi; i++ {
+		if s.Kmers[i] >= km {
+			if s.Kmers[i] == km {
+				return i
+			}
+			return -1
+		}
+	}
+	return -1
+}
+
+// verify is the whole-file check: full ordering/range validation of the
+// kmer column plus the trailing CRC-32C over every preceding byte —
+// exactly what ReadSpectrum enforces while streaming. It runs at most
+// once; the result is sticky either way.
+func (m *mappedState) verify(s *Spectrum) error {
+	m.verifyOnce.Do(func() {
+		kmax := ^uint64(0) >> (64 - 2*uint(s.K))
+		for i, km := range s.Kmers {
+			if uint64(km) > kmax {
+				m.fail(fmt.Errorf("%s: %w", m.path, storeErr("kmer %#x out of range for k=%d", uint64(km), s.K)))
+				return
+			}
+			if i > 0 && km <= s.Kmers[i-1] {
+				m.fail(fmt.Errorf("%s: %w", m.path, storeErr("kmers not strictly ascending at entry %d", i)))
+				return
+			}
+		}
+		body := m.data[:len(m.data)-4]
+		want := binary.LittleEndian.Uint32(m.data[len(m.data)-4:])
+		if got := crc32.Checksum(body, crcTable); got != want {
+			m.fail(fmt.Errorf("%s: %w", m.path, storeErr("checksum mismatch (file %#x, computed %#x)", want, got)))
+		}
+	})
+	return m.stickyErr()
+}
+
+// Mapped reports whether the spectrum serves queries off a memory
+// mapping (false for built, copied and fallback-loaded spectra).
+func (s *Spectrum) Mapped() bool { return s.mapped != nil }
+
+// Err returns the spectrum's sticky validation state: nil for a healthy
+// spectrum, the first lazy-validation or Verify failure for a corrupt
+// mapped one, ErrSpectrumClosed after Close. Serving layers poll it to
+// fail requests instead of silently answering absent.
+func (s *Spectrum) Err() error {
+	if s.closeErr != nil {
+		return s.closeErr
+	}
+	if s.mapped != nil {
+		return s.mapped.stickyErr()
+	}
+	return nil
+}
+
+// Verify checks the whole store eagerly: full ordering validation and the
+// trailing CRC-32C. For built and copied spectra — already validated at
+// build or decode — it returns nil immediately; for mapped spectra the
+// scan runs at most once and the result is sticky. Every full-scan
+// operation (WriteSpectrum, NeighborIndex construction) verifies
+// implicitly, so a corrupt mapped spectrum cannot survive a full read.
+func (s *Spectrum) Verify() error {
+	if s.closeErr != nil {
+		return s.closeErr
+	}
+	if s.mapped == nil {
+		return nil
+	}
+	return s.mapped.verify(s)
+}
+
+// Close releases the spectrum's backing storage — for mapped spectra, the
+// memory mapping. Afterwards queries answer absent and Err, Verify and
+// WriteSpectrum report ErrSpectrumClosed; use-after-close is defined, not
+// a fault. Close is idempotent. It must not race in-flight queries on a
+// mapped spectrum: the unmap would pull pages out from under them.
+// Closing a built or copied spectrum just drops the column references.
+func (s *Spectrum) Close() error {
+	if s.closeErr != nil {
+		return nil
+	}
+	s.closeErr = ErrSpectrumClosed
+	s.Kmers, s.Counts = nil, nil
+	s.pbuckets = nil
+	m := s.mapped
+	s.mapped = nil
+	if m != nil && m.data != nil {
+		data := m.data
+		m.data = nil
+		return munmapFile(data)
+	}
+	return nil
+}

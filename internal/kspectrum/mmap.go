@@ -1,0 +1,30 @@
+//go:build (darwin || dragonfly || freebsd || linux || netbsd || openbsd) && (386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64) && !repro_nommap
+
+package kspectrum
+
+import (
+	"os"
+	"syscall"
+)
+
+// The mmap shim behind OpenMapped: real memory mappings on little-endian
+// unix platforms, where the store's fixed-width LE columns can be served
+// in place by reinterpreting the mapping (mapped.go). Big-endian or
+// non-unix builds — and any build with the repro_nommap tag, which CI
+// forces once to keep the portability path green — compile
+// mmap_fallback.go instead and OpenMapped degrades to the copying reader.
+
+// mmapSupported reports that this build maps files instead of copying
+// them.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-only and shared, so N processes
+// serving the same spectrum share one copy of page cache.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping returned by mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

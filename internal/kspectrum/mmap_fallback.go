@@ -1,0 +1,28 @@
+//go:build !((darwin || dragonfly || freebsd || linux || netbsd || openbsd) && (386 || amd64 || arm || arm64 || loong64 || mips64le || mipsle || ppc64le || riscv64)) || repro_nommap
+
+package kspectrum
+
+import (
+	"errors"
+	"os"
+)
+
+// Fallback shim for platforms without a usable read-only mapping (non-unix,
+// big-endian — where reinterpreting the LE columns in place would be
+// wrong) and for builds forcing the portability path via the repro_nommap
+// tag. OpenMapped still works: it falls back to the copying reader, so
+// callers program against one API everywhere.
+
+// mmapSupported reports that this build copies files instead of mapping
+// them.
+const mmapSupported = false
+
+// errMmapUnsupported makes mmapFile's contract explicit; OpenMapped treats
+// it (like any mmap failure) as "fall back to the copying reader".
+var errMmapUnsupported = errors.New("kspectrum: memory mapping unsupported on this platform")
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, errMmapUnsupported
+}
+
+func munmapFile(b []byte) error { return nil }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"slices"
 	"sort"
+	"sync"
 
 	"repro/internal/seq"
 )
@@ -21,11 +22,50 @@ type NeighborIndex struct {
 	C        int
 	masks    []seq.Kmer // bitmask of the 2-bit positions zeroed per replica
 	replicas [][]int32  // spectrum indices sorted by masked kmer value
+	// lazy, when non-nil, defers each replica's sort to its first use
+	// (NewNeighborIndexLazy): replicas[r] is then written exactly once
+	// under lazy[r] and nil until the spectrum passes Verify.
+	lazy []sync.Once
 }
 
-// NewNeighborIndex builds the index. c must satisfy d < c <= k; larger c
-// costs more replicas (C(c,d)) but each replica bucket is more selective.
+// NewNeighborIndex builds the index eagerly. c must satisfy d < c <= k;
+// larger c costs more replicas (C(c,d)) but each replica bucket is more
+// selective. Building sorts the full spectrum C(c,d) times — a full scan
+// — so a memory-mapped spectrum is verified (whole-file CRC) first.
 func NewNeighborIndex(spec *Spectrum, d, c int) (*NeighborIndex, error) {
+	ni, err := newNeighborIndex(spec, d, c)
+	if err != nil {
+		return nil, err
+	}
+	if err := spec.Verify(); err != nil {
+		return nil, err
+	}
+	for r := range ni.masks {
+		ni.replicas[r] = ni.buildReplica(r)
+	}
+	return ni, nil
+}
+
+// NewNeighborIndexLazy validates the parameters eagerly but defers each
+// replica's sorted permutation to its first Neighbors call, so a service
+// over a freshly-mapped spectrum starts serving without paying C(c,d)
+// full-spectrum sorts up front. The first materialization verifies the
+// spectrum; if verification fails, the failure is sticky on the spectrum
+// (Spectrum.Err) and Neighbors answers empty rather than serving results
+// computed from corrupt bytes. Materialization is safe for concurrent
+// use.
+func NewNeighborIndexLazy(spec *Spectrum, d, c int) (*NeighborIndex, error) {
+	ni, err := newNeighborIndex(spec, d, c)
+	if err != nil {
+		return nil, err
+	}
+	ni.lazy = make([]sync.Once, len(ni.masks))
+	return ni, nil
+}
+
+// newNeighborIndex checks parameters and computes the replica masks —
+// the cheap, size-independent part shared by both construction modes.
+func newNeighborIndex(spec *Spectrum, d, c int) (*NeighborIndex, error) {
 	k := spec.K
 	if d < 0 {
 		return nil, fmt.Errorf("kspectrum: negative d")
@@ -44,17 +84,41 @@ func NewNeighborIndex(spec *Spectrum, d, c int) (*NeighborIndex, error) {
 			}
 		}
 		ni.masks = append(ni.masks, mask)
-		idx := make([]int32, len(spec.Kmers))
-		for i := range idx {
-			idx[i] = int32(i)
-		}
-		m := mask
-		sort.Slice(idx, func(a, b int) bool {
-			return spec.Kmers[idx[a]]&^m < spec.Kmers[idx[b]]&^m
-		})
-		ni.replicas = append(ni.replicas, idx)
 	}
+	ni.replicas = make([][]int32, len(ni.masks))
 	return ni, nil
+}
+
+// buildReplica sorts the spectrum's index permutation under replica r's
+// mask.
+func (ni *NeighborIndex) buildReplica(r int) []int32 {
+	spec, mask := ni.spec, ni.masks[r]
+	idx := make([]int32, len(spec.Kmers))
+	for i := range idx {
+		idx[i] = int32(i)
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return spec.Kmers[idx[a]]&^mask < spec.Kmers[idx[b]]&^mask
+	})
+	return idx
+}
+
+// replica returns replica r, materializing it on first use in lazy mode.
+// It is nil when the backing spectrum failed verification.
+func (ni *NeighborIndex) replica(r int) []int32 {
+	if ni.lazy == nil {
+		return ni.replicas[r]
+	}
+	ni.lazy[r].Do(func() {
+		// The sort reads every kmer — a full scan — so the deferred
+		// whole-file check runs first. sync.Once publishes the write to
+		// every later caller.
+		if ni.spec.Verify() != nil {
+			return
+		}
+		ni.replicas[r] = ni.buildReplica(r)
+	})
+	return ni.replicas[r]
 }
 
 // Replicas reports how many sorted copies the index stores (C(c,d)),
@@ -71,7 +135,7 @@ func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 	start := len(dst)
 	for r, mask := range ni.masks {
 		key := km &^ mask
-		idx := ni.replicas[r]
+		idx := ni.replica(r)
 		kmers := ni.spec.Kmers
 		lo := sort.Search(len(idx), func(i int) bool { return kmers[idx[i]]&^mask >= key })
 		for i := lo; i < len(idx) && kmers[idx[i]]&^mask == key; i++ {

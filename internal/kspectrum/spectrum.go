@@ -39,6 +39,14 @@ type Spectrum struct {
 	// that never went through Build — falls back to binary search.
 	pshift   uint
 	pbuckets []int32
+
+	// mapped is non-nil when the columns are views over a read-only
+	// memory mapping (OpenMapped): queries then resolve bucket boundaries
+	// lazily and validate each bucket on first touch instead of using a
+	// frozen table. closeErr is set by Close and makes use-after-close
+	// defined (queries answer absent, Err reports it).
+	mapped   *mappedState
+	closeErr error
 }
 
 func errInvalidK(k int) error { return fmt.Errorf("kspectrum: invalid k=%d", k) }
@@ -97,10 +105,7 @@ func (s *Spectrum) freezeIndex() {
 	if n == 0 {
 		return
 	}
-	pbits := 1
-	for 1<<pbits < n/2 && pbits < 2*s.K && pbits < 22 {
-		pbits++
-	}
+	pbits := pickPBits(n, s.K)
 	s.pshift = uint(2*s.K - pbits)
 	s.pbuckets = make([]int32, (1<<pbits)+1)
 	cur := 0
@@ -116,10 +121,27 @@ func (s *Spectrum) freezeIndex() {
 	}
 }
 
+// pickPBits sizes the prefix-bucket table for n kmers of length k so the
+// average bucket holds ~2 entries, capped by 2k and a 4M-bucket bound.
+// Both the frozen index and the lazy mapped index use it, so a mapped and
+// a copied load of the same store bucket identically.
+func pickPBits(n, k int) int {
+	pbits := 1
+	for 1<<pbits < n/2 && pbits < 2*k && pbits < 22 {
+		pbits++
+	}
+	return pbits
+}
+
 // Index returns the position of km in the sorted spectrum, or -1. After
 // Build it is an O(1) prefix-bucket lookup plus a short in-bucket scan;
-// hand-assembled spectra fall back to IndexBinarySearch.
+// memory-mapped spectra (OpenMapped) resolve bucket bounds lazily and
+// validate each bucket on first touch; hand-assembled spectra fall back
+// to IndexBinarySearch.
 func (s *Spectrum) Index(km seq.Kmer) int {
+	if s.mapped != nil {
+		return s.mapped.index(s, km)
+	}
 	if s.pbuckets == nil {
 		return s.IndexBinarySearch(km)
 	}

@@ -79,6 +79,13 @@ func WriteSpectrum(w io.Writer, s *Spectrum) error {
 	if len(s.Kmers) != len(s.Counts) {
 		return fmt.Errorf("kspectrum: spectrum has %d kmers but %d counts", len(s.Kmers), len(s.Counts))
 	}
+	// Re-encoding is a full scan: a memory-mapped source must pass the
+	// deferred whole-file check first, or corrupt bytes would be laundered
+	// into a fresh file with a valid checksum. Built/copied spectra (and
+	// a closed one, which errors here) resolve this without any scan.
+	if err := s.Verify(); err != nil {
+		return err
+	}
 	crc := crc32.New(crcTable)
 	bw := bufio.NewWriterSize(io.MultiWriter(w, crc), 1<<16)
 
@@ -115,8 +122,14 @@ func WriteSpectrum(w io.Writer, s *Spectrum) error {
 		return fmt.Errorf("kspectrum: write spectrum: %w", err)
 	}
 	binary.LittleEndian.PutUint32(rec[:4], crc.Sum32())
-	if _, err := w.Write(rec[:4]); err != nil {
+	// This write bypasses bufio (which maps short writes itself), so the
+	// io.Writer contract violation a fake or broken sink can commit —
+	// n < len with a nil error — must be caught here or the trailer is
+	// silently truncated.
+	if n, err := w.Write(rec[:4]); err != nil {
 		return fmt.Errorf("kspectrum: write spectrum: %w", err)
+	} else if n != 4 {
+		return fmt.Errorf("kspectrum: write spectrum: %w", io.ErrShortWrite)
 	}
 	return nil
 }
@@ -243,23 +256,28 @@ func (cr *crcReader) readFull(buf []byte, section string) error {
 
 // WriteSpectrumFile writes s to path atomically: the bytes land in a
 // temporary sibling first and rename into place only after a successful
-// sync-free close, so readers never observe a half-written store.
+// sync-free close, so readers never observe a half-written store. Every
+// failure path closes and removes the temporary file and wraps the
+// destination path, so a daemon log names the offending store.
 func WriteSpectrumFile(path string, s *Spectrum) error {
+	wrap := func(err error) error {
+		return fmt.Errorf("kspectrum: write spectrum %s: %w", path, err)
+	}
 	tmp, err := os.CreateTemp(filepath.Dir(path), ".kspc-*")
 	if err != nil {
-		return fmt.Errorf("kspectrum: write spectrum: %w", err)
+		return wrap(err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
 	if err := WriteSpectrum(tmp, s); err != nil {
 		tmp.Close()
-		return err
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	// CreateTemp's private 0600 would survive the rename; widen to the
 	// conventional output mode so other users (a daemon running under a
 	// service account) can read the store.
 	if err := tmp.Chmod(0o644); err != nil {
 		tmp.Close()
-		return fmt.Errorf("kspectrum: write spectrum: %w", err)
+		return wrap(err)
 	}
 	// Flush to stable storage before the rename: without it a crash
 	// after rename but before writeback replaces a previously good store
@@ -267,12 +285,15 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 	// load, but the good data would already be gone.
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("kspectrum: write spectrum: %w", err)
+		return wrap(err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("kspectrum: write spectrum: %w", err)
+		return wrap(err)
 	}
-	return os.Rename(tmp.Name(), path)
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return wrap(err)
+	}
+	return nil
 }
 
 // ReadSpectrumFile loads the spectrum stored at path.

@@ -1,0 +1,248 @@
+package kspectrum
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/seq"
+)
+
+// The I/O-failure audit of the store: every encode/decode leg must
+// propagate a sink or source failure (wrapped, distinguishable from
+// corruption), and the file-level helpers must leave no temp state
+// behind on any error path.
+
+// errBrokenPipe is the injected I/O failure; tests assert it survives
+// wrapping via errors.Is.
+var errBrokenPipe = errors.New("injected: broken pipe")
+
+// failWriter accepts `budget` bytes, then fails every write.
+type failWriter struct {
+	budget int
+}
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, errBrokenPipe
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// shortWriter violates the io.Writer contract once: a partial write with
+// a nil error. bufio maps that to io.ErrShortWrite; the direct trailer
+// write must too.
+type shortWriter struct {
+	budget int
+}
+
+func (w *shortWriter) Write(p []byte) (int, error) {
+	if len(p) > w.budget {
+		n := w.budget
+		w.budget = 0
+		return n, nil
+	}
+	w.budget -= len(p)
+	return len(p), nil
+}
+
+// failReader serves `budget` bytes of a valid image, then fails.
+type failReader struct {
+	data   []byte
+	budget int
+}
+
+func (r *failReader) Read(p []byte) (int, error) {
+	if r.budget == 0 {
+		return 0, errBrokenPipe
+	}
+	n := min(len(p), r.budget, len(r.data))
+	copy(p, r.data[:n])
+	r.data = r.data[n:]
+	r.budget -= n
+	return n, nil
+}
+
+// TestWriteSpectrumFailingWriter: a sink failing in any section — header,
+// kmer column, count column, trailer — must surface the cause, wrapped.
+func TestWriteSpectrumFailingWriter(t *testing.T) {
+	s := storeTestSpectrum(t, 12, 200, true)
+	total := len(encodeSpectrum(t, s))
+	for _, budget := range []int{0, storeHeaderLen, storeHeaderLen + 8*len(s.Kmers)/2, total - 4, total - 1} {
+		err := WriteSpectrum(&failWriter{budget: budget}, s)
+		if err == nil {
+			t.Fatalf("budget %d: write succeeded against a failing sink", budget)
+		}
+		if !errors.Is(err, errBrokenPipe) {
+			t.Fatalf("budget %d: cause lost in wrapping: %v", budget, err)
+		}
+	}
+}
+
+// TestWriteSpectrumShortWrite: a contract-violating sink (partial write,
+// nil error) must yield io.ErrShortWrite everywhere — including the
+// trailer, which bypasses bufio's own short-write mapping.
+func TestWriteSpectrumShortWrite(t *testing.T) {
+	s := storeTestSpectrum(t, 12, 200, true)
+	total := len(encodeSpectrum(t, s))
+	for _, budget := range []int{storeHeaderLen / 2, total - 4, total - 2} {
+		err := WriteSpectrum(&shortWriter{budget: budget}, s)
+		if err == nil {
+			t.Fatalf("budget %d: write succeeded against a short-writing sink", budget)
+		}
+		if !errors.Is(err, io.ErrShortWrite) {
+			t.Fatalf("budget %d: want io.ErrShortWrite, got: %v", budget, err)
+		}
+	}
+}
+
+// TestReadSpectrumFailingReader: a source failing mid-stream is an I/O
+// error, not file corruption — the cause must survive wrapping and must
+// NOT be conflated with ErrSpectrumStore (a daemon retries transport
+// errors but quarantines corrupt files).
+func TestReadSpectrumFailingReader(t *testing.T) {
+	s := storeTestSpectrum(t, 12, 200, true)
+	valid := encodeSpectrum(t, s)
+	for _, budget := range []int{0, storeHeaderLen - 1, storeHeaderLen, len(valid) / 2, len(valid) - 2} {
+		_, err := ReadSpectrum(&failReader{data: valid, budget: budget})
+		if err == nil {
+			t.Fatalf("budget %d: read succeeded against a failing source", budget)
+		}
+		if !errors.Is(err, errBrokenPipe) {
+			t.Fatalf("budget %d: cause lost in wrapping: %v", budget, err)
+		}
+		if errors.Is(err, ErrSpectrumStore) {
+			t.Fatalf("budget %d: I/O failure misreported as corruption: %v", budget, err)
+		}
+	}
+}
+
+// TestWriteSpectrumFileErrorPaths: every failure of the atomic file
+// write must remove its temporary sibling and name the destination path.
+func TestWriteSpectrumFileErrorPaths(t *testing.T) {
+	assertClean := func(t *testing.T, dir string) {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range entries {
+			t.Fatalf("temp dropping left behind: %s", e.Name())
+		}
+	}
+
+	t.Run("invalid spectrum", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "bad.kspc")
+		err := WriteSpectrumFile(path, &Spectrum{K: 0})
+		if err == nil {
+			t.Fatal("wrote a spectrum with invalid k")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Fatalf("error does not name the destination: %v", err)
+		}
+		assertClean(t, dir)
+	})
+
+	t.Run("mismatched columns", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "bad.kspc")
+		s := &Spectrum{K: 4, Kmers: []seq.Kmer{1, 2}, Counts: []uint32{1}}
+		if err := WriteSpectrumFile(path, s); err == nil {
+			t.Fatal("wrote a spectrum with ragged columns")
+		}
+		assertClean(t, dir)
+	})
+
+	t.Run("closed spectrum", func(t *testing.T) {
+		dir := t.TempDir()
+		s := storeTestSpectrum(t, 8, 50, true)
+		good := filepath.Join(dir, "good.kspc")
+		if err := WriteSpectrumFile(good, s); err != nil {
+			t.Fatal(err)
+		}
+		spec, err := OpenMapped(good)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := spec.Close(); err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(dir, "copy.kspc")
+		if err := WriteSpectrumFile(path, spec); !errors.Is(err, ErrSpectrumClosed) {
+			t.Fatalf("re-encoding a closed spectrum: %v, want ErrSpectrumClosed", err)
+		}
+		if _, err := os.Stat(path); !os.IsNotExist(err) {
+			t.Fatal("failed write left a destination file")
+		}
+	})
+
+	t.Run("unwritable directory", func(t *testing.T) {
+		s := storeTestSpectrum(t, 8, 50, true)
+		path := filepath.Join(t.TempDir(), "no-such-dir", "spec.kspc")
+		err := WriteSpectrumFile(path, s)
+		if err == nil {
+			t.Fatal("wrote into a nonexistent directory")
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Fatalf("error does not name the destination: %v", err)
+		}
+	})
+}
+
+// TestReadSpectrumFileWrapsPath: load failures must identify the
+// offending file — the daemon registry loads many stores and its log has
+// to say which one was bad.
+func TestReadSpectrumFileWrapsPath(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "corrupt.kspc")
+	if err := os.WriteFile(path, []byte("KSPCgarbage-not-a-store"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, open := range []struct {
+		name string
+		fn   func(string) (*Spectrum, error)
+	}{
+		{"ReadSpectrumFile", ReadSpectrumFile},
+		{"OpenMapped", OpenMapped},
+	} {
+		_, err := open.fn(path)
+		if err == nil {
+			t.Fatalf("%s accepted garbage", open.name)
+		}
+		if !errors.Is(err, ErrSpectrumStore) {
+			t.Fatalf("%s: error does not wrap ErrSpectrumStore: %v", open.name, err)
+		}
+		if !strings.Contains(err.Error(), path) {
+			t.Fatalf("%s: error does not name the file: %v", open.name, err)
+		}
+		missing := filepath.Join(t.TempDir(), "absent.kspc")
+		if _, err := open.fn(missing); !os.IsNotExist(err) {
+			t.Fatalf("%s on a missing file: %v, want IsNotExist", open.name, err)
+		}
+	}
+}
+
+// TestWriteSpectrumBufferUnchanged pins that the happy path is not
+// perturbed by the error-path hardening: a plain in-memory encode still
+// round-trips.
+func TestWriteSpectrumBufferUnchanged(t *testing.T) {
+	s := storeTestSpectrum(t, 10, 100, true)
+	var buf bytes.Buffer
+	if err := WriteSpectrum(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpectrum(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Size() != s.Size() {
+		t.Fatalf("round trip lost kmers: %d vs %d", got.Size(), s.Size())
+	}
+}

@@ -1,0 +1,165 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/fastq"
+	"repro/internal/kspectrum"
+	"repro/internal/loadgen"
+	"repro/internal/simulate"
+)
+
+// serveBenchHarness stands up the daemon's full handler over a persisted
+// benchScale spectrum and splits the corpus into request chunks — the
+// exact path a production deployment exercises, minus the TCP socket.
+func serveBenchHarness(b *testing.B, opts cli.ServerOptions) (*httptest.Server, [][]byte) {
+	b.Helper()
+	spec := simulate.Chapter2Specs(benchScale())[0] // D1
+	ds := buildDataset(b, spec)
+	reads := simulate.Reads(ds.Sim)
+	built, err := kspectrum.Build(reads, 13, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	path := filepath.Join(b.TempDir(), "bench.kspc")
+	if err := kspectrum.WriteSpectrumFile(path, built); err != nil {
+		b.Fatal(err)
+	}
+	loaded, err := kspectrum.ReadSpectrumFile(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { loaded.Close() })
+	h, err := cli.NewHandler(map[string]*kspectrum.Spectrum{"main": loaded}, opts)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(h)
+	b.Cleanup(ts.Close)
+
+	var chunks [][]byte
+	const chunkReads = 500
+	for at := 0; at < len(reads); at += chunkReads {
+		end := min(at+chunkReads, len(reads))
+		body, err := fastq.EncodeChunk(reads[at:end])
+		if err != nil {
+			b.Fatal(err)
+		}
+		chunks = append(chunks, body)
+	}
+	return ts, chunks
+}
+
+// scrapeCounter fetches one counter's value from the daemon's /metrics
+// exposition.
+func scrapeCounter(b *testing.B, baseURL, name string) float64 {
+	b.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\S+)$`).FindSubmatch(body)
+	if m == nil {
+		b.Fatalf("/metrics has no %s:\n%s", name, body)
+	}
+	v, err := strconv.ParseFloat(string(m[1]), 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return v
+}
+
+// BenchmarkServeLoadgen is the first service-level row set: the daemon
+// measured from the client side under the repo's own load generator.
+// The steady leg runs inside capacity and reports the latency
+// distribution and throughput a well-provisioned client sees; the
+// overload leg pins the daemon to one slot and no queue, drives it far
+// past capacity, and reports the shed behavior — cross-checking the
+// daemon's own shed counter against what the client observed, the same
+// invariant the CI service-smoke job asserts.
+func BenchmarkServeLoadgen(b *testing.B) {
+	b.Run("steady", func(b *testing.B) {
+		ts, chunks := serveBenchHarness(b, cli.ServerOptions{Workers: 1, MaxInflight: 4})
+		var last loadgen.Report
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				URL:         ts.URL + "/v2/correct?engine=reptile&spectrum=main",
+				Chunks:      chunks,
+				Concurrency: 4,
+				Duration:    1500 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.OK == 0 || rep.Server5xx != 0 || rep.Failed != 0 {
+				b.Fatalf("steady load failed: %s", rep)
+			}
+			last = rep
+		}
+		b.StopTimer()
+		recordBench(b, map[string]float64{
+			"requests": float64(last.Requests), "ok_per_sec": last.OKPerSec,
+			"reads_per_sec": last.ReadsPerSec, "shed_rate": last.ShedRate,
+			"p50_ms": last.P50Ms, "p90_ms": last.P90Ms, "p99_ms": last.P99Ms,
+		})
+		fmt.Printf("\nserve/steady: %s\n", last)
+	})
+
+	b.Run("overload", func(b *testing.B) {
+		ts, chunks := serveBenchHarness(b, cli.ServerOptions{Workers: 1, MaxInflight: 1, MaxQueue: -1})
+		var last loadgen.Report
+		var shedBefore float64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			shedBefore = scrapeCounter(b, ts.URL, "repro_requests_shed_total")
+			rep, err := loadgen.Run(context.Background(), loadgen.Config{
+				URL:         ts.URL + "/v2/correct?engine=reptile&spectrum=main",
+				Chunks:      chunks,
+				Concurrency: 8,
+				Duration:    1500 * time.Millisecond,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.OK == 0 || rep.Shed == 0 {
+				b.Fatalf("overload run did not both serve and shed: %s", rep)
+			}
+			if rep.Server5xx != 0 || rep.Failed != 0 {
+				b.Fatalf("overload produced hard failures: %s", rep)
+			}
+			// The daemon's shed counter and the client's 429 tally are two
+			// views of the same events. They can differ only by requests
+			// in flight when the run deadline cancelled the client — at
+			// most one per worker — and the daemon's count is the larger.
+			shedAfter := scrapeCounter(b, ts.URL, "repro_requests_shed_total")
+			got := shedAfter - shedBefore
+			if got < float64(rep.Shed) || got > float64(rep.Shed+8) {
+				b.Fatalf("daemon shed counter moved %v, loadgen observed %d", got, rep.Shed)
+			}
+			last = rep
+		}
+		b.StopTimer()
+		recordBench(b, map[string]float64{
+			"requests": float64(last.Requests), "ok_per_sec": last.OKPerSec,
+			"shed_rate": last.ShedRate, "shed": float64(last.Shed),
+			"p50_ms": last.P50Ms, "p99_ms": last.P99Ms,
+		})
+		fmt.Printf("\nserve/overload: %s\n", last)
+	})
+}

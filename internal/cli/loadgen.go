@@ -1,0 +1,114 @@
+package cli
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/url"
+	"os"
+	"time"
+
+	"repro/internal/fastq"
+	"repro/internal/loadgen"
+)
+
+// loadgenCmd replays a FASTQ file as correction chunks against a running
+// serve daemon and reports service-level numbers: latency percentiles of
+// successful corrections, achieved throughput, and the shed rate of the
+// daemon's admission queue. The report is one JSON object on stdout (the
+// machine contract, consumed by CI and the bench harness); the human
+// summary goes to the log. Exit is zero even when the daemon sheds —
+// shed load is a measurement, not a failure — and non-zero only when the
+// run itself could not execute.
+func loadgenCmd(args []string, stdout io.Writer) error {
+	fs := newFlagSet("loadgen")
+	var (
+		base        = fs.String("url", "http://127.0.0.1:8424", "base URL of the serve daemon")
+		in          = fs.String("in", "", "FASTQ file replayed as correction chunks (required)")
+		chunkReads  = fs.Int("chunk-reads", 500, "reads per request chunk")
+		engineName  = fs.String("engine", "", "engine parameter for /v2/correct (empty = daemon default)")
+		spectrum    = fs.String("spectrum", "", "spectrum parameter (empty = daemon's sole spectrum)")
+		qps         = fs.Float64("qps", 0, "target aggregate request rate (0 = closed loop at daemon pace)")
+		concurrency = fs.Int("c", 4, "concurrent client workers")
+		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
+		timeout     = fs.Duration("timeout", time.Minute, "per-request client timeout")
+	)
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return usagef(fs, "-in FASTQ is required")
+	}
+
+	chunks, reads, err := loadChunks(*in, *chunkReads)
+	if err != nil {
+		return err
+	}
+
+	target, err := url.Parse(*base)
+	if err != nil {
+		return fmt.Errorf("-url %q: %w", *base, err)
+	}
+	target = target.JoinPath("/v2/correct")
+	q := target.Query()
+	if *engineName != "" {
+		q.Set("engine", *engineName)
+	}
+	if *spectrum != "" {
+		q.Set("spectrum", *spectrum)
+	}
+	target.RawQuery = q.Encode()
+
+	ctx, stop := signalContext()
+	defer stop()
+	rep, err := loadgen.Run(ctx, loadgen.Config{
+		URL:         target.String(),
+		Chunks:      chunks,
+		QPS:         *qps,
+		Concurrency: *concurrency,
+		Duration:    *duration,
+		Timeout:     *timeout,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "loadgen: %d chunks of <=%d reads (%d reads total) against %s\n",
+		len(chunks), *chunkReads, reads, target)
+	fmt.Fprintf(os.Stderr, "loadgen: %s\n", rep)
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// loadChunks splits a FASTQ file into encoded request bodies of at most
+// chunkReads reads each.
+func loadChunks(path string, chunkReads int) (chunks [][]byte, total int, err error) {
+	if chunkReads <= 0 {
+		chunkReads = 500
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	cr := fastq.NewChunkReader(f, chunkReads)
+	defer cr.Close()
+	for {
+		reads, err := cr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, 0, fmt.Errorf("%s: %w", path, err)
+		}
+		body, err := fastq.EncodeChunk(reads)
+		if err != nil {
+			return nil, 0, err
+		}
+		chunks = append(chunks, body)
+		total += len(reads)
+	}
+	if len(chunks) == 0 {
+		return nil, 0, fmt.Errorf("%s: no reads", path)
+	}
+	return chunks, total, nil
+}

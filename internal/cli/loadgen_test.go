@@ -1,0 +1,68 @@
+package cli
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/fastq"
+	"repro/internal/loadgen"
+)
+
+// TestLoadgenAgainstServe runs the loadgen subcommand end-to-end against
+// a real in-process daemon: the JSON report on stdout must parse, show
+// successful corrections, and contain no server errors — the same
+// assertions the CI service-smoke job makes against a booted binary.
+func TestLoadgenAgainstServe(t *testing.T) {
+	srv, reads, _ := testFixture(t, ServerOptions{Workers: 1})
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+
+	path := filepath.Join(t.TempDir(), "reads.fastq")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fastq.Write(f, reads[:600]); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	err = loadgenCmd([]string{
+		"-url", ts.URL, "-in", path, "-spectrum", "main",
+		"-chunk-reads", "200", "-c", "2", "-duration", "400ms",
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep loadgen.Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatalf("stdout is not a JSON report: %v\n%s", err, out.String())
+	}
+	if rep.OK == 0 {
+		t.Errorf("no successful corrections: %+v", rep)
+	}
+	if rep.Server5xx != 0 || rep.Failed != 0 {
+		t.Errorf("server errors under load: 5xx=%d failed=%d", rep.Server5xx, rep.Failed)
+	}
+	if rep.Reads == 0 || rep.P50Ms <= 0 {
+		t.Errorf("report missing measurements: %+v", rep)
+	}
+}
+
+// TestLoadgenUsage covers the flag-validation exit paths.
+func TestLoadgenUsage(t *testing.T) {
+	var out bytes.Buffer
+	if err := loadgenCmd(nil, &out); err == nil {
+		t.Error("missing -in did not error")
+	}
+	if err := loadgenCmd([]string{"-in", "nope.fastq", "-url", "://bad"}, &out); err == nil {
+		t.Error("unreadable input did not error")
+	}
+}

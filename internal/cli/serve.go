@@ -9,10 +9,10 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"os"
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -43,29 +43,48 @@ import (
 //	GET /v2/engines
 //	    JSON list of the registered engines: capabilities plus which
 //	    loaded spectra each can serve.
-//	GET /v1/spectra
+//	GET /v1/spectra, GET /v2/spectra
 //	    JSON list of the loaded spectra (name, k, kmers, both_strands).
+//	POST /v2/spectra?name=NAME
+//	    Upload a .kspc spectrum store and serve it without a restart;
+//	    re-uploading an existing name hot-swaps it atomically while
+//	    in-flight requests on the old spectrum drain.
+//	DELETE /v2/spectra/{name}
+//	    Unregister a spectrum; in-flight requests drain cleanly.
+//	GET /metrics
+//	    Prometheus text exposition: per-engine/per-spectrum request
+//	    counts and latency histograms, error classes, shed counter,
+//	    in-flight gauge, corrected reads/bases counters.
 //	GET /healthz
 //	    Liveness plus aggregate request counters.
 //
-// Concurrency is bounded by a semaphore of -max-inflight slots; requests
-// beyond the bound queue until a slot frees or the client gives up. A
-// dropped request's context cancels its correction work. SIGINT/SIGTERM
-// drain in-flight requests before exit.
+// Concurrency is bounded by a semaphore of -max-inflight slots fronted
+// by a bounded admission queue of -max-queue waiters: a request arriving
+// beyond inflight+queue is shed immediately with 429 and Retry-After
+// instead of queueing without bound. -request-timeout is the end-to-end
+// per-request deadline (queue wait included): exceeding it cancels the
+// correction work and answers 504. All error responses are
+// application/json {"error": "..."}. A dropped request's context cancels
+// its correction work. SIGINT/SIGTERM drain in-flight requests before
+// exit.
 func serveCmd(args []string, stdout io.Writer) error {
 	fs := newFlagSet("serve")
 	var specs specFlags
 	var (
-		listen        = fs.String("listen", ":8424", "HTTP listen address")
-		maxInflight   = fs.Int("max-inflight", 0, "max concurrent correction requests (0 = 2x GOMAXPROCS)")
-		maxChunkReads = fs.Int("max-chunk-reads", 100000, "max reads accepted per request (0 = unlimited)")
-		maxChunkBytes = fs.String("max-chunk-bytes", "64MB", "max raw request body size")
-		workers       = fs.Int("workers", 1, "correction workers per request (0 = all cores; keep small, requests already run in parallel)")
-		errorRate     = fs.Float64("error-rate", 0.01, "assumed substitution rate for the REDEEM error model")
-		d             = fs.Int("d", 1, "Reptile max Hamming distance per constituent kmer")
-		readTimeout   = fs.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
-		drainTimeout  = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
-		mapSpectrum   = fs.Bool("map-spectrum", true, "serve spectra zero-copy off read-only memory mappings (false = copy each into memory with eager validation)")
+		listen         = fs.String("listen", ":8424", "HTTP listen address")
+		maxInflight    = fs.Int("max-inflight", 0, "max concurrent correction requests (0 = 2x GOMAXPROCS)")
+		maxQueue       = fs.Int("max-queue", 0, "max requests waiting for a correction slot before shedding with 429 (0 = 4x max-inflight, -1 = no queue)")
+		requestTimeout = fs.Duration("request-timeout", time.Minute, "end-to-end deadline per correction request, queue wait included; exceeding it cancels the work and answers 504 (0 = none)")
+		maxChunkReads  = fs.Int("max-chunk-reads", 100000, "max reads accepted per request (0 = unlimited)")
+		maxChunkBytes  = fs.String("max-chunk-bytes", "64MB", "max raw request body size")
+		maxSpecBytes   = fs.String("max-spectrum-bytes", "1GB", "max POST /v2/spectra upload size")
+		spectraDirFlag = fs.String("spectra-dir", "", "directory for uploaded spectrum stores (empty = a private temp dir, removed at exit)")
+		workers        = fs.Int("workers", 1, "correction workers per request (0 = all cores; keep small, requests already run in parallel)")
+		errorRate      = fs.Float64("error-rate", 0.01, "assumed substitution rate for the REDEEM error model")
+		d              = fs.Int("d", 1, "Reptile max Hamming distance per constituent kmer")
+		readTimeout    = fs.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
+		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
+		mapSpectrum    = fs.Bool("map-spectrum", true, "serve spectra zero-copy off read-only memory mappings (false = copy each into memory with eager validation)")
 	)
 	fs.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable, required)")
 	if err := parse(fs, args); err != nil {
@@ -122,20 +141,38 @@ func serveCmd(args []string, stdout io.Writer) error {
 	if err != nil {
 		return err
 	}
-	srv, err := newServer(loaded, serverOptions{
-		MaxInflight:   *maxInflight,
-		MaxChunkReads: *maxChunkReads,
-		MaxChunkBytes: chunkBytes,
-		Workers:       *workers,
-		ErrorRate:     *errorRate,
-		D:             *d,
+	specBytes, err := core.ParseByteSize(*maxSpecBytes)
+	if err != nil {
+		return err
+	}
+	spectraDir := *spectraDirFlag
+	if spectraDir == "" {
+		dir, err := os.MkdirTemp("", "repro-spectra-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		spectraDir = dir
+	}
+	srv, err := newServer(loaded, ServerOptions{
+		MaxInflight:      *maxInflight,
+		MaxQueue:         *maxQueue,
+		RequestTimeout:   *requestTimeout,
+		MaxChunkReads:    *maxChunkReads,
+		MaxChunkBytes:    chunkBytes,
+		MaxSpectrumBytes: specBytes,
+		SpectraDir:       spectraDir,
+		SpectrumMode:     mode,
+		Workers:          *workers,
+		ErrorRate:        *errorRate,
+		D:                *d,
 	})
 	if err != nil {
 		return err
 	}
-	for name, e := range srv.entries {
+	for _, e := range srv.reg.snapshot() {
 		if e.reptileErr != nil {
-			log.Printf("spectrum %q serves redeem only on /v1 (%v)", name, e.reptileErr)
+			log.Printf("spectrum %q serves redeem only on /v1 (%v)", e.name, e.reptileErr)
 		}
 	}
 
@@ -152,8 +189,8 @@ func serveCmd(args []string, stdout io.Writer) error {
 	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("serving %d spectra on %s (max-inflight %d, engines %s)",
-		len(loaded), *listen, srv.maxInflight, strings.Join(engine.Names(), ","))
+	log.Printf("serving %d spectra on %s (max-inflight %d, max-queue %d, request-timeout %v, engines %s)",
+		len(loaded), *listen, srv.maxInflight, srv.maxQueue, *requestTimeout, strings.Join(engine.Names(), ","))
 	select {
 	case err := <-errc:
 		return err
@@ -165,8 +202,8 @@ func serveCmd(args []string, stdout io.Writer) error {
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("drain: %w", err)
 	}
-	fmt.Fprintf(stdout, "served %d requests (%d reads, %d changed)\n",
-		srv.stats.requests.Load(), srv.stats.reads.Load(), srv.stats.changed.Load())
+	fmt.Fprintf(stdout, "served %d requests (%d reads, %d changed, %d shed)\n",
+		srv.stats.requests.Load(), srv.stats.reads.Load(), srv.stats.changed.Load(), srv.m.shed.Value())
 	return nil
 }
 
@@ -178,17 +215,37 @@ func (s *specFlags) Set(v string) error { *s = append(*s, v); return nil }
 
 var _ flag.Value = (*specFlags)(nil)
 
-// serverOptions configures a correction server.
-type serverOptions struct {
+// ServerOptions configures a correction server. It is exported so
+// benchmarks and embedding tests can stand up the daemon's handler
+// (NewHandler) without going through flags.
+type ServerOptions struct {
 	// MaxInflight bounds concurrently-executing correction requests
 	// (<= 0 selects 2x GOMAXPROCS).
 	MaxInflight int
+	// MaxQueue bounds the requests waiting for a correction slot; a
+	// request arriving beyond MaxInflight+MaxQueue is shed with 429.
+	// 0 selects 4x MaxInflight; negative means no queue (shed as soon
+	// as every slot is busy).
+	MaxQueue int
+	// RequestTimeout is the end-to-end deadline of one correction
+	// request, queue wait included; exceeding it cancels the work and
+	// answers 504 (0 = no deadline).
+	RequestTimeout time.Duration
 	// MaxChunkReads caps the reads accepted per request (0 = unlimited).
 	MaxChunkReads int
 	// MaxChunkBytes caps the raw request body size (<= 0 selects 64 MiB)
 	// via http.MaxBytesReader, so a hostile or misconfigured client
 	// cannot balloon the daemon before read-count limits even apply.
 	MaxChunkBytes int64
+	// MaxSpectrumBytes caps POST /v2/spectra upload bodies (<= 0
+	// selects 1 GiB).
+	MaxSpectrumBytes int64
+	// SpectraDir is where uploaded spectrum stores land (empty disables
+	// uploads with a clean 503).
+	SpectraDir string
+	// SpectrumMode is how uploaded spectra are opened (zero value =
+	// mapped).
+	SpectrumMode engine.SpectrumMode
 	// Workers is the per-request correction parallelism (the inter-request
 	// parallelism is MaxInflight; <= 0 uses all cores per request).
 	Workers int
@@ -198,45 +255,25 @@ type serverOptions struct {
 	D int
 }
 
-// entry is one registry slot: a loaded spectrum plus the per-engine
-// service slots derived from it. Both API versions share the slots —
-// one neighbor index and one EM fit per (spectrum, engine), however the
-// request arrives — so serving /v1 and /v2 together costs no more than
-// either alone. The Reptile slot is built eagerly at registration (the
-// original daemon's behavior: the first request pays no index-build
-// latency), the rest on first use, because many deployments serve a
-// single algorithm.
-type entry struct {
-	name string
-	spec *kspectrum.Spectrum
-	// reptileErr is non-nil when the spectrum cannot serve Reptile
-	// (e.g. k > 16 overflows the packed tile — now a declared
-	// capability); it says why, and the spectrum still serves REDEEM.
-	reptileErr error
-
-	// services are the per-engine correctors, keyed by engine name and
-	// built at most once through engine.Servicer.
-	services map[string]*serviceSlot
-}
-
-// serviceSlot builds one engine's chunk corrector at most once.
-type serviceSlot struct {
-	once sync.Once
-	svc  engine.ChunkCorrector
-	err  error
-}
-
-// server is the HTTP correction service: an immutable registry of named
-// spectra and a semaphore bounding in-flight correction work.
+// server is the HTTP correction service: a mutable, refcounted registry
+// of named spectra, a semaphore bounding in-flight correction work, a
+// bounded admission queue in front of it, and an instrument panel.
 type server struct {
-	entries     map[string]*entry
+	reg         *specRegistry
 	sem         chan struct{}
 	maxInflight int
-	opts        serverOptions
+	maxQueue    int
+	// occupancy counts admission tokens held: requests executing plus
+	// requests waiting for a slot. Admission compares it against
+	// maxInflight+maxQueue — the shed decision is one atomic add.
+	occupancy atomic.Int64
+	opts      ServerOptions
 	// global holds the /v2 service slots of spectrum-free engines
 	// (SHREC): one shared corrector per engine, independent of any
 	// loaded spectrum.
-	global map[string]*serviceSlot
+	global     map[string]*serviceSlot
+	spectraDir string
+	m          *serverMetrics
 
 	stats struct {
 		requests atomic.Int64
@@ -249,43 +286,56 @@ type server struct {
 // with the Reptile slot resolved eagerly so the first request pays no
 // index-build latency and startup can log which spectra are
 // Reptile-servable.
-func newServer(specs map[string]*kspectrum.Spectrum, opts serverOptions) (*server, error) {
+func newServer(specs map[string]*kspectrum.Spectrum, opts ServerOptions) (*server, error) {
 	if opts.MaxInflight <= 0 {
 		opts.MaxInflight = 2 * runtime.GOMAXPROCS(0)
 	}
+	switch {
+	case opts.MaxQueue == 0:
+		opts.MaxQueue = 4 * opts.MaxInflight
+	case opts.MaxQueue < 0:
+		opts.MaxQueue = 0
+	}
 	if opts.MaxChunkBytes <= 0 {
 		opts.MaxChunkBytes = 64 << 20
+	}
+	if opts.MaxSpectrumBytes <= 0 {
+		opts.MaxSpectrumBytes = 1 << 30
 	}
 	if opts.ErrorRate <= 0 {
 		opts.ErrorRate = 0.01
 	}
 	s := &server{
-		entries:     make(map[string]*entry, len(specs)),
+		reg:         &specRegistry{entries: make(map[string]*entry, len(specs))},
 		sem:         make(chan struct{}, opts.MaxInflight),
 		maxInflight: opts.MaxInflight,
+		maxQueue:    opts.MaxQueue,
 		opts:        opts,
 		global:      make(map[string]*serviceSlot),
+		spectraDir:  opts.SpectraDir,
+		m:           newServerMetrics(),
 	}
 	for _, engName := range engine.Names() {
 		s.global[engName] = &serviceSlot{}
 	}
 	for name, spec := range specs {
-		e := &entry{name: name, spec: spec, services: make(map[string]*serviceSlot)}
-		for _, engName := range engine.Names() {
-			e.services[engName] = &serviceSlot{}
-		}
-		s.entries[name] = e
-		// A spectrum Reptile cannot serve (k > 16 overflows the packed
-		// 2k-base tile — the declared MaxSpectrumK capability) is not
-		// fatal: it still serves REDEEM, and method=reptile requests
-		// get the stored reason back as a clean 400.
-		if rep, err := engine.Lookup(reptile.EngineName); err == nil {
-			if e.reptileErr = s.checkServable(rep, e); e.reptileErr == nil {
-				_, e.reptileErr = s.service(rep, e)
-			}
-		}
+		s.reg.put(s.newEntry(name, spec))
 	}
+	s.m.spectra.Set(int64(s.reg.size()))
 	return s, nil
+}
+
+// NewHandler stands up the daemon's full HTTP handler over preloaded
+// spectra — the embedding and benchmarking entry. The serve subcommand
+// adds flags, signal handling and logging around the same construction.
+// The caller keeps ownership of the passed spectra; uploaded ones are
+// owned (and closed) by the handler.
+func NewHandler(specs map[string]*kspectrum.Spectrum, opts ServerOptions) (http.Handler, error) {
+	srv, err := newServer(specs, opts)
+	if err != nil {
+		return nil, err
+	}
+	return srv.mux(), nil
 }
 
 // serviceRun builds the engine.Run a /v2 service is resolved against:
@@ -347,25 +397,32 @@ func (s *server) service(eng engine.Engine, e *entry) (engine.ChunkCorrector, er
 	return slot.svc, slot.err
 }
 
-// mux wires the endpoints.
+// mux wires the endpoints. The correct paths run inside the metrics
+// middleware; the metadata endpoints are uninstrumented.
 func (s *server) mux() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/v1/spectra", s.handleSpectra)
-	mux.HandleFunc("/v1/correct", s.handleCorrectV1)
+	mux.HandleFunc("/v1/correct", s.correction(s.handleCorrectV1))
 	mux.HandleFunc("/v2/engines", s.handleEngines)
-	mux.HandleFunc("/v2/correct", s.handleCorrectV2)
+	mux.HandleFunc("/v2/correct", s.correction(s.handleCorrectV2))
+	mux.HandleFunc("GET /v2/spectra", s.handleSpectra)
+	mux.HandleFunc("POST /v2/spectra", s.handleSpectraUpload)
+	mux.HandleFunc("DELETE /v2/spectra/{name}", s.handleSpectraDelete)
+	mux.Handle("GET /metrics", s.m.registry)
 	return mux
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status":   "ok",
-		"spectra":  len(s.entries),
+		"spectra":  s.reg.size(),
 		"engines":  engine.Names(),
 		"requests": s.stats.requests.Load(),
 		"reads":    s.stats.reads.Load(),
 		"changed":  s.stats.changed.Load(),
+		"inflight": s.m.inflight.Value(),
+		"shed":     s.m.shed.Value(),
 	})
 }
 
@@ -376,11 +433,11 @@ func (s *server) handleSpectra(w http.ResponseWriter, r *http.Request) {
 		Kmers       int    `json:"kmers"`
 		BothStrands bool   `json:"both_strands"`
 	}
-	out := make([]specInfo, 0, len(s.entries))
-	for name, e := range s.entries {
-		out = append(out, specInfo{Name: name, K: e.spec.K, Kmers: e.spec.Size(), BothStrands: e.spec.BothStrands})
+	entries := s.reg.snapshot()
+	out := make([]specInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, specInfo{Name: e.name, K: e.spec.K, Kmers: e.spec.Size(), BothStrands: e.spec.BothStrands})
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	writeJSON(w, http.StatusOK, out)
 }
 
@@ -394,6 +451,7 @@ func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
 		MaxSpectrumK  int      `json:"max_spectrum_k,omitempty"`
 		Spectra       []string `json:"spectra"`
 	}
+	entries := s.reg.snapshot()
 	out := make([]engineInfo, 0)
 	for _, eng := range engine.Engines() {
 		caps := eng.Capabilities()
@@ -404,10 +462,10 @@ func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
 			MaxSpectrumK:  caps.MaxSpectrumK,
 		}
 		if caps.SpectrumReuse {
-			info.Spectra = make([]string, 0, len(s.entries))
-			for name, e := range s.entries {
+			info.Spectra = make([]string, 0, len(entries))
+			for _, e := range entries {
 				if caps.ServesSpectrum(e.spec.K) {
-					info.Spectra = append(info.Spectra, name)
+					info.Spectra = append(info.Spectra, e.name)
 				}
 			}
 			sort.Strings(info.Spectra)
@@ -420,35 +478,35 @@ func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, out)
 }
 
-// handleCorrectV1 is the legacy serve path, byte-for-byte compatible
-// with the original daemon's responses: the method parameter selects
+// handleCorrectV1 is the legacy serve path: the method parameter selects
 // reptile (default) or redeem, everything else is a 400. It corrects
 // through the same per-entry engine slots as /v2, so both API versions
 // share one neighbor index and one EM fit per spectrum.
 func (s *server) handleCorrectV1(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a FASTQ chunk", http.StatusMethodNotAllowed)
+		s.errorJSON(w, http.StatusMethodNotAllowed, errClassBadRequest, "POST a FASTQ chunk")
 		return
 	}
 	e, ok := s.selectEntry(w, r)
 	if !ok {
 		return
 	}
+	defer e.release()
 	method := r.URL.Query().Get("method")
 	if method == "" {
 		method = reptile.EngineName
 	}
 	if method != reptile.EngineName && method != redeem.EngineName {
-		http.Error(w, fmt.Sprintf("unknown method %q (want reptile or redeem)", method), http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, errClassUnknownEngine, "unknown method %q (want reptile or redeem)", method)
 		return
 	}
 	if method == reptile.EngineName && e.reptileErr != nil {
-		http.Error(w, fmt.Sprintf("spectrum %q cannot serve method reptile: %v", e.name, e.reptileErr), http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "spectrum %q cannot serve method reptile: %v", e.name, e.reptileErr)
 		return
 	}
 	eng, err := engine.Lookup(method)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.errorJSON(w, http.StatusInternalServerError, errClassInternal, "%v", err)
 		return
 	}
 	s.correctWithEngine(w, r, eng, e, method)
@@ -460,7 +518,7 @@ func (s *server) handleCorrectV1(w http.ResponseWriter, r *http.Request) {
 // front end shares).
 func (s *server) handleCorrectV2(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
-		http.Error(w, "POST a FASTQ chunk", http.StatusMethodNotAllowed)
+		s.errorJSON(w, http.StatusMethodNotAllowed, errClassBadRequest, "POST a FASTQ chunk")
 		return
 	}
 	name := r.URL.Query().Get("engine")
@@ -471,117 +529,174 @@ func (s *server) handleCorrectV2(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		// engine.Lookup's UnknownEngineError already lists the
 		// registered names — exactly what an API client needs.
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, errClassUnknownEngine, "%v", err)
 		return
 	}
+	setTrace(w, eng.Name(), "")
 	var e *entry
 	if eng.Capabilities().SpectrumReuse {
 		var ok bool
 		if e, ok = s.selectEntry(w, r); !ok {
 			return
 		}
+		defer e.release()
 	}
 	if err := s.checkServable(eng, e); err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "%v", err)
 		return
 	}
 	s.correctWithEngine(w, r, eng, e, name)
 }
 
-// correctWithEngine is the shared tail of both serve paths: admit the
-// request (semaphore slot + body decode), resolve the engine's service
-// slot — only while holding the slot, so cold-start construction
-// (REDEEM's EM fit) stays inside the -max-inflight bound — and correct
-// under the request context, so a dropped connection aborts its work
-// instead of finishing it for nobody.
+// correctWithEngine is the shared tail of both serve paths: apply the
+// request deadline, admit the request (bounded queue + semaphore slot +
+// body decode), resolve the engine's service slot — only while holding
+// the slot, so cold-start construction (REDEEM's EM fit) stays inside
+// the -max-inflight bound — and correct under the request context, so a
+// dropped connection or an expired deadline aborts the work instead of
+// finishing it for nobody. The caller holds e's refcount for the whole
+// call, so a concurrent hot swap or delete cannot unmap the spectrum
+// under the correction.
 func (s *server) correctWithEngine(w http.ResponseWriter, r *http.Request, eng engine.Engine, e *entry, method string) {
+	specName := ""
+	if e != nil {
+		specName = e.name
+	}
+	setTrace(w, eng.Name(), specName)
 	// A mapped spectrum that failed its deferred integrity checks (lazy
 	// bucket validation or the background whole-file scan) answers every
 	// query "absent" — correct for library callers but silently useless
 	// corrections for a daemon client. Refuse the request instead.
 	if e != nil {
 		if specErr := e.spec.Err(); specErr != nil {
-			http.Error(w, fmt.Sprintf("spectrum %q is unserviceable: %v", e.name, specErr), http.StatusInternalServerError)
+			s.errorJSON(w, http.StatusInternalServerError, errClassUnservable, "spectrum %q is unserviceable: %v", e.name, specErr)
 			return
 		}
 	}
-	reads, ok := s.admit(w, r)
+	ctx := r.Context()
+	if s.opts.RequestTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.RequestTimeout)
+		defer cancel()
+	}
+	reads, ok := s.admit(ctx, w, r)
 	if !ok {
 		return
 	}
-	defer func() { <-s.sem }()
+	defer s.releaseSlot()
 
 	start := time.Now()
 	var corrected []seq.Read
 	svc, err := s.service(eng, e)
 	if err == nil {
-		corrected, err = svc.CorrectChunk(r.Context(), reads, s.opts.Workers)
+		corrected, err = svc.CorrectChunk(ctx, reads, s.opts.Workers)
 	}
-	specName := ""
-	if e != nil {
-		specName = e.name
-	}
-	s.respond(w, reads, corrected, err, specName, method, start)
+	s.respond(w, r, reads, corrected, err, specName, method, start)
 }
 
-// admit runs the shared request admission: take a semaphore slot (give up
-// if the client does), then decode the body under the size caps. On false
-// the response has been written and the slot released.
-func (s *server) admit(w http.ResponseWriter, r *http.Request) ([]seq.Read, bool) {
-	// Bounded in-flight concurrency: block for a slot, give up if the
-	// client does. Admission happens BEFORE the body is decoded so at
-	// most max-inflight fully-parsed chunks exist at once; the time a
-	// slow upload can then occupy a slot is bounded by the server's
-	// ReadTimeout (-read-timeout), not by client goodwill.
-	select {
-	case s.sem <- struct{}{}:
-	case <-r.Context().Done():
-		http.Error(w, "client gave up waiting for a correction slot", http.StatusServiceUnavailable)
+// admit runs the shared request admission. The shed decision is one
+// atomic add against the occupancy bound (executing + queued), so
+// sustained over-capacity load turns into immediate 429s instead of an
+// unbounded queue of doomed requests; under the bound the request waits
+// for a semaphore slot (deadline and client disconnect both abort the
+// wait), then decodes the body under the size caps. On false the
+// response has been written and all admission state released.
+func (s *server) admit(ctx context.Context, w http.ResponseWriter, r *http.Request) ([]seq.Read, bool) {
+	// A declared-oversize body is refused before it costs anything — no
+	// admission token, no slot, no read. MaxBytesReader below remains
+	// the backstop for chunked uploads that never declare a length.
+	if s.opts.MaxChunkBytes > 0 && r.ContentLength > s.opts.MaxChunkBytes {
+		s.errorJSON(w, http.StatusRequestEntityTooLarge, errClassTooLarge,
+			"request body %d bytes exceeds the %d-byte chunk cap", r.ContentLength, s.opts.MaxChunkBytes)
 		return nil, false
 	}
-	release := func() { <-s.sem }
+	if occ := s.occupancy.Add(1); occ > int64(s.maxInflight+s.maxQueue) {
+		s.occupancy.Add(-1)
+		s.m.shed.Inc()
+		// The queue is full of requests that each hold a slot for a
+		// correction's worth of time; one second is an honest lower
+		// bound on when retrying could succeed.
+		w.Header().Set("Retry-After", "1")
+		s.errorJSON(w, http.StatusTooManyRequests, errClassShed,
+			"server saturated: %d requests in flight and %d queued; retry later", s.maxInflight, s.maxQueue)
+		return nil, false
+	}
+	s.m.occupancy.Set(s.occupancy.Load())
+	// Bounded in-flight concurrency: wait for a slot, give up if the
+	// client or the deadline does. Admission happens BEFORE the body is
+	// decoded so at most max-inflight fully-parsed chunks exist at once;
+	// the time a slow upload can then occupy a slot is bounded by the
+	// server's ReadTimeout (-read-timeout), not by client goodwill.
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.occupancy.Add(-1)
+		s.m.occupancy.Set(s.occupancy.Load())
+		if r.Context().Err() != nil {
+			s.errorJSON(w, http.StatusServiceUnavailable, errClassClientGone, "client gave up waiting for a correction slot")
+		} else {
+			s.errorJSON(w, http.StatusGatewayTimeout, errClassDeadline,
+				"request timed out after %v waiting for a correction slot", s.opts.RequestTimeout)
+		}
+		return nil, false
+	}
 	capped := http.MaxBytesReader(w, r.Body, s.opts.MaxChunkBytes)
 	reads, err := fastq.DecodeChunk(capped, s.opts.MaxChunkReads)
 	if err != nil {
-		release()
-		status := http.StatusBadRequest
+		s.releaseSlot()
 		var tooBig *http.MaxBytesError
 		if errors.Is(err, fastq.ErrChunkTooLarge) || errors.As(err, &tooBig) {
-			status = http.StatusRequestEntityTooLarge
+			s.errorJSON(w, http.StatusRequestEntityTooLarge, errClassTooLarge, "%v", err)
+		} else {
+			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "%v", err)
 		}
-		http.Error(w, err.Error(), status)
 		return nil, false
 	}
 	if len(reads) == 0 {
-		release()
-		http.Error(w, "empty chunk", http.StatusBadRequest)
+		s.releaseSlot()
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "empty chunk")
 		return nil, false
 	}
 	return reads, true
 }
 
+// releaseSlot returns a semaphore slot and its admission token.
+func (s *server) releaseSlot() {
+	<-s.sem
+	s.occupancy.Add(-1)
+	s.m.occupancy.Set(s.occupancy.Load())
+}
+
 // respond finishes a correction request: error mapping, stats, headers,
 // body.
-func (s *server) respond(w http.ResponseWriter, reads, corrected []seq.Read, err error, spectrum, method string, start time.Time) {
+func (s *server) respond(w http.ResponseWriter, r *http.Request, reads, corrected []seq.Read, err error, spectrum, method string, start time.Time) {
 	if err != nil {
-		status := http.StatusInternalServerError
-		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		switch {
+		case r.Context().Err() != nil:
 			// The client is gone; the status is a formality.
-			status = http.StatusServiceUnavailable
+			s.errorJSON(w, http.StatusServiceUnavailable, errClassClientGone, "%v", err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.errorJSON(w, http.StatusGatewayTimeout, errClassDeadline,
+				"correction exceeded the %v request deadline", s.opts.RequestTimeout)
+		default:
+			s.errorJSON(w, http.StatusInternalServerError, errClassInternal, "%v", err)
 		}
-		http.Error(w, err.Error(), status)
 		return
 	}
 	body, err := fastq.EncodeChunk(corrected)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
+		s.errorJSON(w, http.StatusInternalServerError, errClassInternal, "%v", err)
 		return
 	}
 
 	changed := engine.CountChanged(reads, corrected)
+	changedBases := engine.CountChangedBases(reads, corrected)
 	s.stats.requests.Add(1)
 	s.stats.reads.Add(int64(len(reads)))
 	s.stats.changed.Add(int64(changed))
+	s.m.reads.Add(uint64(len(reads)))
+	s.m.changedReads.Add(uint64(changed))
+	s.m.changedBases.Add(uint64(changedBases))
 
 	h := w.Header()
 	h.Set("Content-Type", "text/x-fastq")
@@ -598,30 +713,59 @@ func (s *server) respond(w http.ResponseWriter, reads, corrected []seq.Read, err
 	_, _ = w.Write(body)
 }
 
-// selectEntry resolves the spectrum query parameter: an explicit name, or
-// the sole loaded spectrum when the parameter is omitted.
+// selectEntry resolves the spectrum query parameter — an explicit name,
+// or the sole loaded spectrum when the parameter is omitted — and
+// acquires a hold on the entry; the caller must release it.
 func (s *server) selectEntry(w http.ResponseWriter, r *http.Request) (*entry, bool) {
 	name := r.URL.Query().Get("spectrum")
 	if name == "" {
-		if len(s.entries) == 1 {
-			for _, e := range s.entries {
-				return e, true
-			}
+		e, n := s.reg.sole()
+		if e != nil {
+			return e, true
 		}
-		http.Error(w, "spectrum parameter required (several spectra loaded)", http.StatusBadRequest)
+		if n == 0 {
+			s.errorJSON(w, http.StatusBadRequest, errClassUnknownSpectrum, "no spectra loaded")
+		} else {
+			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "spectrum parameter required (several spectra loaded)")
+		}
 		return nil, false
 	}
-	e, ok := s.entries[name]
-	if !ok {
-		known := make([]string, 0, len(s.entries))
-		for n := range s.entries {
-			known = append(known, n)
-		}
-		sort.Strings(known)
-		http.Error(w, fmt.Sprintf("unknown spectrum %q (loaded: %s)", name, strings.Join(known, ", ")), http.StatusNotFound)
+	e := s.reg.get(name)
+	if e == nil {
+		s.errorJSON(w, http.StatusNotFound, errClassUnknownSpectrum,
+			"unknown spectrum %q (loaded: %s)", name, strings.Join(s.reg.names(), ", "))
 		return nil, false
 	}
 	return e, true
+}
+
+// Error classes label repro_request_errors_total so operators can tell
+// client mistakes from shed load from real failures at a glance.
+const (
+	errClassBadRequest      = "bad_request"
+	errClassTooLarge        = "too_large"
+	errClassUnknownEngine   = "unknown_engine"
+	errClassUnknownSpectrum = "unknown_spectrum"
+	errClassUnservable      = "unserviceable_spectrum"
+	errClassShed            = "shed"
+	errClassClientGone      = "client_gone"
+	errClassDeadline        = "deadline"
+	errClassInternal        = "internal"
+)
+
+// errorJSON is the single error-response path of the daemon: every 4xx
+// and 5xx carries application/json {"error": "..."} and increments the
+// per-class error counter, so clients parse one shape and operators see
+// one taxonomy.
+func (s *server) errorJSON(w http.ResponseWriter, status int, class, format string, args ...any) {
+	if class != "" {
+		s.m.errors.With(class).Inc()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	// The status line is already out; an encode failure only means the
+	// client went away.
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

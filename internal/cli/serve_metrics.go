@@ -1,0 +1,127 @@
+package cli
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics is the daemon's instrument panel: every server owns one
+// registry (no process globals), exposed as GET /metrics in Prometheus
+// text format. The hot-path updates are single atomic operations; the
+// only per-request overhead beyond them is one child lookup per labeled
+// family.
+type serverMetrics struct {
+	registry *metrics.Registry
+
+	// requests counts every correction request by resolved engine,
+	// spectrum and final HTTP status ("" engine/spectrum = the request
+	// failed before routing).
+	requests *metrics.CounterVec
+	// errors counts non-200 outcomes by failure class (bad_request,
+	// too_large, unknown_engine, unknown_spectrum, unserviceable_spectrum,
+	// shed, client_gone, deadline, internal).
+	errors *metrics.CounterVec
+	// shed counts requests refused with 429 by the bounded admission
+	// queue — the daemon's load-shedding signal.
+	shed *metrics.Counter
+	// inflight tracks correction requests currently inside a handler
+	// (queued or executing); it returns to 0 when the daemon is drained.
+	inflight *metrics.Gauge
+	// occupancy mirrors the admission counter: executing + queued
+	// requests currently holding an admission token.
+	occupancy *metrics.Gauge
+	// latency is the end-to-end request duration of successful
+	// corrections, per engine and spectrum.
+	latency *metrics.HistogramVec
+	// reads / changedReads / changedBases tally correction throughput:
+	// reads processed, reads altered, and individual bases rewritten.
+	reads        *metrics.Counter
+	changedReads *metrics.Counter
+	changedBases *metrics.Counter
+	// spectra is the number of spectra currently registered; swaps counts
+	// registry mutations by operation (upload, replace, delete).
+	spectra *metrics.Gauge
+	swaps   *metrics.CounterVec
+}
+
+func newServerMetrics() *serverMetrics {
+	reg := metrics.NewRegistry()
+	return &serverMetrics{
+		registry: reg,
+		requests: reg.NewCounterVec("repro_requests_total",
+			"Correction requests by engine, spectrum and HTTP status code.",
+			"engine", "spectrum", "code"),
+		errors: reg.NewCounterVec("repro_request_errors_total",
+			"Failed correction requests by failure class.", "class"),
+		shed: reg.NewCounter("repro_requests_shed_total",
+			"Requests refused with 429 because the admission queue was full."),
+		inflight: reg.NewGauge("repro_inflight_requests",
+			"Correction requests currently queued or executing."),
+		occupancy: reg.NewGauge("repro_admission_occupancy",
+			"Admission tokens held: executing plus queued requests."),
+		latency: reg.NewHistogramVec("repro_request_duration_seconds",
+			"End-to-end latency of successful corrections.",
+			metrics.DefLatencyBuckets, "engine", "spectrum"),
+		reads: reg.NewCounter("repro_reads_total",
+			"Reads corrected across all requests."),
+		changedReads: reg.NewCounter("repro_changed_reads_total",
+			"Reads whose sequence was altered by correction."),
+		changedBases: reg.NewCounter("repro_changed_bases_total",
+			"Individual bases rewritten by correction."),
+		spectra: reg.NewGauge("repro_spectra_loaded",
+			"Spectra currently registered and servable."),
+		swaps: reg.NewCounterVec("repro_spectrum_swaps_total",
+			"Spectrum registry mutations by operation.", "op"),
+	}
+}
+
+// correctionTrace is the middleware's view of one correction request: it
+// records the final status code and lets the inner handler report which
+// engine and spectrum the request resolved to, so the tail of the
+// middleware can label its series without re-parsing the request.
+type correctionTrace struct {
+	http.ResponseWriter
+	code             int
+	engine, spectrum string
+}
+
+func (t *correctionTrace) WriteHeader(code int) {
+	if t.code == 0 {
+		t.code = code
+	}
+	t.ResponseWriter.WriteHeader(code)
+}
+
+// setTrace reports the resolved routing labels of the request; a no-op
+// outside the correction middleware (direct handler tests).
+func setTrace(w http.ResponseWriter, engine, spectrum string) {
+	if t, ok := w.(*correctionTrace); ok {
+		t.engine, t.spectrum = engine, spectrum
+	}
+}
+
+// correction is the request-path middleware wrapping both correct
+// handlers: in-flight accounting, per-engine/per-spectrum request
+// counts, and the end-to-end latency histogram (successful requests
+// only — sheds and refusals return in microseconds and would drown the
+// distribution the histogram exists to show).
+func (s *server) correction(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		t := &correctionTrace{ResponseWriter: w}
+		s.m.inflight.Inc()
+		start := time.Now()
+		h(t, r)
+		s.m.inflight.Dec()
+		code := t.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		s.m.requests.With(t.engine, t.spectrum, strconv.Itoa(code)).Inc()
+		if code == http.StatusOK && t.engine != "" {
+			s.m.latency.With(t.engine, t.spectrum).Observe(time.Since(start).Seconds())
+		}
+	}
+}

@@ -22,7 +22,7 @@ import (
 // testFixture builds a corpus, persists its spectrum through the store
 // (exercising the same load path the daemon uses), and returns the server
 // plus the reads and spectrum.
-func testFixture(t *testing.T, opts serverOptions) (*server, []seq.Read, *kspectrum.Spectrum) {
+func testFixture(t *testing.T, opts ServerOptions) (*server, []seq.Read, *kspectrum.Spectrum) {
 	t.Helper()
 	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
 		Name: "t", GenomeLen: 6000, ReadLen: 36, Coverage: 30,
@@ -68,7 +68,7 @@ func postChunk(t *testing.T, client *http.Client, url string, chunk []byte) (*ht
 // TestServeEndpoints covers the metadata endpoints and the error paths of
 // the request lifecycle.
 func TestServeEndpoints(t *testing.T) {
-	srv, reads, _ := testFixture(t, serverOptions{Workers: 1, MaxChunkReads: 100})
+	srv, reads, _ := testFixture(t, ServerOptions{Workers: 1, MaxChunkReads: 100})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 
@@ -160,7 +160,7 @@ func TestServeRedeemOnlySpectrum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(map[string]*kspectrum.Spectrum{"wide": spec}, serverOptions{Workers: 1})
+	srv, err := newServer(map[string]*kspectrum.Spectrum{"wide": spec}, ServerOptions{Workers: 1})
 	if err != nil {
 		t.Fatalf("k=20 spectrum rejected at registration: %v", err)
 	}
@@ -186,7 +186,7 @@ func TestServeRedeemOnlySpectrum(t *testing.T) {
 // narrower than the client count, each response byte-identical to the
 // locally computed reference for its method. Run under -race (CI does).
 func TestServeCorrectConcurrent(t *testing.T) {
-	srv, reads, spec := testFixture(t, serverOptions{Workers: 2, MaxInflight: 3})
+	srv, reads, spec := testFixture(t, ServerOptions{Workers: 2, MaxInflight: 3})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 

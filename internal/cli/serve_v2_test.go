@@ -18,7 +18,7 @@ import (
 // the legacy /v1/correct over the same chunk, so clients can migrate
 // without revalidating outputs.
 func TestServeV2MatchesV1(t *testing.T) {
-	srv, reads, _ := testFixture(t, serverOptions{Workers: 1})
+	srv, reads, _ := testFixture(t, ServerOptions{Workers: 1})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 
@@ -50,7 +50,7 @@ func TestServeV2MatchesV1(t *testing.T) {
 // engine the hand-rolled /v1 method switch could never offer — without
 // any spectrum parameter.
 func TestServeV2Shrec(t *testing.T) {
-	srv, reads, _ := testFixture(t, serverOptions{Workers: 1})
+	srv, reads, _ := testFixture(t, ServerOptions{Workers: 1})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 
@@ -79,7 +79,7 @@ func TestServeV2Shrec(t *testing.T) {
 // TestServeV2UnknownEngine: the daemon surfaces the registry's typed
 // lookup error — unknown names report what is registered.
 func TestServeV2UnknownEngine(t *testing.T) {
-	srv, reads, _ := testFixture(t, serverOptions{Workers: 1})
+	srv, reads, _ := testFixture(t, ServerOptions{Workers: 1})
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 
@@ -119,7 +119,7 @@ func TestServeV2Engines(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := newServer(map[string]*kspectrum.Spectrum{"narrow": narrow, "wide": wide}, serverOptions{Workers: 1})
+	srv, err := newServer(map[string]*kspectrum.Spectrum{"narrow": narrow, "wide": wide}, ServerOptions{Workers: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

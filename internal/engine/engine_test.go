@@ -139,3 +139,34 @@ func TestCapabilitiesServesSpectrum(t *testing.T) {
 		}
 	}
 }
+
+func TestCountChangedBases(t *testing.T) {
+	mk := func(seqs ...string) []seq.Read {
+		reads := make([]seq.Read, len(seqs))
+		for i, s := range seqs {
+			reads[i] = seq.Read{Seq: []byte(s)}
+		}
+		return reads
+	}
+	cases := []struct {
+		name  string
+		orig  []seq.Read
+		corr  []seq.Read
+		want  int
+		reads int
+	}{
+		{"identical", mk("ACGT", "TTTT"), mk("ACGT", "TTTT"), 0, 0},
+		{"one base", mk("ACGT"), mk("ACTT"), 1, 1},
+		{"several", mk("AAAA", "CCCC"), mk("ATAA", "GGGC"), 4, 2},
+		{"shortened", mk("ACGTACGT"), mk("ACGT"), 4, 1},
+		{"lengthened", mk("ACGT"), mk("ACGTAA"), 2, 1},
+	}
+	for _, tc := range cases {
+		if got := CountChangedBases(tc.orig, tc.corr); got != tc.want {
+			t.Errorf("%s: CountChangedBases = %d want %d", tc.name, got, tc.want)
+		}
+		if got := CountChanged(tc.orig, tc.corr); got != tc.reads {
+			t.Errorf("%s: CountChanged = %d want %d", tc.name, got, tc.reads)
+		}
+	}
+}

@@ -66,6 +66,30 @@ func CountChanged(orig, corrected []seq.Read) int {
 	return changed
 }
 
+// CountChangedBases tallies the individual bases rewritten between the
+// original and corrected chunk. Reads whose length changed (trimming
+// engines) count every position past the common prefix as changed.
+func CountChangedBases(orig, corrected []seq.Read) int {
+	changed := 0
+	for i := range orig {
+		a, b := orig[i].Seq, corrected[i].Seq
+		if bytes.Equal(a, b) {
+			continue
+		}
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		for j := 0; j < n; j++ {
+			if a[j] != b[j] {
+				changed++
+			}
+		}
+		changed += len(a) - n + len(b) - n
+	}
+	return changed
+}
+
 // SampleReads is the bounded leading-read sample engines use to derive
 // data-dependent parameters (e.g. Reptile's Qc quality quantile): large
 // enough to smooth per-tile quality drift, small enough to stay a

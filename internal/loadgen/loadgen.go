@@ -1,0 +1,234 @@
+// Package loadgen replays FASTQ correction chunks against a running
+// serve daemon at a target rate and reports service-level results:
+// latency percentiles, throughput, and the shed rate of the daemon's
+// admission queue. It is the measurement half of the daemon's
+// production-hardening story — the serve side bounds and sheds load,
+// loadgen observes what a client actually experiences under it.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Config parameterizes one load run.
+type Config struct {
+	// URL is the full correction endpoint, query included
+	// (e.g. http://127.0.0.1:8424/v2/correct?engine=reptile&spectrum=main).
+	URL string
+	// Chunks are the request bodies (encoded FASTQ chunks), cycled
+	// round-robin across requests. At least one is required.
+	Chunks [][]byte
+	// QPS caps the aggregate request rate; <= 0 means closed-loop — every
+	// worker fires its next request as soon as the previous one returns.
+	QPS float64
+	// Concurrency is the number of client workers (<= 0 selects 4).
+	Concurrency int
+	// Duration is how long to generate load (<= 0 selects 10s).
+	Duration time.Duration
+	// Timeout is the per-request client timeout (<= 0 selects 1m).
+	Timeout time.Duration
+	// Client overrides the HTTP client (tests); nil builds one.
+	Client *http.Client
+}
+
+// Report is the machine-readable result of a load run. Latency
+// percentiles are over successful (200) requests only — shed responses
+// return in microseconds and would make the percentiles flatter the
+// harder the daemon sheds, exactly backwards.
+type Report struct {
+	Requests  int     `json:"requests"`
+	OK        int     `json:"ok"`
+	Shed      int     `json:"shed"`       // 429 responses from the admission queue
+	Client4xx int     `json:"client_4xx"` // non-429 4xx
+	Server5xx int     `json:"server_5xx"`
+	Failed    int     `json:"failed"` // transport errors (connect, timeout)
+	Reads     int64   `json:"reads"`  // summed X-Kserve-Reads of OK responses
+	Seconds   float64 `json:"seconds"`
+
+	QPS         float64 `json:"qps"`        // achieved request rate, all outcomes
+	OKPerSec    float64 `json:"ok_per_sec"` // successful corrections per second
+	ReadsPerSec float64 `json:"reads_per_sec"`
+	ShedRate    float64 `json:"shed_rate"` // shed / requests
+
+	P50Ms float64 `json:"p50_ms"`
+	P90Ms float64 `json:"p90_ms"`
+	P99Ms float64 `json:"p99_ms"`
+	MaxMs float64 `json:"max_ms"`
+}
+
+// Run generates load per cfg until the duration elapses or ctx is
+// cancelled, then merges per-worker tallies into one Report. The error
+// is non-nil only for unusable configuration — request-level failures
+// are data (Report.Failed), not errors.
+func Run(ctx context.Context, cfg Config) (Report, error) {
+	if cfg.URL == "" {
+		return Report{}, errors.New("loadgen: URL is required")
+	}
+	if len(cfg.Chunks) == 0 {
+		return Report{}, errors.New("loadgen: at least one chunk is required")
+	}
+	if cfg.Concurrency <= 0 {
+		cfg.Concurrency = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 10 * time.Second
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = time.Minute
+	}
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{Timeout: cfg.Timeout}
+	}
+
+	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
+	defer cancel()
+
+	// Rate cap: a shared token stream at the target rate. Workers block
+	// for a token before each request, so the aggregate rate is capped at
+	// QPS regardless of concurrency; when the daemon is slower than the
+	// target the tokens go unconsumed and the run degrades to closed-loop
+	// at the daemon's pace (the ticker drops, it does not queue a burst).
+	var tokens <-chan time.Time
+	if cfg.QPS > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS))
+		defer t.Stop()
+		tokens = t.C
+	}
+
+	type tally struct {
+		Report
+		latencies []float64 // milliseconds, OK requests only
+	}
+	tallies := make([]tally, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			t := &tallies[w]
+			for i := w; ; i++ {
+				if tokens != nil {
+					select {
+					case <-tokens:
+					case <-ctx.Done():
+						return
+					}
+				} else if ctx.Err() != nil {
+					return
+				}
+				chunk := cfg.Chunks[i%len(cfg.Chunks)]
+				reqStart := time.Now()
+				status, reads, err := post(ctx, client, cfg.URL, chunk)
+				if ctx.Err() != nil && err != nil {
+					// The run deadline killed the request mid-flight;
+					// not an observation about the daemon.
+					return
+				}
+				t.Requests++
+				switch {
+				case err != nil:
+					t.Failed++
+				case status == http.StatusOK:
+					t.OK++
+					t.Reads += reads
+					t.latencies = append(t.latencies, float64(time.Since(reqStart).Nanoseconds())/1e6)
+				case status == http.StatusTooManyRequests:
+					t.Shed++
+				case status >= 500:
+					t.Server5xx++
+				default:
+					t.Client4xx++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var rep Report
+	var lat []float64
+	for i := range tallies {
+		t := &tallies[i]
+		rep.Requests += t.Requests
+		rep.OK += t.OK
+		rep.Shed += t.Shed
+		rep.Client4xx += t.Client4xx
+		rep.Server5xx += t.Server5xx
+		rep.Failed += t.Failed
+		rep.Reads += t.Reads
+		lat = append(lat, t.latencies...)
+	}
+	rep.Seconds = elapsed.Seconds()
+	if rep.Seconds > 0 {
+		rep.QPS = float64(rep.Requests) / rep.Seconds
+		rep.OKPerSec = float64(rep.OK) / rep.Seconds
+		rep.ReadsPerSec = float64(rep.Reads) / rep.Seconds
+	}
+	if rep.Requests > 0 {
+		rep.ShedRate = float64(rep.Shed) / float64(rep.Requests)
+	}
+	sort.Float64s(lat)
+	rep.P50Ms = percentile(lat, 0.50)
+	rep.P90Ms = percentile(lat, 0.90)
+	rep.P99Ms = percentile(lat, 0.99)
+	if n := len(lat); n > 0 {
+		rep.MaxMs = lat[n-1]
+	}
+	return rep, nil
+}
+
+// post sends one correction request and reports the status plus the
+// daemon's X-Kserve-Reads tally (0 when absent or unparsable).
+func post(ctx context.Context, client *http.Client, url string, chunk []byte) (status int, reads int64, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(chunk))
+	if err != nil {
+		return 0, 0, err
+	}
+	req.Header.Set("Content-Type", "text/x-fastq")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, 0, err
+	}
+	defer resp.Body.Close()
+	// Drain so the connection is reusable; the corrected chunk itself is
+	// not the measurement.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	if h := resp.Header.Get("X-Kserve-Reads"); h != "" {
+		reads, _ = strconv.ParseInt(h, 10, 64)
+	}
+	return resp.StatusCode, reads, nil
+}
+
+// String renders the headline numbers for human eyes; the JSON encoding
+// of the struct is the machine contract.
+func (r Report) String() string {
+	return fmt.Sprintf("%d requests in %.1fs: %d ok (%.1f/s, %.0f reads/s), %d shed (%.1f%%), %d client-err, %d server-err, %d failed; p50 %.1fms p90 %.1fms p99 %.1fms",
+		r.Requests, r.Seconds, r.OK, r.OKPerSec, r.ReadsPerSec, r.Shed, 100*r.ShedRate, r.Client4xx, r.Server5xx, r.Failed, r.P50Ms, r.P90Ms, r.P99Ms)
+}
+
+// percentile is the nearest-rank percentile of a sorted sample (0 when
+// empty).
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(float64(len(sorted))*q+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(sorted) {
+		idx = len(sorted) - 1
+	}
+	return sorted[idx]
+}

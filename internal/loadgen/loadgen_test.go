@@ -1,0 +1,110 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestRunTallies drives the generator against a stub daemon that sheds
+// every third request, and checks the report's accounting: outcomes
+// partition the requests, reads follow the X-Kserve-Reads header, and
+// percentiles come from successful requests.
+func TestRunTallies(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%3 == 0 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("X-Kserve-Reads", "5")
+		w.Write([]byte("@r\nACGT\n+\nIIII\n"))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL + "/v2/correct",
+		Chunks:      [][]byte{[]byte("@r\nACGT\n+\nIIII\n")},
+		Concurrency: 3,
+		Duration:    300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	if got := rep.OK + rep.Shed + rep.Client4xx + rep.Server5xx + rep.Failed; got != rep.Requests {
+		t.Errorf("outcomes sum to %d, requests = %d", got, rep.Requests)
+	}
+	if rep.OK == 0 || rep.Shed == 0 {
+		t.Errorf("want both OK and shed outcomes, got ok=%d shed=%d", rep.OK, rep.Shed)
+	}
+	if rep.Server5xx != 0 || rep.Failed != 0 {
+		t.Errorf("unexpected failures: 5xx=%d failed=%d", rep.Server5xx, rep.Failed)
+	}
+	if want := int64(5 * rep.OK); rep.Reads != want {
+		t.Errorf("reads = %d want %d", rep.Reads, want)
+	}
+	if rep.ShedRate <= 0 || rep.ShedRate >= 1 {
+		t.Errorf("shed rate = %g want in (0,1)", rep.ShedRate)
+	}
+	if rep.P50Ms <= 0 || rep.P99Ms < rep.P50Ms || rep.MaxMs < rep.P99Ms {
+		t.Errorf("percentiles not ordered: p50=%g p99=%g max=%g", rep.P50Ms, rep.P99Ms, rep.MaxMs)
+	}
+	if rep.Seconds <= 0 || rep.QPS <= 0 {
+		t.Errorf("rates not populated: seconds=%g qps=%g", rep.Seconds, rep.QPS)
+	}
+}
+
+// TestRunRateCap checks the QPS cap: a fast stub and a generous worker
+// pool must not exceed the target rate by more than ticker jitter.
+func TestRunRateCap(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL,
+		Chunks:      [][]byte{[]byte("x")},
+		QPS:         50,
+		Concurrency: 8,
+		Duration:    500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 QPS for 0.5s is ~25 requests; allow wide slack for CI timers,
+	// but an uncapped run would do thousands.
+	if rep.Requests > 60 {
+		t.Errorf("rate cap ignored: %d requests in %.2fs at 50 QPS", rep.Requests, rep.Seconds)
+	}
+}
+
+func TestRunConfigErrors(t *testing.T) {
+	if _, err := Run(context.Background(), Config{Chunks: [][]byte{[]byte("x")}}); err == nil {
+		t.Error("missing URL did not error")
+	}
+	if _, err := Run(context.Background(), Config{URL: "http://x"}); err == nil {
+		t.Error("missing chunks did not error")
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	for _, tc := range []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.9, 9}, {0.99, 10}, {1, 10}} {
+		if got := percentile(sorted, tc.q); got != tc.want {
+			t.Errorf("percentile(%g) = %g want %g", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile of empty = %g want 0", got)
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -99,7 +100,13 @@ func serveCmd(args []string, stdout io.Writer) error {
 		mode = engine.SpectrumCopied
 	}
 	loaded := make(map[string]*kspectrum.Spectrum, len(specs))
+	// verifyWG tracks the background whole-file verifiers: they scan the
+	// mappings, so the deferred Close loop must wait for them — on an
+	// early load error as much as on SIGTERM — or the unmap pulls pages
+	// out from under a running scan.
+	var verifyWG sync.WaitGroup
 	defer func() {
+		verifyWG.Wait()
 		for _, spec := range loaded {
 			spec.Close()
 		}
@@ -129,7 +136,9 @@ func serveCmd(args []string, stdout io.Writer) error {
 			// whole-file check runs in the background; a failure is sticky
 			// on the spectrum, so requests touching it turn into clean 500s
 			// (see correctWithEngine) instead of silently wrong corrections.
+			verifyWG.Add(1)
 			go func(name string, spec *kspectrum.Spectrum) {
+				defer verifyWG.Done()
 				if err := spec.Verify(); err != nil {
 					log.Printf("spectrum %q failed verification, refusing its requests: %v", name, err)
 				}
@@ -747,6 +756,7 @@ const (
 	errClassUnknownEngine   = "unknown_engine"
 	errClassUnknownSpectrum = "unknown_spectrum"
 	errClassUnservable      = "unserviceable_spectrum"
+	errClassDisabled        = "uploads_disabled"
 	errClassShed            = "shed"
 	errClassClientGone      = "client_gone"
 	errClassDeadline        = "deadline"

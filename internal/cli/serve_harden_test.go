@@ -354,6 +354,45 @@ func TestServeSpectrumUploadSwapDelete(t *testing.T) {
 	}
 }
 
+// TestServeUploadDeleteVerifyRace hammers the window between an upload's
+// background whole-file Verify and a hot delete or swap of the same
+// name: the verifier holds the entry like an in-flight request, so the
+// drain-then-unmap must wait for the scan instead of pulling the mapping
+// out from under it (a crash, and a -race report, without the hold).
+func TestServeUploadDeleteVerifyRace(t *testing.T) {
+	dir := t.TempDir()
+	srv, _, storePath := hardenFixture(t, ServerOptions{Workers: 1, SpectraDir: dir})
+	ts := httptest.NewServer(srv.mux())
+	defer ts.Close()
+	specBytes, err := os.ReadFile(storePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		resp, body := postChunk(t, ts.Client(), ts.URL+"/v2/spectra?name=race", specBytes)
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("upload %d: status %d; body: %s", i, resp.StatusCode, body)
+		}
+		if i%2 == 0 {
+			// Delete immediately: the registry hold drops while the fresh
+			// upload's verifier may still be scanning.
+			req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v2/spectra/race", nil)
+			dresp, err := ts.Client().Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, dresp.Body)
+			dresp.Body.Close()
+			if dresp.StatusCode != http.StatusOK {
+				t.Fatalf("delete %d: status %d", i, dresp.StatusCode)
+			}
+		}
+		// Odd iterations leave the entry in place so the next upload takes
+		// the hot-swap path, displacing an entry whose verifier may still
+		// be running.
+	}
+}
+
 // TestServeUnserviceableSpectrum corrupts a mapped store's column bytes:
 // OpenMapped's eager header checks pass, Verify fails sticky, and every
 // correction against the spectrum becomes a clean JSON 500.

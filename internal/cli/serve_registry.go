@@ -206,7 +206,7 @@ var spectrumNameRE = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$`)
 // against their refcount before it is closed.
 func (s *server) handleSpectraUpload(w http.ResponseWriter, r *http.Request) {
 	if s.spectraDir == "" {
-		s.errorJSON(w, http.StatusServiceUnavailable, errClassBadRequest,
+		s.errorJSON(w, http.StatusServiceUnavailable, errClassDisabled,
 			"spectrum uploads are disabled: the server has no spectra directory")
 		return
 	}
@@ -262,20 +262,24 @@ func (s *server) handleSpectraUpload(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusInternalServerError, errClassInternal, "publishing upload: %v", err)
 		return
 	}
+	e := s.newEntry(name, spec)
+	e.owned = true
+	e.path = final
 	if spec.Mapped() {
 		// Surface latent corruption without stalling the upload: the
 		// whole-file check runs in the background, and a failure is
 		// sticky — requests against this spectrum turn into clean 500s.
+		// The verifier scans the mapping, so it holds the entry like any
+		// in-flight request: a hot-swap re-upload or delete that drains
+		// the other holds cannot unmap the file mid-scan.
+		e.acquire()
 		go func() {
+			defer e.release()
 			if err := spec.Verify(); err != nil {
 				log.Printf("uploaded spectrum %q failed verification, refusing its requests: %v", name, err)
 			}
 		}()
 	}
-
-	e := s.newEntry(name, spec)
-	e.owned = true
-	e.path = final
 	old := s.reg.put(e)
 	op := "upload"
 	if old != nil {

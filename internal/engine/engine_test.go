@@ -160,6 +160,8 @@ func TestCountChangedBases(t *testing.T) {
 		{"several", mk("AAAA", "CCCC"), mk("ATAA", "GGGC"), 4, 2},
 		{"shortened", mk("ACGTACGT"), mk("ACGT"), 4, 1},
 		{"lengthened", mk("ACGT"), mk("ACGTAA"), 2, 1},
+		{"fewer reads", mk("ACGT", "TTTT"), mk("ACGT"), 4, 1},
+		{"extra reads", mk("ACGT"), mk("ACGT", "GG"), 2, 1},
 	}
 	for _, tc := range cases {
 		if got := CountChangedBases(tc.orig, tc.corr); got != tc.want {

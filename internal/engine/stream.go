@@ -55,10 +55,13 @@ func CollectReads(ctx context.Context, open SourceOpener) ([]seq.Read, error) {
 
 // CountChanged tallies the reads whose sequence differs between the
 // original and corrected chunk — the shared throughput accounting of
-// every streaming front end.
+// every streaming front end. An engine that returns a different number
+// of reads than it was given has every unpaired read counted as changed
+// rather than faulting the caller.
 func CountChanged(orig, corrected []seq.Read) int {
-	changed := 0
-	for i := range orig {
+	n := min(len(orig), len(corrected))
+	changed := len(orig) - n + len(corrected) - n
+	for i := 0; i < n; i++ {
 		if !bytes.Equal(orig[i].Seq, corrected[i].Seq) {
 			changed++
 		}
@@ -68,10 +71,13 @@ func CountChanged(orig, corrected []seq.Read) int {
 
 // CountChangedBases tallies the individual bases rewritten between the
 // original and corrected chunk. Reads whose length changed (trimming
-// engines) count every position past the common prefix as changed.
+// engines) count every position past the common prefix as changed, and
+// unpaired reads — an engine returning a different read count — count
+// every base rather than faulting the caller.
 func CountChangedBases(orig, corrected []seq.Read) int {
 	changed := 0
-	for i := range orig {
+	pairs := min(len(orig), len(corrected))
+	for i := 0; i < pairs; i++ {
 		a, b := orig[i].Seq, corrected[i].Seq
 		if bytes.Equal(a, b) {
 			continue
@@ -86,6 +92,12 @@ func CountChangedBases(orig, corrected []seq.Read) int {
 			}
 		}
 		changed += len(a) - n + len(b) - n
+	}
+	for i := pairs; i < len(orig); i++ {
+		changed += len(orig[i].Seq)
+	}
+	for i := pairs; i < len(corrected); i++ {
+		changed += len(corrected[i].Seq)
 	}
 	return changed
 }

@@ -13,6 +13,8 @@ import (
 	"io"
 	"log"
 	"os"
+
+	"repro/internal/faultinject"
 )
 
 // command is one repro subcommand.
@@ -96,6 +98,13 @@ var errParse = errors.New("invalid arguments")
 func Main(tool string, run func(args []string) error) {
 	log.SetFlags(0)
 	log.SetPrefix(tool + ": ")
+	// REPRO_FAULTS arms the fault-injection seam for chaos harnesses
+	// driving a real binary; unset (the normal case) this is a no-op and
+	// every instrumented site stays on its zero-cost disabled path.
+	if err := faultinject.EnableFromEnv(os.Getenv("REPRO_FAULTS")); err != nil {
+		fmt.Fprintf(os.Stderr, "%s: REPRO_FAULTS: %v\n", tool, err)
+		os.Exit(2)
+	}
 	err := run(os.Args[1:])
 	switch {
 	case err == nil:

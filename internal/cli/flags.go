@@ -2,6 +2,7 @@ package cli
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"os"
 	"os/signal"
@@ -25,6 +26,9 @@ type correctFlags struct {
 	loadSpec   string
 	saveSpec   string
 	mapSpec    bool
+	ckptDir    string
+	resume     bool
+	ckptEvery  int64
 	cpuprofile string
 	memprofile string
 }
@@ -38,6 +42,9 @@ func (f *correctFlags) register(fs *flag.FlagSet, spectrum bool) {
 	fs.IntVar(&f.workers, "workers", 0, "parallel workers (0 = all cores)")
 	fs.IntVar(&f.shards, "shards", 0, "spectrum shard count (0 = derive from workers)")
 	fs.StringVar(&f.memBudget, "mem-budget", "0", "spectrum accumulator budget, e.g. 64MB (0 = unlimited, in-memory)")
+	fs.StringVar(&f.ckptDir, "checkpoint", "", "directory for crash-safe spectrum-build checkpoints (empty = off)")
+	fs.BoolVar(&f.resume, "resume", false, "resume the interrupted build checkpointed in -checkpoint")
+	fs.Int64Var(&f.ckptEvery, "checkpoint-every", 0, "reads between automatic checkpoints (0 = default)")
 	if spectrum {
 		fs.StringVar(&f.loadSpec, "load-spectrum", "", "reuse a persisted k-spectrum instead of counting the input")
 		fs.StringVar(&f.saveSpec, "save-spectrum", "", "persist the run's k-spectrum to this path")
@@ -54,6 +61,9 @@ func (f *correctFlags) engineOptions() ([]engine.Option, error) {
 	if err != nil {
 		return nil, err
 	}
+	if f.resume && f.ckptDir == "" {
+		return nil, errors.New("-resume requires -checkpoint")
+	}
 	return []engine.Option{
 		engine.WithWorkers(f.workers),
 		engine.WithShards(f.shards),
@@ -61,6 +71,9 @@ func (f *correctFlags) engineOptions() ([]engine.Option, error) {
 		engine.WithSpectrumPath(f.loadSpec),
 		engine.WithSpectrumMode(f.spectrumMode()),
 		engine.WithSaveSpectrumPath(f.saveSpec),
+		engine.WithCheckpointDir(f.ckptDir),
+		engine.WithResume(f.resume),
+		engine.WithCheckpointEvery(f.ckptEvery),
 	}, nil
 }
 

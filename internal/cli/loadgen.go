@@ -32,6 +32,7 @@ func loadgenCmd(args []string, stdout io.Writer) error {
 		concurrency = fs.Int("c", 4, "concurrent client workers")
 		duration    = fs.Duration("duration", 10*time.Second, "how long to generate load")
 		timeout     = fs.Duration("timeout", time.Minute, "per-request client timeout")
+		retries     = fs.Int("retries", 0, "retry budget per request for 429/5xx/transport failures, with backoff honoring Retry-After (0 = record every wire response, the historical behavior)")
 	)
 	if err := parse(fs, args); err != nil {
 		return err
@@ -68,6 +69,7 @@ func loadgenCmd(args []string, stdout io.Writer) error {
 		Concurrency: *concurrency,
 		Duration:    *duration,
 		Timeout:     *timeout,
+		MaxRetries:  *retries,
 	})
 	if err != nil {
 		return err

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"runtime"
@@ -100,13 +101,11 @@ func serveCmd(args []string, stdout io.Writer) error {
 		mode = engine.SpectrumCopied
 	}
 	loaded := make(map[string]*kspectrum.Spectrum, len(specs))
-	// verifyWG tracks the background whole-file verifiers: they scan the
-	// mappings, so the deferred Close loop must wait for them — on an
-	// early load error as much as on SIGTERM — or the unmap pulls pages
-	// out from under a running scan.
-	var verifyWG sync.WaitGroup
+	paths := make(map[string]string, len(specs))
+	// The deferred Close loop runs after the server's close() below has
+	// waited out the background verifiers and quarantine probes, so an
+	// unmap can never pull pages out from under a running scan.
 	defer func() {
-		verifyWG.Wait()
 		for _, spec := range loaded {
 			spec.Close()
 		}
@@ -125,25 +124,13 @@ func serveCmd(args []string, stdout io.Writer) error {
 			return err
 		}
 		loaded[name] = spec
+		paths[name] = path
 		how := "copied"
 		if spec.Mapped() {
 			how = "mapped"
 		}
 		log.Printf("loaded spectrum %q (%s): k=%d, %d kmers, bothStrands=%v (%v)",
 			name, how, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
-		if spec.Mapped() {
-			// Surface latent file corruption without delaying startup: the
-			// whole-file check runs in the background; a failure is sticky
-			// on the spectrum, so requests touching it turn into clean 500s
-			// (see correctWithEngine) instead of silently wrong corrections.
-			verifyWG.Add(1)
-			go func(name string, spec *kspectrum.Spectrum) {
-				defer verifyWG.Done()
-				if err := spec.Verify(); err != nil {
-					log.Printf("spectrum %q failed verification, refusing its requests: %v", name, err)
-				}
-			}(name, spec)
-		}
 	}
 
 	chunkBytes, err := core.ParseByteSize(*maxChunkBytes)
@@ -175,18 +162,28 @@ func serveCmd(args []string, stdout io.Writer) error {
 		Workers:          *workers,
 		ErrorRate:        *errorRate,
 		D:                *d,
+		SpectrumPaths:    paths,
 	})
 	if err != nil {
 		return err
 	}
+	// Stop the background machinery (verifiers, quarantine probes) before
+	// the deferred spectrum Close loop above unmaps anything.
+	defer srv.close()
 	for _, e := range srv.reg.snapshot() {
 		if e.reptileErr != nil {
 			log.Printf("spectrum %q serves redeem only on /v1 (%v)", e.name, e.reptileErr)
 		}
 	}
 
+	// An explicit Listen (instead of ListenAndServe) pins the bound
+	// address before the serving goroutine starts: `-listen 127.0.0.1:0`
+	// logs the real port, which harnesses scrape to find the daemon.
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		return err
+	}
 	httpSrv := &http.Server{
-		Addr:    *listen,
 		Handler: srv.mux(),
 		// Without read deadlines, max-inflight slow uploads would pin
 		// every correction slot forever (each handler reads the body
@@ -197,9 +194,9 @@ func serveCmd(args []string, stdout io.Writer) error {
 	ctx, stop := signalContext()
 	defer stop()
 	errc := make(chan error, 1)
-	go func() { errc <- httpSrv.ListenAndServe() }()
+	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("serving %d spectra on %s (max-inflight %d, max-queue %d, request-timeout %v, engines %s)",
-		len(loaded), *listen, srv.maxInflight, srv.maxQueue, *requestTimeout, strings.Join(engine.Names(), ","))
+		len(loaded), ln.Addr(), srv.maxInflight, srv.maxQueue, *requestTimeout, strings.Join(engine.Names(), ","))
 	select {
 	case err := <-errc:
 		return err
@@ -262,6 +259,17 @@ type ServerOptions struct {
 	ErrorRate float64
 	// D is Reptile's per-kmer Hamming budget (0 selects the default 1).
 	D int
+	// SpectrumPaths maps startup spectrum names to their backing store
+	// files, so the quarantine probe can re-open and repair a spectrum
+	// whose in-memory state failed verification. Names without a path
+	// stay quarantined until re-uploaded or deleted.
+	SpectrumPaths map[string]string
+	// QuarantineBase and QuarantineMax bound the quarantine probe's
+	// exponential backoff: the first re-verification attempt runs after
+	// QuarantineBase, doubling per failure up to QuarantineMax
+	// (defaults 1s and 30s).
+	QuarantineBase time.Duration
+	QuarantineMax  time.Duration
 }
 
 // server is the HTTP correction service: a mutable, refcounted registry
@@ -283,6 +291,14 @@ type server struct {
 	global     map[string]*serviceSlot
 	spectraDir string
 	m          *serverMetrics
+
+	// ctx scopes the server's background goroutines (startup and upload
+	// verifiers, quarantine probes); close cancels it and waits for wg so
+	// a stopped server leaks nothing — tests run under -race depend on
+	// this, and so does the drain path of the serve subcommand.
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
 
 	stats struct {
 		requests atomic.Int64
@@ -314,6 +330,12 @@ func newServer(specs map[string]*kspectrum.Spectrum, opts ServerOptions) (*serve
 	if opts.ErrorRate <= 0 {
 		opts.ErrorRate = 0.01
 	}
+	if opts.QuarantineBase <= 0 {
+		opts.QuarantineBase = time.Second
+	}
+	if opts.QuarantineMax <= 0 {
+		opts.QuarantineMax = 30 * time.Second
+	}
 	s := &server{
 		reg:         &specRegistry{entries: make(map[string]*entry, len(specs))},
 		sem:         make(chan struct{}, opts.MaxInflight),
@@ -324,14 +346,139 @@ func newServer(specs map[string]*kspectrum.Spectrum, opts ServerOptions) (*serve
 		spectraDir:  opts.SpectraDir,
 		m:           newServerMetrics(),
 	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
 	for _, engName := range engine.Names() {
 		s.global[engName] = &serviceSlot{}
 	}
 	for name, spec := range specs {
-		s.reg.put(s.newEntry(name, spec))
+		e := s.newEntry(name, spec)
+		e.path = opts.SpectrumPaths[name]
+		s.reg.put(e)
+		// Surface latent file corruption without delaying startup: the
+		// whole-file check runs in the background; a failure quarantines
+		// the spectrum (clean 503s plus a repair probe) instead of
+		// silently wrong corrections.
+		s.verifyInBackground(e)
 	}
 	s.m.spectra.Set(int64(s.reg.size()))
 	return s, nil
+}
+
+// close stops the server's background machinery — verifiers and
+// quarantine probes — and waits for it to unwind. The HTTP listener and
+// in-flight requests are the caller's to drain (http.Server.Shutdown);
+// close concerns only the goroutines the server itself spawned.
+func (s *server) close() {
+	s.cancel()
+	s.wg.Wait()
+}
+
+// verifyInBackground starts the whole-file integrity scan of a mapped
+// entry. The verifier holds the entry like an in-flight request, so a
+// hot-swap or delete that drains the other holds cannot unmap the file
+// mid-scan; a verification failure quarantines the entry.
+func (s *server) verifyInBackground(e *entry) {
+	if !e.spec.Mapped() {
+		return
+	}
+	e.acquire()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		defer e.release()
+		if err := e.spec.Verify(); err != nil {
+			s.quarantine(e, err)
+		}
+	}()
+}
+
+// quarantine moves an entry into the quarantined state: requests answer
+// 503 from here on, and a single background probe (the CAS is the spawn
+// dedup) retries the backing store until it verifies clean again.
+func (s *server) quarantine(e *entry, cause error) {
+	if !e.quarantined.CompareAndSwap(false, true) {
+		return
+	}
+	log.Printf("spectrum %q quarantined, refusing its requests: %v", e.name, cause)
+	s.updateQuarantineGauge()
+	s.wg.Add(1)
+	go s.probeQuarantined(e)
+}
+
+// probeQuarantined is the self-healing loop of one quarantined entry:
+// exponential backoff between attempts to re-open and re-verify the
+// backing store, restoring service atomically on the first clean pass.
+// It exits when the entry is repaired, displaced (an upload or delete
+// replaced the name — the operator's fix wins), or the server closes.
+func (s *server) probeQuarantined(e *entry) {
+	defer s.wg.Done()
+	if e.path == "" {
+		log.Printf("spectrum %q has no backing store path; quarantine is permanent until re-upload or delete", e.name)
+		return
+	}
+	backoff := s.opts.QuarantineBase
+	timer := time.NewTimer(backoff)
+	defer timer.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-timer.C:
+		}
+		if s.reg.current(e.name) != e {
+			// Replaced or deleted while quarantined: the probe's work is
+			// moot, the gauge only counts registered entries.
+			s.updateQuarantineGauge()
+			return
+		}
+		err := s.tryRestore(e)
+		if err == nil {
+			return
+		}
+		log.Printf("spectrum %q repair probe failed: %v (next attempt in %v)", e.name, err, backoff)
+		if backoff *= 2; backoff > s.opts.QuarantineMax {
+			backoff = s.opts.QuarantineMax
+		}
+		timer.Reset(backoff)
+	}
+}
+
+// tryRestore attempts one repair of a quarantined entry: re-open the
+// backing store, verify the whole file synchronously, and atomically
+// swap a fresh entry into the registry. In-flight requests on the
+// quarantined entry drain against their own holds, exactly like a hot
+// swap.
+func (s *server) tryRestore(e *entry) error {
+	spec, err := engine.LoadSpectrumForK(e.path, 0, s.opts.SpectrumMode)
+	if err != nil {
+		return err
+	}
+	if err := spec.Verify(); err != nil {
+		spec.Close()
+		return err
+	}
+	repaired := s.newEntry(e.name, spec)
+	repaired.owned = true // the server opened it, the last release closes it
+	repaired.path = e.path
+	if !s.reg.replaceIf(e, repaired) {
+		// A concurrent upload or delete displaced the quarantined entry
+		// first; its resolution wins and the repair is discarded.
+		repaired.release()
+		s.updateQuarantineGauge()
+		return nil
+	}
+	e.release() // old registry hold; unmaps once in-flight requests drain
+	s.m.swaps.With("restore").Inc()
+	s.updateQuarantineGauge()
+	log.Printf("spectrum %q restored from %s, quarantine lifted", e.name, e.path)
+	return nil
+}
+
+// updateQuarantineGauge recomputes repro_spectra_quarantined from the
+// registry — transitions recount instead of pairing inc/dec, so the
+// gauge cannot drift when a probe races an upload or delete.
+func (s *server) updateQuarantineGauge() {
+	s.m.quarantined.Set(int64(s.reg.countQuarantined()))
 }
 
 // NewHandler stands up the daemon's full HTTP handler over preloaded
@@ -424,14 +571,15 @@ func (s *server) mux() http.Handler {
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{
-		"status":   "ok",
-		"spectra":  s.reg.size(),
-		"engines":  engine.Names(),
-		"requests": s.stats.requests.Load(),
-		"reads":    s.stats.reads.Load(),
-		"changed":  s.stats.changed.Load(),
-		"inflight": s.m.inflight.Value(),
-		"shed":     s.m.shed.Value(),
+		"status":      "ok",
+		"spectra":     s.reg.size(),
+		"quarantined": s.reg.countQuarantined(),
+		"engines":     engine.Names(),
+		"requests":    s.stats.requests.Load(),
+		"reads":       s.stats.reads.Load(),
+		"changed":     s.stats.changed.Load(),
+		"inflight":    s.m.inflight.Value(),
+		"shed":        s.m.shed.Value(),
 	})
 }
 
@@ -441,11 +589,15 @@ func (s *server) handleSpectra(w http.ResponseWriter, r *http.Request) {
 		K           int    `json:"k"`
 		Kmers       int    `json:"kmers"`
 		BothStrands bool   `json:"both_strands"`
+		Quarantined bool   `json:"quarantined,omitempty"`
 	}
 	entries := s.reg.snapshot()
 	out := make([]specInfo, 0, len(entries))
 	for _, e := range entries {
-		out = append(out, specInfo{Name: e.name, K: e.spec.K, Kmers: e.spec.Size(), BothStrands: e.spec.BothStrands})
+		out = append(out, specInfo{
+			Name: e.name, K: e.spec.K, Kmers: e.spec.Size(),
+			BothStrands: e.spec.BothStrands, Quarantined: e.quarantined.Load(),
+		})
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -575,10 +727,17 @@ func (s *server) correctWithEngine(w http.ResponseWriter, r *http.Request, eng e
 	// A mapped spectrum that failed its deferred integrity checks (lazy
 	// bucket validation or the background whole-file scan) answers every
 	// query "absent" — correct for library callers but silently useless
-	// corrections for a daemon client. Refuse the request instead.
+	// corrections for a daemon client. Quarantine it — 503 with
+	// Retry-After, because the repair probe may restore service — rather
+	// than serving garbage or a misleading hard 500.
 	if e != nil {
 		if specErr := e.spec.Err(); specErr != nil {
-			s.errorJSON(w, http.StatusInternalServerError, errClassUnservable, "spectrum %q is unserviceable: %v", e.name, specErr)
+			s.quarantine(e, specErr)
+		}
+		if e.quarantined.Load() {
+			w.Header().Set("Retry-After", "5")
+			s.errorJSON(w, http.StatusServiceUnavailable, errClassQuarantined,
+				"spectrum %q is quarantined (unserviceable pending repair): %v", e.name, e.spec.Err())
 			return
 		}
 	}
@@ -755,12 +914,13 @@ const (
 	errClassTooLarge        = "too_large"
 	errClassUnknownEngine   = "unknown_engine"
 	errClassUnknownSpectrum = "unknown_spectrum"
-	errClassUnservable      = "unserviceable_spectrum"
+	errClassQuarantined     = "quarantined_spectrum"
 	errClassDisabled        = "uploads_disabled"
 	errClassShed            = "shed"
 	errClassClientGone      = "client_gone"
 	errClassDeadline        = "deadline"
 	errClassInternal        = "internal"
+	errClassPanic           = "panic"
 )
 
 // errorJSON is the single error-response path of the daemon: every 4xx

@@ -395,7 +395,9 @@ func TestServeUploadDeleteVerifyRace(t *testing.T) {
 
 // TestServeUnserviceableSpectrum corrupts a mapped store's column bytes:
 // OpenMapped's eager header checks pass, Verify fails sticky, and every
-// correction against the spectrum becomes a clean JSON 500.
+// correction against the spectrum becomes a clean JSON 503 with the
+// spectrum quarantined (no backing path here, so the quarantine is
+// permanent and the daemon keeps refusing rather than serving garbage).
 func TestServeUnserviceableSpectrum(t *testing.T) {
 	_, reads, storePath := hardenFixture(t, ServerOptions{Workers: 1})
 	raw, err := os.ReadFile(storePath)
@@ -423,15 +425,46 @@ func TestServeUnserviceableSpectrum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer srv.close()
 	ts := httptest.NewServer(srv.mux())
 	defer ts.Close()
 	resp, body := postChunk(t, ts.Client(), ts.URL+"/v1/correct?spectrum=bad", encodeChunk(t, reads[:20]))
-	if resp.StatusCode != http.StatusInternalServerError {
-		t.Fatalf("status = %d want 500; body: %s", resp.StatusCode, body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d want 503; body: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 quarantine response missing Retry-After")
 	}
 	assertJSONError(t, resp, body)
-	if !strings.Contains(string(body), "unserviceable") {
-		t.Errorf("error body does not say unserviceable: %s", body)
+	if !strings.Contains(string(body), "quarantined") {
+		t.Errorf("error body does not say quarantined: %s", body)
+	}
+	out := scrapeMetrics(t, ts.URL)
+	for _, line := range []string{
+		"repro_spectra_quarantined 1",
+		`repro_request_errors_total{class="quarantined_spectrum"} 1`,
+	} {
+		if !strings.Contains(out, line) {
+			t.Errorf("/metrics missing %q", line)
+		}
+	}
+	// The spectrum listing exposes the quarantine so operators can see it
+	// without scraping metrics.
+	lresp, err := http.Get(ts.URL + "/v2/spectra")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lbody, _ := io.ReadAll(lresp.Body)
+	lresp.Body.Close()
+	var list []struct {
+		Name        string `json:"name"`
+		Quarantined bool   `json:"quarantined"`
+	}
+	if err := json.Unmarshal(lbody, &list); err != nil {
+		t.Fatalf("/v2/spectra: %v (%s)", err, lbody)
+	}
+	if len(list) != 1 || !list[0].Quarantined {
+		t.Errorf("/v2/spectra = %s, want bad marked quarantined", lbody)
 	}
 }
 

@@ -1,10 +1,13 @@
 package cli
 
 import (
+	"log"
 	"net/http"
+	"runtime"
 	"strconv"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 )
 
@@ -21,8 +24,8 @@ type serverMetrics struct {
 	// failed before routing).
 	requests *metrics.CounterVec
 	// errors counts non-200 outcomes by failure class (bad_request,
-	// too_large, unknown_engine, unknown_spectrum, unserviceable_spectrum,
-	// shed, client_gone, deadline, internal).
+	// too_large, unknown_engine, unknown_spectrum, quarantined_spectrum,
+	// shed, client_gone, deadline, internal, panic).
 	errors *metrics.CounterVec
 	// shed counts requests refused with 429 by the bounded admission
 	// queue — the daemon's load-shedding signal.
@@ -41,10 +44,13 @@ type serverMetrics struct {
 	reads        *metrics.Counter
 	changedReads *metrics.Counter
 	changedBases *metrics.Counter
-	// spectra is the number of spectra currently registered; swaps counts
-	// registry mutations by operation (upload, replace, delete).
-	spectra *metrics.Gauge
-	swaps   *metrics.CounterVec
+	// spectra is the number of spectra currently registered; quarantined
+	// is how many of them are refusing requests pending repair; swaps
+	// counts registry mutations by operation (upload, replace, delete,
+	// restore).
+	spectra     *metrics.Gauge
+	quarantined *metrics.Gauge
+	swaps       *metrics.CounterVec
 }
 
 func newServerMetrics() *serverMetrics {
@@ -73,6 +79,8 @@ func newServerMetrics() *serverMetrics {
 			"Individual bases rewritten by correction."),
 		spectra: reg.NewGauge("repro_spectra_loaded",
 			"Spectra currently registered and servable."),
+		quarantined: reg.NewGauge("repro_spectra_quarantined",
+			"Registered spectra currently quarantined (refusing requests pending repair)."),
 		swaps: reg.NewCounterVec("repro_spectrum_swaps_total",
 			"Spectrum registry mutations by operation.", "op"),
 	}
@@ -104,24 +112,58 @@ func setTrace(w http.ResponseWriter, engine, spectrum string) {
 }
 
 // correction is the request-path middleware wrapping both correct
-// handlers: in-flight accounting, per-engine/per-spectrum request
-// counts, and the end-to-end latency histogram (successful requests
-// only — sheds and refusals return in microseconds and would drown the
-// distribution the histogram exists to show).
+// handlers: panic recovery, in-flight accounting, per-engine/
+// per-spectrum request counts, and the end-to-end latency histogram
+// (successful requests only — sheds and refusals return in microseconds
+// and would drown the distribution the histogram exists to show).
+//
+// The recovery path is the daemon's last line of self-defense: a bug in
+// one request's handler (or an injected serve.request fault) answers
+// that request with a JSON 500, increments the panic error class, logs
+// the stack, and leaves the daemon serving — net/http would otherwise
+// kill only the connection, but silently and without a client-readable
+// body or a metric. http.ErrAbortHandler is re-raised: it is the
+// sanctioned way to abort a response mid-write, not a bug.
 func (s *server) correction(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
 		t := &correctionTrace{ResponseWriter: w}
 		s.m.inflight.Inc()
 		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				if rec == http.ErrAbortHandler {
+					s.m.inflight.Dec()
+					panic(rec)
+				}
+				buf := make([]byte, 64<<10)
+				buf = buf[:runtime.Stack(buf, false)]
+				log.Printf("panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, buf)
+				if t.code == 0 {
+					s.errorJSON(t, http.StatusInternalServerError, errClassPanic,
+						"internal error: the request handler panicked")
+				} else {
+					// The response is already under way; the connection is
+					// lost, but the failure still counts.
+					s.m.errors.With(errClassPanic).Inc()
+				}
+			}
+			s.m.inflight.Dec()
+			code := t.code
+			if code == 0 {
+				code = http.StatusOK
+			}
+			s.m.requests.With(t.engine, t.spectrum, strconv.Itoa(code)).Inc()
+			if code == http.StatusOK && t.engine != "" {
+				s.m.latency.With(t.engine, t.spectrum).Observe(time.Since(start).Seconds())
+			}
+		}()
+		// The chaos harness's injectable crash point: REPRO_FAULTS
+		// "serve.request:any:panic" (or an err rule) exercises the
+		// recovery path above against a live daemon. Disabled, this is
+		// one atomic load.
+		if err := faultinject.Check("serve.request", faultinject.OpAny); err != nil {
+			panic(err)
+		}
 		h(t, r)
-		s.m.inflight.Dec()
-		code := t.code
-		if code == 0 {
-			code = http.StatusOK
-		}
-		s.m.requests.With(t.engine, t.spectrum, strconv.Itoa(code)).Inc()
-		if code == http.StatusOK && t.engine != "" {
-			s.m.latency.With(t.engine, t.spectrum).Observe(time.Since(start).Seconds())
-		}
 	}
 }

@@ -44,13 +44,23 @@ type entry struct {
 	// only released when the count reaches zero, so an unmap can never
 	// pull pages out from under a running correction.
 	refs atomic.Int64
-	// owned marks spectra the server itself opened (uploads): the final
-	// release closes them. Startup spectra belong to the caller, which
-	// closes them at process exit.
+	// owned marks spectra the server itself opened (uploads, quarantine
+	// restores): the final release closes them. Startup spectra belong
+	// to the caller, which closes them at process exit.
 	owned bool
-	// path is the store file backing an owned (uploaded) spectrum,
-	// removed when the entry is deleted.
+	// path is the store file backing the spectrum: set for uploads
+	// (removed when the entry is deleted) and for startup spectra whose
+	// path the caller declared via ServerOptions.SpectrumPaths. The
+	// quarantine probe repairs from it; without a path a quarantine is
+	// permanent until the operator re-uploads or deletes the name.
 	path string
+
+	// quarantined flips true when the spectrum's integrity checks fail
+	// sticky (lazy bucket validation or the whole-file scan): requests
+	// answer 503 instead of silently useless corrections, and a single
+	// background probe (the CAS is the spawn dedup) retries the backing
+	// file until it verifies again or the entry leaves the registry.
+	quarantined atomic.Bool
 }
 
 // acquire takes a request hold on the entry.
@@ -122,6 +132,44 @@ func (reg *specRegistry) put(e *entry) *entry {
 	old := reg.entries[e.name]
 	reg.entries[e.name] = e
 	return old
+}
+
+// current returns the entry a name maps to right now, without acquiring
+// a hold: only valid for identity checks (is this still the entry my
+// probe quarantined?), never for serving corrections.
+func (reg *specRegistry) current(name string) *entry {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	return reg.entries[name]
+}
+
+// replaceIf atomically swaps old for repaired, but only when old is
+// still the name's registered entry — a concurrent upload or delete
+// wins, and the caller discards the repaired entry. On success the
+// caller releases old's registry hold; repaired starts with its own.
+func (reg *specRegistry) replaceIf(old, repaired *entry) bool {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if reg.entries[old.name] != old {
+		return false
+	}
+	reg.entries[repaired.name] = repaired
+	return true
+}
+
+// countQuarantined tallies the registered entries currently quarantined;
+// the gauge is recomputed from this after every transition, so no
+// inc/dec pairing can drift.
+func (reg *specRegistry) countQuarantined() int {
+	reg.mu.RLock()
+	defer reg.mu.RUnlock()
+	n := 0
+	for _, e := range reg.entries {
+		if e.quarantined.Load() {
+			n++
+		}
+	}
+	return n
 }
 
 // remove unpublishes a name, returning the displaced entry (the caller
@@ -265,22 +313,8 @@ func (s *server) handleSpectraUpload(w http.ResponseWriter, r *http.Request) {
 	e := s.newEntry(name, spec)
 	e.owned = true
 	e.path = final
-	if spec.Mapped() {
-		// Surface latent corruption without stalling the upload: the
-		// whole-file check runs in the background, and a failure is
-		// sticky — requests against this spectrum turn into clean 500s.
-		// The verifier scans the mapping, so it holds the entry like any
-		// in-flight request: a hot-swap re-upload or delete that drains
-		// the other holds cannot unmap the file mid-scan.
-		e.acquire()
-		go func() {
-			defer e.release()
-			if err := spec.Verify(); err != nil {
-				log.Printf("uploaded spectrum %q failed verification, refusing its requests: %v", name, err)
-			}
-		}()
-	}
 	old := s.reg.put(e)
+	s.verifyInBackground(e)
 	op := "upload"
 	if old != nil {
 		op = "replace"
@@ -288,6 +322,7 @@ func (s *server) handleSpectraUpload(w http.ResponseWriter, r *http.Request) {
 	}
 	s.m.swaps.With(op).Inc()
 	s.m.spectra.Set(int64(s.reg.size()))
+	s.updateQuarantineGauge()
 	log.Printf("spectrum %q %sed: k=%d, %d kmers (%s)", name, op, spec.K, spec.Size(), final)
 
 	writeJSON(w, http.StatusCreated, map[string]any{
@@ -320,6 +355,7 @@ func (s *server) handleSpectraDelete(w http.ResponseWriter, r *http.Request) {
 	e.release() // registry hold
 	s.m.swaps.With("delete").Inc()
 	s.m.spectra.Set(int64(s.reg.size()))
+	s.updateQuarantineGauge()
 	log.Printf("spectrum %q deleted", name)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": name})
 }

@@ -1,0 +1,188 @@
+// Package client is the retrying HTTP correction client of the serve
+// daemon. The daemon's overload and self-healing answers — 429 from the
+// admission queue, 503 from a quarantined spectrum — are explicitly
+// transient: both carry Retry-After, and the correct client reaction is
+// a capped, jittered exponential backoff, not an error to the caller.
+// This package encodes that policy once so the loadgen harness, scripts
+// and embedding callers cannot each get it subtly wrong.
+//
+// Retry policy: transport errors, 429, and 5xx responses are retryable
+// (the daemon may shed, quarantine-heal, or restart under the caller);
+// other 4xx responses are the caller's bug and never retried. Retry-After
+// is honored as the wait floor when the daemon sends it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Client issues correction requests with retries. The zero value is
+// usable: no retries, a default http.Client, 100ms base and 5s cap.
+// A Client is safe for concurrent use when its fields are not mutated.
+type Client struct {
+	// HTTP is the underlying client (nil selects a fresh default one; set
+	// a Timeout on it — the per-attempt bound — when talking to a real
+	// daemon).
+	HTTP *http.Client
+	// MaxRetries is how many times a retryable failure is retried beyond
+	// the first attempt (0 = fail fast, n = up to n+1 attempts).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (<= 0 selects 100ms); the
+	// wait before retry i is uniformly jittered in (0, BaseBackoff*2^i],
+	// capped at MaxBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single wait (<= 0 selects 5s). A daemon
+	// Retry-After longer than the cap is trusted up to 10x the cap.
+	MaxBackoff time.Duration
+}
+
+// Result is the outcome of one Correct call, after retries.
+type Result struct {
+	// Status is the final HTTP status (0 when every attempt failed in
+	// transport).
+	Status int
+	// Body is the final response body — the corrected chunk on 200, the
+	// daemon's JSON error otherwise.
+	Body []byte
+	// Reads and Changed echo the daemon's X-Kserve-Reads and
+	// X-Kserve-Changed tallies of a successful response.
+	Reads, Changed int64
+	// Attempts counts requests actually sent; Retries() = Attempts - 1.
+	Attempts int
+	// GaveUp marks a retryable failure (transport error, 429, 5xx) that
+	// persisted through the retry budget — as opposed to a non-retryable
+	// 4xx, which fails fast with GaveUp false.
+	GaveUp bool
+}
+
+// Retries is the number of re-sent requests beyond the first attempt.
+func (r Result) Retries() int {
+	if r.Attempts > 1 {
+		return r.Attempts - 1
+	}
+	return 0
+}
+
+// attempt is what one wire round trip produced.
+type attempt struct {
+	status         int
+	body           []byte
+	reads, changed int64
+	retryAfter     string
+	err            error
+}
+
+// Correct posts one encoded FASTQ chunk to a correction endpoint (full
+// URL, query included), retrying per the client's policy. The error is
+// non-nil only when the final attempt failed in transport — an HTTP
+// error status is data in Result, not an error.
+func (c *Client) Correct(ctx context.Context, url string, chunk []byte) (Result, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = &http.Client{}
+	}
+	base := c.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait := c.MaxBackoff
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+
+	var res Result
+	for try := 0; ; try++ {
+		a := post(ctx, httpc, url, chunk)
+		res.Status, res.Body = a.status, a.body
+		res.Reads, res.Changed = a.reads, a.changed
+		res.Attempts = try + 1
+		retryable := a.err != nil ||
+			a.status == http.StatusTooManyRequests || a.status >= 500
+		if !retryable {
+			return res, nil
+		}
+		if try >= c.MaxRetries {
+			res.GaveUp = true
+			return res, a.err
+		}
+		wait := backoff(base, maxWait, try)
+		if ra := retryAfter(a.retryAfter); ra > wait {
+			// Trust the daemon's own estimate as the floor, within reason:
+			// a Retry-After beyond 10x the cap is a misconfiguration, not
+			// a schedule.
+			if lid := 10 * maxWait; ra > lid {
+				ra = lid
+			}
+			wait = ra
+		}
+		timer := time.NewTimer(wait)
+		select {
+		case <-ctx.Done():
+			timer.Stop()
+			res.GaveUp = true
+			if a.err == nil {
+				a.err = ctx.Err()
+			}
+			return res, a.err
+		case <-timer.C:
+		}
+	}
+}
+
+// backoff is the uniformly-jittered exponential wait before retry
+// `try`: (0, base*2^try] capped at ceil. Full jitter decorrelates a
+// thundering herd of clients retrying the same shed.
+func backoff(base, ceil time.Duration, try int) time.Duration {
+	d := base << uint(try)
+	if d <= 0 || d > ceil {
+		d = ceil
+	}
+	return time.Duration(1 + rand.Int63n(int64(d)))
+}
+
+// retryAfter parses a delay-seconds Retry-After header (0 when absent,
+// unparsable, or an HTTP-date — the daemon only sends seconds).
+func retryAfter(header string) time.Duration {
+	if header == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(header)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// post sends one correction attempt and parses the daemon's stat
+// headers.
+func post(ctx context.Context, httpc *http.Client, url string, chunk []byte) attempt {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(chunk))
+	if err != nil {
+		return attempt{err: err}
+	}
+	req.Header.Set("Content-Type", "text/x-fastq")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return attempt{err: err}
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A torn response body is a transport failure: retryable.
+		return attempt{err: err}
+	}
+	a := attempt{status: resp.StatusCode, body: body, retryAfter: resp.Header.Get("Retry-After")}
+	if h := resp.Header.Get("X-Kserve-Reads"); h != "" {
+		a.reads, _ = strconv.ParseInt(h, 10, 64)
+	}
+	if h := resp.Header.Get("X-Kserve-Changed"); h != "" {
+		a.changed, _ = strconv.ParseInt(h, 10, 64)
+	}
+	return a
+}

@@ -1,0 +1,164 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// scriptServer answers each request with the next scripted status; after
+// the script runs out it answers 200 with the daemon's stat headers.
+func scriptServer(t *testing.T, script ...int) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := int(hits.Add(1)) - 1
+		if n < len(script) {
+			code := script[n]
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				w.Header().Set("Retry-After", "0")
+			}
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(code)
+			w.Write([]byte(`{"error":"scripted"}`))
+			return
+		}
+		w.Header().Set("X-Kserve-Reads", "42")
+		w.Header().Set("X-Kserve-Changed", "7")
+		w.WriteHeader(http.StatusOK)
+		w.Write([]byte("@r1\nACGT\n+\nIIII\n"))
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &hits
+}
+
+func TestRetriesThenSucceeds(t *testing.T) {
+	for _, transient := range []int{429, 503, 500} {
+		ts, hits := scriptServer(t, transient, transient)
+		c := &Client{MaxRetries: 3, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+		res, err := c.Correct(context.Background(), ts.URL, []byte("chunk"))
+		if err != nil {
+			t.Fatalf("status %d script: %v", transient, err)
+		}
+		if res.Status != http.StatusOK || res.Attempts != 3 || res.Retries() != 2 || res.GaveUp {
+			t.Errorf("status %d script: got %+v, want 200 after 3 attempts", transient, res)
+		}
+		if res.Reads != 42 || res.Changed != 7 {
+			t.Errorf("stat headers not parsed: %+v", res)
+		}
+		if !strings.HasPrefix(string(res.Body), "@r1") {
+			t.Errorf("body = %q", res.Body)
+		}
+		if got := hits.Load(); got != 3 {
+			t.Errorf("server saw %d requests, want 3", got)
+		}
+	}
+}
+
+func TestGivesUpAfterBudget(t *testing.T) {
+	ts, hits := scriptServer(t, 503, 503, 503, 503, 503)
+	c := &Client{MaxRetries: 2, BaseBackoff: time.Millisecond, MaxBackoff: 5 * time.Millisecond}
+	res, err := c.Correct(context.Background(), ts.URL, []byte("chunk"))
+	if err != nil {
+		t.Fatalf("an HTTP error status is data, not an error: %v", err)
+	}
+	if res.Status != http.StatusServiceUnavailable || !res.GaveUp || res.Attempts != 3 {
+		t.Errorf("got %+v, want gave-up 503 after 3 attempts", res)
+	}
+	if got := hits.Load(); got != 3 {
+		t.Errorf("server saw %d requests, want 3", got)
+	}
+}
+
+func TestClientErrorsFailFast(t *testing.T) {
+	ts, hits := scriptServer(t, 400)
+	c := &Client{MaxRetries: 5, BaseBackoff: time.Millisecond}
+	res, err := c.Correct(context.Background(), ts.URL, []byte("chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusBadRequest || res.GaveUp || res.Attempts != 1 {
+		t.Errorf("got %+v, want an immediate non-retried 400", res)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestZeroValueFailsFast(t *testing.T) {
+	ts, hits := scriptServer(t, 503)
+	var c Client
+	res, err := c.Correct(context.Background(), ts.URL, []byte("chunk"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Status != http.StatusServiceUnavailable || !res.GaveUp || res.Attempts != 1 {
+		t.Errorf("got %+v, want a single gave-up 503 (MaxRetries 0)", res)
+	}
+	if got := hits.Load(); got != 1 {
+		t.Errorf("server saw %d requests, want 1", got)
+	}
+}
+
+func TestTransportErrorRetriesAndReportsError(t *testing.T) {
+	ts, _ := scriptServer(t)
+	url := ts.URL
+	ts.Close() // connection refused from here on
+	c := &Client{MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+	res, err := c.Correct(context.Background(), url, []byte("chunk"))
+	if err == nil {
+		t.Fatal("want a transport error after exhausting retries")
+	}
+	if res.Status != 0 || !res.GaveUp || res.Attempts != 2 {
+		t.Errorf("got %+v, want gave-up transport failure after 2 attempts", res)
+	}
+}
+
+func TestContextCancelsBackoff(t *testing.T) {
+	ts, _ := scriptServer(t, 503, 503, 503)
+	c := &Client{MaxRetries: 5, BaseBackoff: time.Hour, MaxBackoff: time.Hour}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res, err := c.Correct(ctx, ts.URL, []byte("chunk"))
+	if err == nil {
+		t.Fatal("want ctx error when cancelled mid-backoff")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Errorf("cancellation took %v; the backoff timer is not honoring ctx", waited)
+	}
+	if !res.GaveUp || res.Attempts != 1 {
+		t.Errorf("got %+v, want gave-up after the first attempt", res)
+	}
+}
+
+func TestRetryAfterIsTheFloor(t *testing.T) {
+	var stamps []time.Time
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		stamps = append(stamps, time.Now())
+		if len(stamps) == 1 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer ts.Close()
+	// Backoff alone would wait at most ~2ms; Retry-After: 1 must stretch
+	// it to a second (within the 10x MaxBackoff trust bound).
+	c := &Client{MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: 150 * time.Millisecond}
+	res, err := c.Correct(context.Background(), ts.URL, []byte("chunk"))
+	if err != nil || res.Status != http.StatusOK {
+		t.Fatalf("res %+v err %v", res, err)
+	}
+	if len(stamps) != 2 {
+		t.Fatalf("server saw %d requests, want 2", len(stamps))
+	}
+	if gap := stamps[1].Sub(stamps[0]); gap < 900*time.Millisecond {
+		t.Errorf("retry after %v, want >= ~1s (Retry-After honored)", gap)
+	}
+}

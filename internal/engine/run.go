@@ -31,6 +31,17 @@ type Run struct {
 	MemoryBudget int64
 	// TempDir hosts out-of-core spill files ("" = os.TempDir()).
 	TempDir string
+	// CheckpointDir, when set, makes spectrum counting crash-safe: runs
+	// and a read-cursor manifest live durably in this directory, and a
+	// killed build resumes from the newest checkpoint when Resume is
+	// also set (see kspectrum.StreamOptions).
+	CheckpointDir string
+	// Resume adopts the manifest already in CheckpointDir, skipping the
+	// reads it covers.
+	Resume bool
+	// CheckpointEvery is the read interval between automatic checkpoints
+	// (<= 0 = the kspectrum default).
+	CheckpointEvery int64
 	// Spectrum, when non-nil, is a preloaded k-spectrum the engine
 	// adopts instead of counting the input.
 	Spectrum *kspectrum.Spectrum
@@ -107,6 +118,18 @@ func WithMemoryBudget(b int64) Option { return func(r *Run) { r.MemoryBudget = b
 
 // WithTempDir hosts out-of-core spill files ("" = os.TempDir()).
 func WithTempDir(dir string) Option { return func(r *Run) { r.TempDir = dir } }
+
+// WithCheckpointDir makes spectrum counting crash-safe, persisting runs
+// and a read-cursor manifest in dir ("" = no checkpointing).
+func WithCheckpointDir(dir string) Option { return func(r *Run) { r.CheckpointDir = dir } }
+
+// WithResume adopts the manifest already in the checkpoint directory,
+// re-counting only the reads past its cursor.
+func WithResume(resume bool) Option { return func(r *Run) { r.Resume = resume } }
+
+// WithCheckpointEvery sets the read interval between automatic
+// checkpoints (<= 0 = the kspectrum default).
+func WithCheckpointEvery(n int64) Option { return func(r *Run) { r.CheckpointEvery = n } }
 
 // WithSpectrum supplies a preloaded in-memory spectrum the engine adopts
 // instead of counting the input.

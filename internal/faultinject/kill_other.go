@@ -1,0 +1,12 @@
+//go:build !unix
+
+package faultinject
+
+import "os"
+
+// killSelf approximates a crash where SIGKILL is unavailable: os.Exit
+// also skips deferred cleanup and user-space buffer flushes. Exit code
+// 137 matches the shell's encoding of a SIGKILL death.
+func killSelf() {
+	os.Exit(137)
+}

@@ -1,0 +1,18 @@
+//go:build unix
+
+package faultinject
+
+import (
+	"os"
+	"syscall"
+)
+
+// killSelf simulates a crash with SIGKILL: no deferred cleanup runs, no
+// buffers flush — the process simply stops, exactly like kill -9 or a
+// power cut from the filesystem's point of view (modulo the page cache).
+func killSelf() {
+	_ = syscall.Kill(os.Getpid(), syscall.SIGKILL)
+	// SIGKILL is not deliverable to a stopped process instantaneously;
+	// block rather than return and let the "crashed" code continue.
+	select {}
+}

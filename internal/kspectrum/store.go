@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 
+	"repro/internal/faultinject"
 	"repro/internal/seq"
 )
 
@@ -256,9 +257,10 @@ func (cr *crcReader) readFull(buf []byte, section string) error {
 
 // WriteSpectrumFile writes s to path atomically: the bytes land in a
 // temporary sibling first and rename into place only after a successful
-// sync-free close, so readers never observe a half-written store. Every
+// synced close, so readers never observe a half-written store. Every
 // failure path closes and removes the temporary file and wraps the
-// destination path, so a daemon log names the offending store.
+// destination path, so a daemon log names the offending store. All I/O
+// runs behind the "kspc" fault-injection site.
 func WriteSpectrumFile(path string, s *Spectrum) error {
 	wrap := func(err error) error {
 		return fmt.Errorf("kspectrum: write spectrum %s: %w", path, err)
@@ -268,7 +270,7 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 		return wrap(err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := WriteSpectrum(tmp, s); err != nil {
+	if err := WriteSpectrum(faultinject.Writer("kspc", tmp), s); err != nil {
 		tmp.Close()
 		return fmt.Errorf("%s: %w", path, err)
 	}
@@ -283,6 +285,10 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 	// after rename but before writeback replaces a previously good store
 	// with a zero-length or partial file — the CRC would catch it on
 	// load, but the good data would already be gone.
+	if err := faultinject.Check("kspc", faultinject.OpSync); err != nil {
+		tmp.Close()
+		return wrap(err)
+	}
 	if err := tmp.Sync(); err != nil {
 		tmp.Close()
 		return wrap(err)
@@ -290,7 +296,14 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 	if err := tmp.Close(); err != nil {
 		return wrap(err)
 	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
+	if err := faultinject.Rename("kspc", tmp.Name(), path); err != nil {
+		return wrap(err)
+	}
+	// The rename itself is a directory mutation: fsync the parent so a
+	// crash immediately after this return cannot roll the directory back
+	// to an entry-less (or old-entry) state while the caller already
+	// reported success.
+	if err := syncDir("kspc.dir", filepath.Dir(path)); err != nil {
 		return wrap(err)
 	}
 	return nil

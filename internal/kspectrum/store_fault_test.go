@@ -1,0 +1,76 @@
+package kspectrum
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/faultinject"
+)
+
+// TestWriteSpectrumFileInjectedFaults drives every failure mode of the
+// atomic store write through the fault seam: a lying short write, a torn
+// write, a failed fsync and a failed rename must each surface an error,
+// leave no destination file and leak no temporary sibling.
+func TestWriteSpectrumFileInjectedFaults(t *testing.T) {
+	spec, err := BuildParallel(randomReads(t, 500), 11, true, BuildOptions{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		rule func() *faultinject.Rule
+	}{
+		{"short write", func() *faultinject.Rule { return &faultinject.Rule{Site: "kspc", Op: faultinject.OpWrite, Short: 10} }},
+		{"torn write", func() *faultinject.Rule { return &faultinject.Rule{Site: "kspc", Op: faultinject.OpWrite, Torn: 16} }},
+		{"sync failure", func() *faultinject.Rule { return &faultinject.Rule{Site: "kspc", Op: faultinject.OpSync} }},
+		{"rename failure", func() *faultinject.Rule { return &faultinject.Rule{Site: "kspc", Op: faultinject.OpRename} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			dir := t.TempDir()
+			path := filepath.Join(dir, "s.kspc")
+			disable := faultinject.Enable(tc.rule())
+			err := WriteSpectrumFile(path, spec)
+			disable()
+			if err == nil {
+				t.Fatal("WriteSpectrumFile succeeded under injected fault")
+			}
+			if _, serr := os.Stat(path); !errors.Is(serr, os.ErrNotExist) {
+				t.Fatalf("destination exists after %s: %v", tc.name, serr)
+			}
+			if tmps, _ := filepath.Glob(filepath.Join(dir, ".kspc-*")); len(tmps) != 0 {
+				t.Fatalf("%s leaked %d temp files", tc.name, len(tmps))
+			}
+		})
+	}
+
+	// Injected dir-sync failure happens after the rename: the store is in
+	// place and loadable; the error still surfaces so callers know
+	// durability was not established.
+	t.Run("dirsync failure", func(t *testing.T) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "s.kspc")
+		disable := faultinject.Enable(&faultinject.Rule{Site: "kspc.dir", Op: faultinject.OpSync})
+		err := WriteSpectrumFile(path, spec)
+		disable()
+		if !errors.Is(err, faultinject.ErrInjected) {
+			t.Fatalf("err = %v, want ErrInjected", err)
+		}
+		if _, err := ReadSpectrumFile(path); err != nil {
+			t.Fatalf("renamed store unreadable after dir-sync failure: %v", err)
+		}
+	})
+
+	// And with the plan disabled the same write succeeds end to end.
+	path := filepath.Join(t.TempDir(), "s.kspc")
+	if err := WriteSpectrumFile(path, spec); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpectrumFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spectraEqual(t, spec, got, "clean store round-trip")
+}

@@ -6,12 +6,14 @@ import (
 	"context"
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/faultinject"
 	"repro/internal/seq"
 )
 
@@ -28,7 +30,27 @@ type StreamOptions struct {
 	MemoryBudget int64
 	// TempDir is where spilled run files live; "" uses os.TempDir(). A
 	// fresh subdirectory is created per builder and removed by Build/Close.
+	// Ignored when CheckpointDir is set: durable runs live there instead.
 	TempDir string
+	// CheckpointDir, when non-empty, makes the build crash-safe: run files
+	// carry headers and CRC-32C trailers, are fsynced, and live in this
+	// directory alongside a periodically rewritten manifest recording the
+	// read cursor they cover. The directory survives failures and
+	// cancellation (that is its purpose) and is removed only by a
+	// successful Build. Checkpointed Adds are serialized internally, and
+	// resume is only correct when the caller streams the same reads in
+	// the same order as the interrupted build.
+	CheckpointDir string
+	// Resume adopts the manifest already in CheckpointDir: surviving runs
+	// are revalidated (header + full CRC), unlisted runs are deleted, and
+	// Add skips the leading reads the manifest covers. Without a manifest
+	// (a build killed before its first checkpoint) resume degenerates to
+	// a fresh build. A corrupt manifest or run is a hard ErrCheckpoint —
+	// delete the directory to rebuild from scratch.
+	Resume bool
+	// CheckpointEvery is the number of reads between automatic
+	// checkpoints in durable mode; <= 0 means the default (262144).
+	CheckpointEvery int64
 	// Context, when non-nil, cancels the out-of-core machinery: once it
 	// is done, spills stop writing and Build aborts its merge loops at
 	// the next batch boundary, returning ctx.Err(). nil is never
@@ -39,6 +61,10 @@ type StreamOptions struct {
 // minSpillEntries floors the per-shard spill threshold so pathological
 // budgets degrade into many small runs rather than a run per flush.
 const minSpillEntries = 64
+
+// defaultCheckpointEvery is the read interval between automatic durable
+// checkpoints when StreamOptions.CheckpointEvery is unset.
+const defaultCheckpointEvery = 1 << 18
 
 // StreamStats describes a builder's spill activity.
 type StreamStats struct {
@@ -51,6 +77,16 @@ type StreamStats struct {
 	SpilledBytes int64
 }
 
+// runInfo identifies one written run file and its integrity metadata —
+// what the manifest records and resume revalidates.
+type runInfo struct {
+	path    string
+	shard   int
+	entries int64
+	bytes   int64
+	crc     uint32
+}
+
 // StreamBuilder is the out-of-core variant of SpectrumBuilder (§2.3's
 // divide-and-merge taken past memory): counting workers scatter kmers into
 // high-bit prefix shards exactly as the in-memory engine does, but any shard
@@ -61,6 +97,9 @@ type StreamStats struct {
 // concatenation — and yields a Spectrum byte-identical to the in-memory
 // path. Unlike SpectrumBuilder, Build is one-shot: it consumes the spilled
 // runs and closes the builder.
+//
+// With StreamOptions.CheckpointDir set the builder is additionally
+// crash-safe; see the manifest machinery in manifest.go.
 type StreamBuilder struct {
 	sb *SpectrumBuilder
 	// ctx cancels spill and merge work; never nil.
@@ -69,17 +108,32 @@ type StreamBuilder struct {
 	// spills (0 = never); compared against Counter.ResidentBytes.
 	spillBytes int64
 	dir        string
+	// durable marks a checkpointing builder: runs are fsynced, dir is the
+	// caller's CheckpointDir and survives everything but a successful
+	// Build.
+	durable   bool
+	ckptEvery int64
 	// runs[s] lists shard s's spilled run files, in spill order; guarded
 	// by shard s's stripe lock (only flushers of s append).
-	runs [][]string
+	runs [][]runInfo
 	// runSeq names run files uniquely across shards.
 	runSeq atomic.Int64
+
+	// addMu serializes Add/Checkpoint in durable mode, making the read
+	// cursor well-defined.
+	addMu sync.Mutex
+	// seen counts reads streamed through Add (including skipped ones);
+	// cursor is the resume skip threshold; lastCkpt the cursor at the
+	// newest manifest. All guarded by addMu.
+	seen, cursor, lastCkpt int64
+	resumedFrom            int64
 
 	stats struct {
 		runs, entries, bytes atomic.Int64
 	}
 
-	// errMu guards err, the first spill failure; surfaced by Build.
+	// errMu guards err, the first spill/checkpoint failure; surfaced by
+	// Build.
 	errMu  sync.Mutex
 	err    error
 	closed bool
@@ -87,11 +141,32 @@ type StreamBuilder struct {
 
 // NewStreamBuilder validates k and prepares an out-of-core accumulator.
 func NewStreamBuilder(k int, bothStrands bool, opts StreamOptions) (*StreamBuilder, error) {
+	var m *manifest
+	if opts.CheckpointDir != "" {
+		if opts.Resume {
+			var err error
+			if m, err = readManifestFile(opts.CheckpointDir); err != nil {
+				return nil, err
+			}
+			if m != nil {
+				if m.K != k || m.BothStrands != bothStrands {
+					return nil, checkpointErr("manifest built with k=%d bothStrands=%v, resuming with k=%d bothStrands=%v",
+						m.K, m.BothStrands, k, bothStrands)
+				}
+				// The run partition is only valid under the manifest's
+				// shard geometry; adopt it over the caller's.
+				opts.Build.Shards = m.Shards
+			}
+		} else if _, err := os.Stat(filepath.Join(opts.CheckpointDir, ManifestName)); err == nil {
+			return nil, checkpointErr("directory %s already holds a manifest; resume it or delete the directory",
+				opts.CheckpointDir)
+		}
+	}
 	sb, err := NewSpectrumBuilder(k, bothStrands, opts.Build)
 	if err != nil {
 		return nil, err
 	}
-	st := &StreamBuilder{sb: sb, ctx: opts.Context}
+	st := &StreamBuilder{sb: sb, ctx: opts.Context, durable: opts.CheckpointDir != ""}
 	if st.ctx == nil {
 		st.ctx = context.Background()
 	}
@@ -101,19 +176,215 @@ func NewStreamBuilder(k int, bothStrands bool, opts StreamOptions) (*StreamBuild
 		// runs rather than a run per flush.
 		st.spillBytes = max(opts.MemoryBudget/int64(len(sb.shards)),
 			ApproxAccumulatorBytes(minSpillEntries))
+	}
+	switch {
+	case st.durable:
+		st.dir = opts.CheckpointDir
+		if err := os.MkdirAll(st.dir, 0o755); err != nil {
+			return nil, fmt.Errorf("kspectrum: checkpoint dir: %w", err)
+		}
+		st.ckptEvery = opts.CheckpointEvery
+		if st.ckptEvery <= 0 {
+			st.ckptEvery = defaultCheckpointEvery
+		}
+	case st.spillBytes > 0:
 		st.dir, err = os.MkdirTemp(opts.TempDir, "kspectrum-spill-*")
 		if err != nil {
 			return nil, fmt.Errorf("kspectrum: spill dir: %w", err)
 		}
-		st.runs = make([][]string, len(sb.shards))
-		sb.onFlush = st.maybeSpill
+	}
+	if st.dir != "" {
+		st.runs = make([][]runInfo, len(sb.shards))
+		if st.spillBytes > 0 {
+			sb.onFlush = st.maybeSpill
+		}
+	}
+	if st.durable {
+		if m != nil {
+			if len(sb.shards) != m.Shards {
+				return nil, checkpointErr("manifest shards=%d resolved to %d; geometry caps changed", m.Shards, len(sb.shards))
+			}
+			if err := st.adoptManifest(m); err != nil {
+				return nil, err
+			}
+		} else if err := st.removeStrayRuns(nil); err != nil {
+			return nil, err
+		}
 	}
 	return st, nil
 }
 
+// adoptManifest loads a validated manifest's state into the builder:
+// every listed run is revalidated end to end, unlisted run files are
+// deleted (they cover reads past the cursor, which will be counted
+// again), and the read cursor arms Add's skip logic.
+func (st *StreamBuilder) adoptManifest(m *manifest) error {
+	keep := make(map[string]bool, len(m.Runs))
+	for _, mr := range m.Runs {
+		if mr.Shard < 0 || mr.Shard >= len(st.runs) {
+			return checkpointErr("run %s: shard %d out of range [0,%d)", mr.File, mr.Shard, len(st.runs))
+		}
+		ri := runInfo{
+			path:    filepath.Join(st.dir, mr.File),
+			shard:   mr.Shard,
+			entries: mr.Entries,
+			bytes:   mr.Bytes,
+			crc:     mr.CRC,
+		}
+		if ri.bytes != runSize(ri.entries) {
+			return checkpointErr("run %s: %d entries cannot occupy %d bytes", mr.File, ri.entries, ri.bytes)
+		}
+		if err := validateRun(ri, st.sb.k, st.sb.bothStrands); err != nil {
+			return err
+		}
+		st.runs[mr.Shard] = append(st.runs[mr.Shard], ri)
+		st.stats.runs.Add(1)
+		st.stats.entries.Add(ri.entries)
+		st.stats.bytes.Add(ri.bytes)
+		keep[mr.File] = true
+	}
+	if err := st.removeStrayRuns(keep); err != nil {
+		return err
+	}
+	st.runSeq.Store(m.NextRun)
+	st.cursor = m.Reads
+	st.resumedFrom = m.Reads
+	st.lastCkpt = m.Reads
+	return nil
+}
+
+// removeStrayRuns deletes run files the manifest does not list: they
+// were spilled after the newest manifest (or belong to a build killed
+// before its first checkpoint) and cover reads the resume will count
+// again — merging them would double-count.
+func (st *StreamBuilder) removeStrayRuns(keep map[string]bool) error {
+	matches, err := filepath.Glob(filepath.Join(st.dir, "run*.bin"))
+	if err != nil {
+		return err
+	}
+	for _, p := range matches {
+		if keep[filepath.Base(p)] {
+			continue
+		}
+		if err := os.Remove(p); err != nil {
+			return fmt.Errorf("kspectrum: checkpoint: removing stray run: %w", err)
+		}
+	}
+	return nil
+}
+
 // Add merges one chunk of reads into the accumulator; safe for concurrent
-// use, exactly like SpectrumBuilder.Add.
-func (st *StreamBuilder) Add(reads []seq.Read) { st.sb.Add(reads) }
+// use, exactly like SpectrumBuilder.Add. In durable mode Adds serialize
+// internally, leading reads up to the resumed cursor are skipped (their
+// counts already live in the adopted runs), and an automatic checkpoint
+// fires every CheckpointEvery reads.
+func (st *StreamBuilder) Add(reads []seq.Read) {
+	if !st.durable {
+		st.sb.Add(reads)
+		return
+	}
+	st.addMu.Lock()
+	defer st.addMu.Unlock()
+	batch := reads
+	if skip := st.cursor - st.seen; skip > 0 {
+		if skip >= int64(len(reads)) {
+			st.seen += int64(len(reads))
+			return
+		}
+		batch = reads[skip:]
+	}
+	st.sb.Add(batch)
+	st.seen += int64(len(reads))
+	if st.seen-st.lastCkpt >= st.ckptEvery {
+		if err := st.checkpointLocked(); err != nil {
+			st.fail(err)
+		}
+	}
+}
+
+// Checkpoint forces a durable checkpoint covering every read Added so
+// far: all accumulators flush to fsynced runs and the manifest is
+// atomically rewritten. Only valid on a builder with a CheckpointDir.
+func (st *StreamBuilder) Checkpoint() error {
+	if !st.durable {
+		return fmt.Errorf("kspectrum: Checkpoint on a builder without a CheckpointDir")
+	}
+	st.addMu.Lock()
+	defer st.addMu.Unlock()
+	if st.closed {
+		return fmt.Errorf("kspectrum: StreamBuilder used after Build/Close")
+	}
+	return st.checkpointLocked()
+}
+
+// Resumed reports the read cursor adopted from a manifest at
+// construction — the number of leading reads Add skips. Zero for a
+// fresh build.
+func (st *StreamBuilder) Resumed() int64 { return st.resumedFrom }
+
+// checkpointLocked (addMu held) drains every shard's accumulator to a
+// durable run, then publishes a manifest covering st.seen reads. On
+// failure the manifest is not advanced: the previous checkpoint stays
+// authoritative and any runs written here are strays a resume deletes.
+func (st *StreamBuilder) checkpointLocked() error {
+	if err := st.ctx.Err(); err != nil {
+		return err
+	}
+	for s := range st.sb.shards {
+		shard := &st.sb.shards[s]
+		shard.mu.Lock()
+		if shard.counts.Len() == 0 {
+			shard.mu.Unlock()
+			continue
+		}
+		kmers := make([]seq.Kmer, 0, shard.counts.Len())
+		counts := make([]uint32, 0, shard.counts.Len())
+		kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
+		ri, err := st.writeRunFile(s, kmers, counts)
+		if err != nil {
+			shard.mu.Unlock()
+			return err
+		}
+		st.runs[s] = append(st.runs[s], ri)
+		st.stats.runs.Add(1)
+		st.stats.entries.Add(ri.entries)
+		st.stats.bytes.Add(ri.bytes)
+		shard.counts = NewCounter(0)
+		shard.mu.Unlock()
+	}
+	m := &manifest{
+		K:           st.sb.k,
+		BothStrands: st.sb.bothStrands,
+		Shards:      len(st.sb.shards),
+		Reads:       st.seen,
+		NextRun:     st.runSeq.Load(),
+	}
+	for s := range st.runs {
+		for _, ri := range st.runs[s] {
+			m.Runs = append(m.Runs, manifestRun{
+				File:    filepath.Base(ri.path),
+				Shard:   s,
+				Entries: ri.entries,
+				Bytes:   ri.bytes,
+				CRC:     ri.crc,
+			})
+		}
+	}
+	if err := writeManifestFile(st.dir, m); err != nil {
+		return err
+	}
+	st.lastCkpt = st.seen
+	return nil
+}
+
+// fail records the first spill/checkpoint failure for Build to surface.
+func (st *StreamBuilder) fail(err error) {
+	st.errMu.Lock()
+	if st.err == nil {
+		st.err = err
+	}
+	st.errMu.Unlock()
+}
 
 // Stats reports the spill activity so far.
 func (st *StreamBuilder) Stats() StreamStats {
@@ -136,11 +407,7 @@ func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
 	// A cancelled build stops investing in spill I/O; the recorded
 	// ctx.Err() surfaces from Build exactly like a spill failure.
 	if err := st.ctx.Err(); err != nil {
-		st.errMu.Lock()
-		if st.err == nil {
-			st.err = err
-		}
-		st.errMu.Unlock()
+		st.fail(err)
 		return
 	}
 	st.errMu.Lock()
@@ -152,51 +419,91 @@ func (st *StreamBuilder) maybeSpill(s int, shard *countShard) {
 	kmers := make([]seq.Kmer, 0, shard.counts.Len())
 	counts := make([]uint32, 0, shard.counts.Len())
 	kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
-	path := filepath.Join(st.dir, fmt.Sprintf("run%06d.bin", st.runSeq.Add(1)))
-	n, err := writeRun(path, kmers, counts)
+	ri, err := st.writeRunFile(s, kmers, counts)
 	if err != nil {
-		st.errMu.Lock()
-		if st.err == nil {
-			st.err = err
-		}
-		st.errMu.Unlock()
+		st.fail(err)
 		return
 	}
-	st.runs[s] = append(st.runs[s], path)
+	st.runs[s] = append(st.runs[s], ri)
 	st.stats.runs.Add(1)
-	st.stats.entries.Add(int64(len(kmers)))
-	st.stats.bytes.Add(n)
+	st.stats.entries.Add(ri.entries)
+	st.stats.bytes.Add(ri.bytes)
 	shard.counts = NewCounter(0)
 }
 
 // runEntryBytes is the fixed on-disk size of one (kmer, count) record.
 const runEntryBytes = 12
 
-// writeRun writes the sorted entries as fixed-width little-endian
-// (kmer uint64, count uint32) records and returns the byte size.
-func writeRun(path string, kmers []seq.Kmer, counts []uint32) (int64, error) {
-	f, err := os.Create(path)
+// writeRunFile names and writes one run for shard s.
+func (st *StreamBuilder) writeRunFile(s int, kmers []seq.Kmer, counts []uint32) (runInfo, error) {
+	path := filepath.Join(st.dir, fmt.Sprintf("run%06d.bin", st.runSeq.Add(1)))
+	h := runHeader{k: st.sb.k, bothStrands: st.sb.bothStrands, shard: s, count: int64(len(kmers))}
+	sum, err := writeRun(path, h, kmers, counts, st.durable)
+	if err != nil {
+		return runInfo{}, err
+	}
+	return runInfo{
+		path:    path,
+		shard:   s,
+		entries: int64(len(kmers)),
+		bytes:   runSize(int64(len(kmers))),
+		crc:     sum,
+	}, nil
+}
+
+// writeRun writes one sorted run: header, fixed-width little-endian
+// (kmer uint64, count uint32) records, CRC-32C trailer. durable
+// additionally fsyncs — a manifest must never reference a run whose
+// bytes could still be lost by a crash. Every failure path removes the
+// partial file: durable directories outlive the builder, so a leaked
+// partial would linger forever and a resume must never find a torn run.
+func writeRun(path string, h runHeader, kmers []seq.Kmer, counts []uint32, durable bool) (uint32, error) {
+	f, err := faultinject.Create("spill", path)
 	if err != nil {
 		return 0, fmt.Errorf("kspectrum: spill: %w", err)
 	}
-	bw := bufio.NewWriterSize(f, 1<<16)
+	fail := func(err error) (uint32, error) {
+		f.Close()
+		os.Remove(path)
+		return 0, fmt.Errorf("kspectrum: spill: %w", err)
+	}
+	crc := crc32.New(crcTable)
+	bw := bufio.NewWriterSize(io.MultiWriter(f, crc), 1<<16)
+	hdr := h.encode()
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return fail(err)
+	}
 	var rec [runEntryBytes]byte
 	for i, km := range kmers {
 		binary.LittleEndian.PutUint64(rec[:8], uint64(km))
 		binary.LittleEndian.PutUint32(rec[8:], counts[i])
 		if _, err := bw.Write(rec[:]); err != nil {
-			f.Close()
-			return 0, fmt.Errorf("kspectrum: spill: %w", err)
+			return fail(err)
 		}
 	}
 	if err := bw.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("kspectrum: spill: %w", err)
+		return fail(err)
+	}
+	// The trailer covers everything before it, so it bypasses the
+	// buffered/CRC path; direct writes must catch the n < len, nil-error
+	// contract violation themselves.
+	sum := crc.Sum32()
+	binary.LittleEndian.PutUint32(rec[:4], sum)
+	if n, err := f.Write(rec[:4]); err != nil {
+		return fail(err)
+	} else if n != 4 {
+		return fail(io.ErrShortWrite)
+	}
+	if durable {
+		if err := f.Sync(); err != nil {
+			return fail(err)
+		}
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(path)
 		return 0, fmt.Errorf("kspectrum: spill: %w", err)
 	}
-	return int64(len(kmers)) * runEntryBytes, nil
+	return sum, nil
 }
 
 // Build merges every shard's spilled runs with its in-memory residue and
@@ -204,14 +511,15 @@ func writeRun(path string, kmers []seq.Kmer, counts []uint32) (int64, error) {
 // bits equal s — in every run and in the residue — so shard ranges are
 // disjoint and ordered and the cross-shard merge is a concatenation,
 // preserving byte-identity with the in-memory engine (see DESIGN.md §4).
-// Build consumes the builder: the temp directory is removed and further use
-// is an error.
+// Build consumes the builder: the spill directory is removed — including a
+// durable checkpoint directory, whose job ends with a successful build —
+// and further use is an error. On failure a checkpoint directory is kept
+// for resumption.
 func (st *StreamBuilder) Build() (*Spectrum, error) {
 	if st.closed {
 		return nil, fmt.Errorf("kspectrum: StreamBuilder used after Build/Close")
 	}
 	st.closed = true
-	defer st.cleanup()
 	st.errMu.Lock()
 	err := st.err
 	st.errMu.Unlock()
@@ -219,6 +527,7 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 		err = st.ctx.Err()
 	}
 	if err != nil {
+		st.cleanup()
 		return nil, err
 	}
 
@@ -248,6 +557,7 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 	wg.Wait()
 	for _, err := range errs {
 		if err != nil {
+			st.cleanup()
 			return nil, err
 		}
 	}
@@ -267,17 +577,29 @@ func (st *StreamBuilder) Build() (*Spectrum, error) {
 		spec.Counts = append(spec.Counts, r.counts...)
 	}
 	spec.freezeIndex()
+	st.removeDir()
 	return spec, nil
 }
 
-// Close abandons the builder, removing any spilled runs. It is safe to call
+// Close abandons the builder. Plain spill directories are removed; a
+// durable checkpoint directory is kept — it is exactly the artifact a
+// later resume needs after a failure or cancellation. It is safe to call
 // after Build (a no-op then).
 func (st *StreamBuilder) Close() error {
 	st.closed = true
 	return st.cleanup()
 }
 
+// cleanup removes the spill directory unless it is a durable checkpoint
+// directory, which survives everything except a successful Build.
 func (st *StreamBuilder) cleanup() error {
+	if st.durable {
+		return nil
+	}
+	return st.removeDir()
+}
+
+func (st *StreamBuilder) removeDir() error {
 	if st.dir == "" {
 		return nil
 	}
@@ -295,7 +617,7 @@ func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 	kmers := make([]seq.Kmer, 0, shard.counts.Len())
 	counts := make([]uint32, 0, shard.counts.Len())
 	kmers, counts = shard.counts.AppendSortedInto(kmers, counts)
-	var runs []string
+	var runs []runInfo
 	if st.runs != nil {
 		runs = st.runs[s]
 	}
@@ -311,12 +633,23 @@ func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 			streams[i].close()
 		}
 	}()
-	for _, path := range runs {
-		f, err := os.Open(path)
+	for _, ri := range runs {
+		f, err := os.Open(ri.path)
 		if err != nil {
 			return nil, nil, fmt.Errorf("kspectrum: merge: %w", err)
 		}
-		streams = append(streams, runStream{f: f, br: bufio.NewReaderSize(f, 1<<16)})
+		br := bufio.NewReaderSize(faultinject.Reader("merge", f), 1<<16)
+		var hdr [runHeaderLen]byte
+		_, err = io.ReadFull(br, hdr[:])
+		var h runHeader
+		if err == nil {
+			h, err = decodeRunHeader(hdr[:])
+		}
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("kspectrum: merge %s: %w", filepath.Base(ri.path), err)
+		}
+		streams = append(streams, runStream{f: f, br: br, remaining: h.count})
 	}
 	if len(kmers) > 0 {
 		streams = append(streams, runStream{memK: kmers, memC: counts})
@@ -367,12 +700,15 @@ func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 }
 
 // runStream iterates one sorted source: a run file or the in-memory residue.
+// File sources carry the header's record count; hitting end-of-file before
+// it is exhausted is a truncation error, not a clean end.
 type runStream struct {
-	f    *os.File
-	br   *bufio.Reader
-	memK []seq.Kmer
-	memC []uint32
-	pos  int
+	f         *os.File
+	br        *bufio.Reader
+	remaining int64
+	memK      []seq.Kmer
+	memC      []uint32
+	pos       int
 }
 
 func (rs *runStream) next() (seq.Kmer, uint32, bool, error) {
@@ -384,13 +720,14 @@ func (rs *runStream) next() (seq.Kmer, uint32, bool, error) {
 		rs.pos++
 		return km, c, true, nil
 	}
+	if rs.remaining <= 0 {
+		return 0, 0, false, nil
+	}
 	var rec [runEntryBytes]byte
 	if _, err := io.ReadFull(rs.br, rec[:]); err != nil {
-		if err == io.EOF {
-			return 0, 0, false, nil
-		}
 		return 0, 0, false, fmt.Errorf("kspectrum: merge: %w", err)
 	}
+	rs.remaining--
 	km := seq.Kmer(binary.LittleEndian.Uint64(rec[:8]))
 	c := binary.LittleEndian.Uint32(rec[8:])
 	return km, c, true, nil

@@ -7,16 +7,15 @@
 package loadgen
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"sort"
-	"strconv"
 	"sync"
 	"time"
+
+	"repro/internal/client"
 )
 
 // Config parameterizes one load run.
@@ -36,6 +35,13 @@ type Config struct {
 	Duration time.Duration
 	// Timeout is the per-request client timeout (<= 0 selects 1m).
 	Timeout time.Duration
+	// MaxRetries is how many times each worker retries a retryable
+	// failure (transport error, 429, 5xx) before recording the outcome,
+	// with the client package's capped jittered backoff honoring
+	// Retry-After. 0 — the default — records every wire response as its
+	// own outcome, exactly the pre-retry behavior, so existing BENCH
+	// baselines stay comparable.
+	MaxRetries int
 	// Client overrides the HTTP client (tests); nil builds one.
 	Client *http.Client
 }
@@ -50,8 +56,10 @@ type Report struct {
 	Shed      int     `json:"shed"`       // 429 responses from the admission queue
 	Client4xx int     `json:"client_4xx"` // non-429 4xx
 	Server5xx int     `json:"server_5xx"`
-	Failed    int     `json:"failed"` // transport errors (connect, timeout)
-	Reads     int64   `json:"reads"`  // summed X-Kserve-Reads of OK responses
+	Failed    int     `json:"failed"`  // transport errors (connect, timeout)
+	Retries   int     `json:"retries"` // re-sent attempts beyond each request's first
+	GaveUp    int     `json:"gave_up"` // requests whose retry budget ran out on a retryable failure
+	Reads     int64   `json:"reads"`   // summed X-Kserve-Reads of OK responses
 	Seconds   float64 `json:"seconds"`
 
 	QPS         float64 `json:"qps"`        // achieved request rate, all outcomes
@@ -85,10 +93,14 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	if cfg.Timeout <= 0 {
 		cfg.Timeout = time.Minute
 	}
-	client := cfg.Client
-	if client == nil {
-		client = &http.Client{Timeout: cfg.Timeout}
+	httpc := cfg.Client
+	if httpc == nil {
+		httpc = &http.Client{Timeout: cfg.Timeout}
 	}
+	// One shared retrying client: the retry policy (capped jittered
+	// backoff, Retry-After honored on 429/503, fail fast on other 4xx)
+	// lives in the client package, loadgen only tallies what it did.
+	corr := &client.Client{HTTP: httpc, MaxRetries: cfg.MaxRetries}
 
 	ctx, cancel := context.WithTimeout(ctx, cfg.Duration)
 	defer cancel()
@@ -129,23 +141,27 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 				}
 				chunk := cfg.Chunks[i%len(cfg.Chunks)]
 				reqStart := time.Now()
-				status, reads, err := post(ctx, client, cfg.URL, chunk)
+				res, err := corr.Correct(ctx, cfg.URL, chunk)
 				if ctx.Err() != nil && err != nil {
 					// The run deadline killed the request mid-flight;
 					// not an observation about the daemon.
 					return
 				}
 				t.Requests++
+				t.Retries += res.Retries()
+				if res.GaveUp {
+					t.GaveUp++
+				}
 				switch {
 				case err != nil:
 					t.Failed++
-				case status == http.StatusOK:
+				case res.Status == http.StatusOK:
 					t.OK++
-					t.Reads += reads
+					t.Reads += res.Reads
 					t.latencies = append(t.latencies, float64(time.Since(reqStart).Nanoseconds())/1e6)
-				case status == http.StatusTooManyRequests:
+				case res.Status == http.StatusTooManyRequests:
 					t.Shed++
-				case status >= 500:
+				case res.Status >= 500:
 					t.Server5xx++
 				default:
 					t.Client4xx++
@@ -166,6 +182,8 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 		rep.Client4xx += t.Client4xx
 		rep.Server5xx += t.Server5xx
 		rep.Failed += t.Failed
+		rep.Retries += t.Retries
+		rep.GaveUp += t.GaveUp
 		rep.Reads += t.Reads
 		lat = append(lat, t.latencies...)
 	}
@@ -188,33 +206,11 @@ func Run(ctx context.Context, cfg Config) (Report, error) {
 	return rep, nil
 }
 
-// post sends one correction request and reports the status plus the
-// daemon's X-Kserve-Reads tally (0 when absent or unparsable).
-func post(ctx context.Context, client *http.Client, url string, chunk []byte) (status int, reads int64, err error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(chunk))
-	if err != nil {
-		return 0, 0, err
-	}
-	req.Header.Set("Content-Type", "text/x-fastq")
-	resp, err := client.Do(req)
-	if err != nil {
-		return 0, 0, err
-	}
-	defer resp.Body.Close()
-	// Drain so the connection is reusable; the corrected chunk itself is
-	// not the measurement.
-	_, _ = io.Copy(io.Discard, resp.Body)
-	if h := resp.Header.Get("X-Kserve-Reads"); h != "" {
-		reads, _ = strconv.ParseInt(h, 10, 64)
-	}
-	return resp.StatusCode, reads, nil
-}
-
 // String renders the headline numbers for human eyes; the JSON encoding
 // of the struct is the machine contract.
 func (r Report) String() string {
-	return fmt.Sprintf("%d requests in %.1fs: %d ok (%.1f/s, %.0f reads/s), %d shed (%.1f%%), %d client-err, %d server-err, %d failed; p50 %.1fms p90 %.1fms p99 %.1fms",
-		r.Requests, r.Seconds, r.OK, r.OKPerSec, r.ReadsPerSec, r.Shed, 100*r.ShedRate, r.Client4xx, r.Server5xx, r.Failed, r.P50Ms, r.P90Ms, r.P99Ms)
+	return fmt.Sprintf("%d requests in %.1fs: %d ok (%.1f/s, %.0f reads/s), %d shed (%.1f%%), %d client-err, %d server-err, %d failed; %d retries, %d gave up; p50 %.1fms p90 %.1fms p99 %.1fms",
+		r.Requests, r.Seconds, r.OK, r.OKPerSec, r.ReadsPerSec, r.Shed, 100*r.ShedRate, r.Client4xx, r.Server5xx, r.Failed, r.Retries, r.GaveUp, r.P50Ms, r.P90Ms, r.P99Ms)
 }
 
 // percentile is the nearest-rank percentile of a sorted sample (0 when

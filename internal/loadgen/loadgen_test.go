@@ -61,6 +61,73 @@ func TestRunTallies(t *testing.T) {
 	}
 }
 
+// TestRunRetries turns the retry budget on against a stub that 429s
+// every other request: shed responses are retried into successes, the
+// report tallies the retries, and when the stub turns permanently sick
+// the budget runs out and gave_up counts it.
+func TestRunRetries(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if n.Add(1)%2 == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			return
+		}
+		w.Header().Set("X-Kserve-Reads", "5")
+		w.Write([]byte("@r\nACGT\n+\nIIII\n"))
+	}))
+	defer ts.Close()
+
+	rep, err := Run(context.Background(), Config{
+		URL:         ts.URL + "/v2/correct",
+		Chunks:      [][]byte{[]byte("@r\nACGT\n+\nIIII\n")},
+		Concurrency: 1,
+		Duration:    400 * time.Millisecond,
+		MaxRetries:  2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 {
+		t.Fatal("no requests issued")
+	}
+	// Every other wire response sheds, so with retries every recorded
+	// request should succeed — the shed surfaces as retries, not outcomes.
+	if rep.Shed != 0 || rep.GaveUp != 0 {
+		t.Errorf("retryable sheds leaked into outcomes: shed=%d gave_up=%d", rep.Shed, rep.GaveUp)
+	}
+	if rep.OK != rep.Requests {
+		t.Errorf("ok=%d want all %d requests", rep.OK, rep.Requests)
+	}
+	if rep.Retries == 0 {
+		t.Error("retries = 0, want the shed responses counted as retries")
+	}
+
+	// A permanently sick daemon exhausts the budget: gave_up counts it and
+	// the final 503 lands in server_5xx, keeping the outcome partition.
+	sick := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer sick.Close()
+	rep, err = Run(context.Background(), Config{
+		URL:         sick.URL,
+		Chunks:      [][]byte{[]byte("x")},
+		Concurrency: 1,
+		Duration:    300 * time.Millisecond,
+		MaxRetries:  1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Requests == 0 || rep.GaveUp != rep.Requests || rep.Server5xx != rep.Requests {
+		t.Errorf("sick daemon: requests=%d gave_up=%d server_5xx=%d, want all equal and nonzero",
+			rep.Requests, rep.GaveUp, rep.Server5xx)
+	}
+	if rep.Retries != rep.Requests {
+		t.Errorf("retries=%d want %d (one retry per request)", rep.Retries, rep.Requests)
+	}
+}
+
 // TestRunRateCap checks the QPS cap: a fast stub and a generous worker
 // pool must not exceed the target rate by more than ticker jitter.
 func TestRunRateCap(t *testing.T) {

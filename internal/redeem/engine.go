@@ -92,6 +92,9 @@ func resolveConfig(run *engine.Run, spec *kspectrum.Spectrum) (Config, *simulate
 	cfg.Build = kspectrum.BuildOptions{Workers: run.Workers, Shards: run.Shards}
 	cfg.MemoryBudget = run.MemoryBudget
 	cfg.TempDir = run.TempDir
+	cfg.CheckpointDir = run.CheckpointDir
+	cfg.Resume = run.Resume
+	cfg.CheckpointEvery = run.CheckpointEvery
 	cfg.MixtureMaxG = e.mixtureMaxG
 	return cfg, model
 }

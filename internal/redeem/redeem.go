@@ -50,6 +50,14 @@ type Config struct {
 	MemoryBudget int64
 	// TempDir hosts the spill files ("" = os.TempDir()).
 	TempDir string
+	// CheckpointDir, Resume and CheckpointEvery make the spectrum build
+	// crash-safe exactly as in reptile.Params: runs and a read-cursor
+	// manifest persist in CheckpointDir, and Resume continues a killed
+	// build. EM state is recomputed from the finished spectrum and needs
+	// no checkpointing of its own.
+	CheckpointDir   string
+	Resume          bool
+	CheckpointEvery int64
 	// MixtureMaxG bounds the component count of the §3.7 mixture when
 	// CorrectStream infers the classification threshold (<= 0 selects 3,
 	// the facade default). Callers wanting a different sweep — e.g. the
@@ -127,9 +135,10 @@ func New(reads []seq.Read, errModel *simulate.KmerErrorModel, cfg Config) (*Mode
 	switch {
 	case cfg.Spectrum != nil:
 		spec = cfg.Spectrum
-	case cfg.MemoryBudget > 0:
+	case cfg.MemoryBudget > 0 || cfg.CheckpointDir != "":
 		spec, _, err = kspectrum.BuildOutOfCore(reads, cfg.K, true, kspectrum.StreamOptions{
 			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+			CheckpointDir: cfg.CheckpointDir, Resume: cfg.Resume, CheckpointEvery: cfg.CheckpointEvery,
 		})
 	default:
 		spec, err = kspectrum.BuildParallel(reads, cfg.K, true, cfg.Build)

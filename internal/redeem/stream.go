@@ -41,7 +41,9 @@ func correctStreamCtx(ctx context.Context, open seq.SourceOpener, emit func(orig
 		// No preloaded spectrum: the first pass streams every chunk
 		// through the (possibly spilling) accumulator.
 		st, err := kspectrum.NewStreamBuilder(cfg.K, true, kspectrum.StreamOptions{
-			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir, Context: ctx,
+			Build: cfg.Build, MemoryBudget: cfg.MemoryBudget, TempDir: cfg.TempDir,
+			CheckpointDir: cfg.CheckpointDir, Resume: cfg.Resume,
+			CheckpointEvery: cfg.CheckpointEvery, Context: ctx,
 		})
 		if err != nil {
 			return nil, 0, err

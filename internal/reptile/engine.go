@@ -128,6 +128,11 @@ func resolveParams(sample []seq.Read, run *engine.Run, spec *kspectrum.Spectrum)
 	if p.TempDir == "" {
 		p.TempDir = run.TempDir
 	}
+	if p.CheckpointDir == "" {
+		p.CheckpointDir = run.CheckpointDir
+		p.Resume = run.Resume
+		p.CheckpointEvery = run.CheckpointEvery
+	}
 	return p
 }
 

@@ -58,6 +58,19 @@ type Params struct {
 	MemoryBudget int64
 	// TempDir hosts the spill files ("" = os.TempDir()).
 	TempDir string
+	// CheckpointDir, when set, routes Phase 1 through the out-of-core
+	// engine in crash-safe mode: spectrum runs and a read-cursor manifest
+	// persist in this directory, and Resume continues a killed build from
+	// its newest checkpoint. Tile counts are cheap and always rebuilt
+	// over the full input (Add feeds them unconditionally), so only the
+	// expensive kmer counting skips ahead. Ignored when Spectrum is
+	// preloaded.
+	CheckpointDir string
+	// Resume adopts the manifest already in CheckpointDir.
+	Resume bool
+	// CheckpointEvery is the read interval between automatic checkpoints
+	// (<= 0 = the kspectrum default).
+	CheckpointEvery int64
 }
 
 // DefaultParams derives parameters from the data per §2.3: Qc at the
@@ -135,7 +148,8 @@ type Builder struct {
 }
 
 // NewBuilder validates the parameters and prepares an empty accumulator.
-// A positive Params.MemoryBudget selects the out-of-core engine.
+// A positive Params.MemoryBudget or a CheckpointDir selects the
+// out-of-core engine.
 func NewBuilder(p Params) (*Builder, error) {
 	return newBuilderCtx(context.Background(), p)
 }
@@ -158,9 +172,11 @@ func newBuilderCtx(ctx context.Context, p Params) (*Builder, error) {
 	case p.Spectrum != nil:
 		// Preloaded spectrum: no kmer accumulator at all — Add feeds only
 		// the tile counts and Finish adopts the spectrum directly.
-	case p.MemoryBudget > 0:
+	case p.MemoryBudget > 0 || p.CheckpointDir != "":
 		b.stream, err = kspectrum.NewStreamBuilder(p.K, true, kspectrum.StreamOptions{
-			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir, Context: ctx,
+			Build: p.Build, MemoryBudget: p.MemoryBudget, TempDir: p.TempDir,
+			CheckpointDir: p.CheckpointDir, Resume: p.Resume,
+			CheckpointEvery: p.CheckpointEvery, Context: ctx,
 		})
 	default:
 		b.sb, err = kspectrum.NewSpectrumBuilder(p.K, true, p.Build)

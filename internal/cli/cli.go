@@ -31,6 +31,7 @@ func commands() []command {
 		{"redeem", "correct reads with EM-based repeat-aware detection (Chapter 3)", redeemCmd},
 		{"shrec", "correct reads with the SHREC suffix-trie baseline (§1.2)", shrecCmd},
 		{"serve", "run the correction-as-a-service HTTP daemon", serveCmd},
+		{"shard", "split a spectrum store into per-prefix shard files", shardCmd},
 		{"loadgen", "replay FASTQ chunks against a serve daemon and report latency", loadgenCmd},
 		{"ngsim", "simulate genomes, reads and metagenomic pools", ngsimCmd},
 		{"eceval", "score a correction run against ground truth (§2.4)", ecevalCmd},

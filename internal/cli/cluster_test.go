@@ -1,0 +1,382 @@
+package cli
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/fastq"
+	"repro/internal/kspectrum"
+	"repro/internal/remote"
+	"repro/internal/reptile"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// clusterFixture stands up a full two-tier deployment in-process: the
+// corpus spectrum split into 4 shard files, two node daemons each owning
+// two shards, and a coordinator daemon whose "main" entry is a
+// RemoteSpectrum over those nodes. It returns the coordinator server and
+// everything a test needs to compute single-node references.
+type clusterFixture struct {
+	coord   *server
+	coordTS *httptest.Server
+	nodes   []*httptest.Server
+	reads   []seq.Read
+	spec    *kspectrum.Spectrum
+	part    kspectrum.PrefixPartition
+	rs      *remote.RemoteSpectrum
+}
+
+func newClusterFixture(t *testing.T) *clusterFixture {
+	t.Helper()
+	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
+		Name: "t", GenomeLen: 6000, ReadLen: 36, Coverage: 30,
+		ErrorRate: 0.008, Bias: simulate.EcoliBias, QualityNoise: 2, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reads := simulate.Reads(ds.Sim)
+	spec, err := kspectrum.Build(reads, 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const shards = 4
+	dir := t.TempDir()
+	part, views, err := kspectrum.SplitShards(spec, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths := make([]string, shards)
+	for i, sh := range views {
+		paths[i] = filepath.Join(dir, kspectrum.ShardFileName("main", i, shards))
+		if err := kspectrum.WriteSpectrumFile(paths[i], sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	fx := &clusterFixture{reads: reads, spec: spec, part: part}
+	var urls []string
+	for _, owned := range [][]int{{0, 1}, {2, 3}} {
+		loaded := make(map[string]*kspectrum.Spectrum)
+		meta := make(map[string]remote.ShardInfo)
+		for _, i := range owned {
+			sh, err := kspectrum.ReadSpectrumFile(paths[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := kspectrum.ShardEntryName("main", i, shards)
+			loaded[entry] = sh
+			meta[entry] = remote.ShardInfo{
+				Spectrum: "main", Shard: i, Of: shards, Entry: entry,
+				K: sh.K, BothStrands: sh.BothStrands, Kmers: sh.Size(),
+			}
+		}
+		nsrv, err := newServer(loaded, ServerOptions{Workers: 1, ShardEntries: meta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(nsrv.mux())
+		t.Cleanup(ts.Close)
+		fx.nodes = append(fx.nodes, ts)
+		urls = append(urls, ts.URL)
+	}
+
+	maps, err := remote.Discover(context.Background(), nil, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.rs, err = remote.New(maps["main"], remote.Options{
+		Policy: client.Policy{MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.coord, err = newServer(map[string]*kspectrum.Spectrum{}, ServerOptions{
+		Workers:       2,
+		RemoteSpectra: map[string]*remote.RemoteSpectrum{"main": fx.rs},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx.coordTS = httptest.NewServer(fx.coord.mux())
+	t.Cleanup(fx.coordTS.Close)
+	return fx
+}
+
+// queryCluster POSTs a /v2/query for the given kmers against the
+// coordinator and returns the raw response.
+func (fx *clusterFixture) queryCluster(t *testing.T, kms []seq.Kmer, d int) (*http.Response, []byte) {
+	t.Helper()
+	req := remote.QueryRequest{D: d}
+	for _, km := range kms {
+		req.Kmers = append(req.Kmers, strconv.FormatUint(uint64(km), 10))
+	}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(fx.coordTS.URL+"/v2/query?spectrum=main",
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, body
+}
+
+// kmerOnShard returns a spectrum kmer the partition assigns to shard.
+func (fx *clusterFixture) kmerOnShard(t *testing.T, shard int) seq.Kmer {
+	t.Helper()
+	for _, km := range fx.spec.Kmers {
+		if fx.part.ShardOf(km) == shard {
+			return km
+		}
+	}
+	t.Fatalf("no spectrum kmer lands on shard %d", shard)
+	return 0
+}
+
+// TestClusterCorrectByteIdentity is the acceptance test of the PR:
+// a correction through the coordinator — every spectrum access a
+// fan-out query to the shard-owning nodes — must be byte-identical to
+// the same chunk corrected against the unsharded spectrum in one
+// process.
+func TestClusterCorrectByteIdentity(t *testing.T) {
+	fx := newClusterFixture(t)
+
+	chunk := fx.reads[:200]
+	body, err := fastq.EncodeChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := reptile.NewService(fx.spec, reptile.Params{D: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, _, err := svc.CorrectChunk(chunk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := fastq.EncodeChunk(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, got := postChunk(t, http.DefaultClient,
+		fx.coordTS.URL+"/v2/correct?spectrum=main&engine=reptile", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster correct: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("cluster correction diverges from the single-node reference")
+	}
+
+	// REDEEM walks every spectrum column during its EM fit; the
+	// capability gate must refuse it on a sharded spectrum rather than
+	// time out fanning the whole spectrum over the wire.
+	resp, got = postChunk(t, http.DefaultClient,
+		fx.coordTS.URL+"/v2/correct?spectrum=main&engine=redeem", body)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("redeem on sharded spectrum: status %d, want 400: %s", resp.StatusCode, got)
+	}
+	if !strings.Contains(string(got), "sharded across the cluster") {
+		t.Errorf("redeem refusal does not explain the sharding: %s", got)
+	}
+
+	// The cluster status endpoint reflects the deployment and the
+	// traffic the correction generated.
+	var status struct {
+		Spectra []struct {
+			Name   string `json:"name"`
+			K      int    `json:"k"`
+			Kmers  int    `json:"kmers"`
+			Shards []struct {
+				Shard    int    `json:"shard"`
+				Node     string `json:"node"`
+				Requests int64  `json:"requests"`
+			} `json:"shards"`
+		} `json:"spectra"`
+		Nodes []struct {
+			Node   string `json:"node"`
+			Shards int    `json:"shards"`
+		} `json:"nodes"`
+	}
+	cresp, err := http.Get(fx.coordTS.URL + "/v2/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(cresp.Body).Decode(&status); err != nil {
+		t.Fatal(err)
+	}
+	cresp.Body.Close()
+	if len(status.Spectra) != 1 || status.Spectra[0].Name != "main" ||
+		status.Spectra[0].K != fx.spec.K || status.Spectra[0].Kmers != fx.spec.Size() ||
+		len(status.Spectra[0].Shards) != 4 || len(status.Nodes) != 2 {
+		t.Fatalf("/v2/cluster = %+v", status)
+	}
+	var fanout int64
+	for _, sh := range status.Spectra[0].Shards {
+		fanout += sh.Requests
+	}
+	if fanout == 0 {
+		t.Error("correction generated no shard fan-out traffic")
+	}
+
+	// The per-shard counters surface in /metrics.
+	mresp, err := http.Get(fx.coordTS.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(mbody), `repro_shard_requests_total{spectrum="main",shard="0",outcome="ok"}`) {
+		t.Error("/metrics has no per-shard request counters")
+	}
+}
+
+// TestClusterQueryProxy: the coordinator's /v2/query must answer with
+// global indexes and counts identical to the unsharded spectrum.
+func TestClusterQueryProxy(t *testing.T) {
+	fx := newClusterFixture(t)
+
+	kms := []seq.Kmer{
+		fx.kmerOnShard(t, 0), fx.kmerOnShard(t, 1),
+		fx.kmerOnShard(t, 2), fx.kmerOnShard(t, 3),
+		fx.kmerOnShard(t, 0) ^ 3, // mutated, very likely absent
+	}
+	resp, body := fx.queryCluster(t, kms, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	var qr remote.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if len(qr.Indexes) != len(kms) || len(qr.Counts) != len(kms) {
+		t.Fatalf("query answered %d indexes / %d counts for %d kmers", len(qr.Indexes), len(qr.Counts), len(kms))
+	}
+	for i, km := range kms {
+		if qr.Indexes[i] != fx.spec.Index(km) {
+			t.Errorf("kmer %d: index %d, local %d", i, qr.Indexes[i], fx.spec.Index(km))
+		}
+		wantCnt := uint32(0)
+		if fx.spec.Index(km) >= 0 {
+			wantCnt = fx.spec.Count(km)
+		}
+		if qr.Counts[i] != wantCnt {
+			t.Errorf("kmer %d: count %d, local %d", i, qr.Counts[i], wantCnt)
+		}
+	}
+}
+
+// TestClusterNodeDeath: killing one node must turn that node's shards
+// into 503-with-Retry-After through the coordinator while the surviving
+// node's shards keep answering — partial degradation, not an outage.
+func TestClusterNodeDeath(t *testing.T) {
+	fx := newClusterFixture(t)
+
+	kmAlive := fx.kmerOnShard(t, 0) // node 0
+	kmDead := fx.kmerOnShard(t, 3)  // node 1
+
+	fx.nodes[1].Close()
+
+	resp, body := fx.queryCluster(t, []seq.Kmer{kmDead}, 0)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("query for dead node's shard: status %d, want 503: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("503 for dead shard has no Retry-After header")
+	}
+	var errResp struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &errResp); err != nil {
+		t.Fatalf("503 body is not the daemon's JSON error shape: %s", body)
+	}
+	if !strings.Contains(errResp.Error, "shard 3") || !strings.Contains(errResp.Error, "unavailable") {
+		t.Errorf("error does not identify the unavailable shard: %q", errResp.Error)
+	}
+
+	resp, body = fx.queryCluster(t, []seq.Kmer{kmAlive}, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query for live node's shard after peer death: status %d: %s", resp.StatusCode, body)
+	}
+	var qr remote.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Indexes[0] != fx.spec.Index(kmAlive) {
+		t.Errorf("live shard answer diverged after peer death: index %d, local %d",
+			qr.Indexes[0], fx.spec.Index(kmAlive))
+	}
+
+	// A correction through the coordinator now reports the unavailable
+	// shard (its neighborhoods span all prefixes) instead of serving a
+	// partial answer.
+	chunk, err := fastq.EncodeChunk(fx.reads[:50])
+	if err != nil {
+		t.Fatal(err)
+	}
+	cresp, cbody := postChunk(t, http.DefaultClient,
+		fx.coordTS.URL+"/v2/correct?spectrum=main&engine=reptile", chunk)
+	if cresp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("correction with a dead node: status %d, want 503: %s", cresp.StatusCode, cbody)
+	}
+	if cresp.Header.Get("Retry-After") == "" {
+		t.Error("degraded correction 503 has no Retry-After header")
+	}
+}
+
+// TestParseShardList pins the -shards-owned grammar.
+func TestParseShardList(t *testing.T) {
+	cases := []struct {
+		in   string
+		of   int
+		want string // comma-joined result, "" = error
+	}{
+		{"0,1", 4, "0 1"},
+		{" 2 , 0,2", 4, "0 2"},
+		{"3", 4, "3"},
+		{"4", 4, ""},
+		{"-1", 4, ""},
+		{"a", 4, ""},
+		{"", 4, ""},
+	}
+	for _, tc := range cases {
+		got, err := parseShardList(tc.in, tc.of)
+		if tc.want == "" {
+			if err == nil {
+				t.Errorf("parseShardList(%q) = %v, want error", tc.in, got)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseShardList(%q): %v", tc.in, err)
+			continue
+		}
+		str := strings.Trim(strings.Join(strings.Fields(fmt.Sprint(got)), " "), "[]")
+		if str != tc.want {
+			t.Errorf("parseShardList(%q) = %q, want %q", tc.in, str, tc.want)
+		}
+	}
+}

@@ -13,16 +13,19 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/engine"
 	"repro/internal/fastq"
 	"repro/internal/kspectrum"
 	"repro/internal/redeem"
+	"repro/internal/remote"
 	"repro/internal/reptile"
 	"repro/internal/seq"
 )
@@ -87,13 +90,27 @@ func serveCmd(args []string, stdout io.Writer) error {
 		readTimeout    = fs.Duration("read-timeout", 2*time.Minute, "deadline for reading one full request; bounds how long a slow upload can hold a correction slot (0 = none)")
 		drainTimeout   = fs.Duration("drain-timeout", 30*time.Second, "graceful shutdown deadline for in-flight requests")
 		mapSpectrum    = fs.Bool("map-spectrum", true, "serve spectra zero-copy off read-only memory mappings (false = copy each into memory with eager validation)")
+		shardsOwned    = fs.String("shards-owned", "", "comma-separated shard numbers this node serves, e.g. 0,1 (node mode, with -shard-spectrum and -shards-of)")
+		shardsOf       = fs.Int("shards-of", 0, "total shard count the -shard-spectrum spectra were split into (node mode)")
+		coordinator    = fs.Bool("coordinator", false, "coordinator mode: discover shards from the -node daemons and serve corrections by fanning spectrum queries out to them")
+		clusterWait    = fs.Duration("cluster-wait", 30*time.Second, "how long the coordinator retries discovery until every -node answers")
+		shardRetries   = fs.Int("shard-retries", 2, "coordinator retries per shard query before degrading the shard to 503")
 	)
-	fs.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable, required)")
+	var shardSpecs, nodes specFlags
+	fs.Var(&specs, "spectrum", "name=path of a persisted spectrum to serve (repeatable)")
+	fs.Var(&shardSpecs, "shard-spectrum", "name=base.kspc of a sharded spectrum; the owned shard files (repro shard output) sit beside base (node mode, repeatable)")
+	fs.Var(&nodes, "node", "base URL of a shard-serving node, e.g. http://10.0.0.2:8424 (coordinator mode, repeatable)")
 	if err := parse(fs, args); err != nil {
 		return err
 	}
-	if len(specs) == 0 {
-		return usagef(fs, "at least one -spectrum name=path is required")
+	if len(specs) == 0 && len(shardSpecs) == 0 && !*coordinator {
+		return usagef(fs, "at least one -spectrum name=path, -shard-spectrum name=base.kspc, or -coordinator is required")
+	}
+	if *coordinator && len(nodes) == 0 {
+		return usagef(fs, "-coordinator requires at least one -node URL")
+	}
+	if len(shardSpecs) > 0 && (*shardsOf < 1 || *shardsOwned == "") {
+		return usagef(fs, "-shard-spectrum requires -shards-of and -shards-owned")
 	}
 
 	mode := engine.SpectrumMapped
@@ -133,6 +150,76 @@ func serveCmd(args []string, stdout io.Writer) error {
 			name, how, spec.K, spec.Size(), spec.BothStrands, time.Since(start).Round(time.Millisecond))
 	}
 
+	// Node mode: load the owned shard files of each sharded spectrum as
+	// registry entries under their shard entry names and record the
+	// metadata GET /v2/shards advertises to discovering coordinators.
+	var shardEntries map[string]remote.ShardInfo
+	if len(shardSpecs) > 0 {
+		owned, err := parseShardList(*shardsOwned, *shardsOf)
+		if err != nil {
+			return usagef(fs, "-shards-owned: %v", err)
+		}
+		shardEntries = make(map[string]remote.ShardInfo)
+		for _, nv := range shardSpecs {
+			name, base, ok := strings.Cut(nv, "=")
+			if !ok || name == "" || base == "" {
+				return usagef(fs, "-shard-spectrum %q: want name=base.kspc", nv)
+			}
+			stem := strings.TrimSuffix(base, ".kspc")
+			for _, i := range owned {
+				path := kspectrum.ShardFileName(stem, i, *shardsOf)
+				entryName := kspectrum.ShardEntryName(name, i, *shardsOf)
+				if _, dup := loaded[entryName]; dup {
+					return usagef(fs, "-shard-spectrum %q: duplicate entry %q", nv, entryName)
+				}
+				spec, err := engine.LoadSpectrumForK(path, 0, mode)
+				if err != nil {
+					return err
+				}
+				loaded[entryName] = spec
+				paths[entryName] = path
+				shardEntries[entryName] = remote.ShardInfo{
+					Spectrum: name, Shard: i, Of: *shardsOf, Entry: entryName,
+					K: spec.K, BothStrands: spec.BothStrands, Kmers: spec.Size(),
+				}
+				log.Printf("loaded shard %d/%d of spectrum %q: k=%d, %d kmers (%s)",
+					i, *shardsOf, name, spec.K, spec.Size(), path)
+			}
+		}
+	}
+
+	// Coordinator mode: discover the cluster's shard maps from the nodes
+	// (retrying until -cluster-wait elapses, so node and coordinator
+	// processes can start in any order) and register a remote fan-out
+	// backend per discovered spectrum.
+	var remoteSpectra map[string]*remote.RemoteSpectrum
+	if *coordinator {
+		maps, err := discoverCluster(nodes, *clusterWait)
+		if err != nil {
+			return err
+		}
+		remoteSpectra = make(map[string]*remote.RemoteSpectrum, len(maps))
+		for name, m := range maps {
+			if _, dup := loaded[name]; dup {
+				return fmt.Errorf("cluster spectrum %q collides with a locally loaded spectrum", name)
+			}
+			rs, err := remote.New(m, remote.Options{
+				HTTP: &http.Client{Timeout: 15 * time.Second},
+				Policy: client.Policy{
+					MaxRetries:  *shardRetries,
+					BaseBackoff: 50 * time.Millisecond,
+					MaxBackoff:  2 * time.Second,
+				},
+			})
+			if err != nil {
+				return err
+			}
+			remoteSpectra[name] = rs
+			log.Printf("discovered spectrum %q: k=%d, %d kmers across %d shards on %d nodes",
+				name, rs.K(), rs.Len(), len(m.Shards), len(nodes))
+		}
+	}
+
 	chunkBytes, err := core.ParseByteSize(*maxChunkBytes)
 	if err != nil {
 		return err
@@ -163,6 +250,8 @@ func serveCmd(args []string, stdout io.Writer) error {
 		ErrorRate:        *errorRate,
 		D:                *d,
 		SpectrumPaths:    paths,
+		ShardEntries:     shardEntries,
+		RemoteSpectra:    remoteSpectra,
 	})
 	if err != nil {
 		return err
@@ -270,6 +359,17 @@ type ServerOptions struct {
 	// (defaults 1s and 30s).
 	QuarantineBase time.Duration
 	QuarantineMax  time.Duration
+	// ShardEntries marks loaded spectra that are shards of a larger
+	// sharded spectrum, keyed by their registry entry name (which must
+	// also be a key of the startup spectra map). Marked entries are
+	// advertised on GET /v2/shards for coordinator discovery and served
+	// on POST /v2/query.
+	ShardEntries map[string]remote.ShardInfo
+	// RemoteSpectra registers coordinator entries: named spectra whose
+	// columns live sharded across other nodes behind a RemoteSpectrum
+	// backend. Correction requests against them fan spectrum queries out
+	// to the owning nodes.
+	RemoteSpectra map[string]*remote.RemoteSpectrum
 }
 
 // server is the HTTP correction service: a mutable, refcounted registry
@@ -353,12 +453,24 @@ func newServer(specs map[string]*kspectrum.Spectrum, opts ServerOptions) (*serve
 	for name, spec := range specs {
 		e := s.newEntry(name, spec)
 		e.path = opts.SpectrumPaths[name]
+		if si, ok := opts.ShardEntries[name]; ok {
+			e.shard = &si
+		}
 		s.reg.put(e)
 		// Surface latent file corruption without delaying startup: the
 		// whole-file check runs in the background; a failure quarantines
 		// the spectrum (clean 503s plus a repair probe) instead of
 		// silently wrong corrections.
 		s.verifyInBackground(e)
+	}
+	for name, rs := range opts.RemoteSpectra {
+		// The fan-out backend reports every shard round trip into the
+		// per-shard counter family, so /metrics shows cluster routing and
+		// failures per shard.
+		rs.SetOnQuery(func(shard int, outcome string) {
+			s.m.shardRequests.With(name, strconv.Itoa(shard), outcome).Inc()
+		})
+		s.reg.put(s.newRemoteEntry(name, rs))
 	}
 	s.m.spectra.Set(int64(s.reg.size()))
 	return s, nil
@@ -378,7 +490,7 @@ func (s *server) close() {
 // hot-swap or delete that drains the other holds cannot unmap the file
 // mid-scan; a verification failure quarantines the entry.
 func (s *server) verifyInBackground(e *entry) {
-	if !e.spec.Mapped() {
+	if e.spec == nil || !e.spec.Mapped() {
 		return
 	}
 	e.acquire()
@@ -503,7 +615,11 @@ func (s *server) serviceRun(eng engine.Engine, e *entry) *engine.Run {
 		redeem.WithErrorRate(s.opts.ErrorRate),
 	}
 	if eng.Capabilities().SpectrumReuse && e != nil {
-		opts = append(opts, engine.WithSpectrum(e.spec))
+		if e.remote != nil {
+			opts = append(opts, engine.WithSpectrumBackend(e.remote))
+		} else {
+			opts = append(opts, engine.WithSpectrum(e.spec))
+		}
 	}
 	return engine.NewRun(opts...)
 }
@@ -514,9 +630,13 @@ func (s *server) serviceRun(eng engine.Engine, e *entry) *engine.Run {
 // construction error, and without burning a correction slot.
 func (s *server) checkServable(eng engine.Engine, e *entry) error {
 	caps := eng.Capabilities()
-	if caps.SpectrumReuse && !caps.ServesSpectrum(e.spec.K) {
+	if caps.SpectrumReuse && e != nil && e.remote != nil && !caps.RemoteSpectrum {
+		return fmt.Errorf("engine %q needs its spectrum local and %q is sharded across the cluster",
+			eng.Name(), e.name)
+	}
+	if caps.SpectrumReuse && !caps.ServesSpectrum(e.k()) {
 		return fmt.Errorf("engine %q cannot serve spectrum %q (k=%d exceeds max spectrum k %d)",
-			eng.Name(), e.name, e.spec.K, caps.MaxSpectrumK)
+			eng.Name(), e.name, e.k(), caps.MaxSpectrumK)
 	}
 	if _, ok := eng.(engine.Servicer); !ok {
 		return fmt.Errorf("engine %q does not support request-independent serving", eng.Name())
@@ -565,6 +685,9 @@ func (s *server) mux() http.Handler {
 	mux.HandleFunc("GET /v2/spectra", s.handleSpectra)
 	mux.HandleFunc("POST /v2/spectra", s.handleSpectraUpload)
 	mux.HandleFunc("DELETE /v2/spectra/{name}", s.handleSpectraDelete)
+	mux.HandleFunc("GET /v2/shards", s.handleShards)
+	mux.HandleFunc("POST /v2/query", s.handleQuery)
+	mux.HandleFunc("GET /v2/cluster", s.handleCluster)
 	mux.Handle("GET /metrics", s.m.registry)
 	return mux
 }
@@ -590,13 +713,15 @@ func (s *server) handleSpectra(w http.ResponseWriter, r *http.Request) {
 		Kmers       int    `json:"kmers"`
 		BothStrands bool   `json:"both_strands"`
 		Quarantined bool   `json:"quarantined,omitempty"`
+		Remote      bool   `json:"remote,omitempty"`
 	}
 	entries := s.reg.snapshot()
 	out := make([]specInfo, 0, len(entries))
 	for _, e := range entries {
 		out = append(out, specInfo{
-			Name: e.name, K: e.spec.K, Kmers: e.spec.Size(),
-			BothStrands: e.spec.BothStrands, Quarantined: e.quarantined.Load(),
+			Name: e.name, K: e.k(), Kmers: e.size(),
+			BothStrands: e.bothStrands(), Quarantined: e.quarantined.Load(),
+			Remote: e.remote != nil,
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
@@ -625,7 +750,10 @@ func (s *server) handleEngines(w http.ResponseWriter, r *http.Request) {
 		if caps.SpectrumReuse {
 			info.Spectra = make([]string, 0, len(entries))
 			for _, e := range entries {
-				if caps.ServesSpectrum(e.spec.K) {
+				if e.remote != nil && !caps.RemoteSpectrum {
+					continue
+				}
+				if caps.ServesSpectrum(e.k()) {
 					info.Spectra = append(info.Spectra, e.name)
 				}
 			}
@@ -731,13 +859,13 @@ func (s *server) correctWithEngine(w http.ResponseWriter, r *http.Request, eng e
 	// Retry-After, because the repair probe may restore service — rather
 	// than serving garbage or a misleading hard 500.
 	if e != nil {
-		if specErr := e.spec.Err(); specErr != nil {
+		if specErr := e.healthErr(); specErr != nil && e.spec != nil {
 			s.quarantine(e, specErr)
 		}
 		if e.quarantined.Load() {
 			w.Header().Set("Retry-After", "5")
 			s.errorJSON(w, http.StatusServiceUnavailable, errClassQuarantined,
-				"spectrum %q is quarantined (unserviceable pending repair): %v", e.name, e.spec.Err())
+				"spectrum %q is quarantined (unserviceable pending repair): %v", e.name, e.healthErr())
 			return
 		}
 	}
@@ -839,6 +967,7 @@ func (s *server) releaseSlot() {
 // body.
 func (s *server) respond(w http.ResponseWriter, r *http.Request, reads, corrected []seq.Read, err error, spectrum, method string, start time.Time) {
 	if err != nil {
+		var sue *remote.ShardUnavailableError
 		switch {
 		case r.Context().Err() != nil:
 			// The client is gone; the status is a formality.
@@ -846,6 +975,13 @@ func (s *server) respond(w http.ResponseWriter, r *http.Request, reads, correcte
 		case errors.Is(err, context.DeadlineExceeded):
 			s.errorJSON(w, http.StatusGatewayTimeout, errClassDeadline,
 				"correction exceeded the %v request deadline", s.opts.RequestTimeout)
+		case errors.As(err, &sue):
+			// A shard's node stayed unreachable through the fan-out retry
+			// budget: the coordinator degrades requests touching that
+			// keyspace slice to an honest retryable 503 — spectra on other
+			// nodes keep serving.
+			w.Header().Set("Retry-After", retryAfterSeconds(sue.RetryAfter))
+			s.errorJSON(w, http.StatusServiceUnavailable, errClassShardUnavailable, "%v", err)
 		default:
 			s.errorJSON(w, http.StatusInternalServerError, errClassInternal, "%v", err)
 		}
@@ -910,17 +1046,18 @@ func (s *server) selectEntry(w http.ResponseWriter, r *http.Request) (*entry, bo
 // Error classes label repro_request_errors_total so operators can tell
 // client mistakes from shed load from real failures at a glance.
 const (
-	errClassBadRequest      = "bad_request"
-	errClassTooLarge        = "too_large"
-	errClassUnknownEngine   = "unknown_engine"
-	errClassUnknownSpectrum = "unknown_spectrum"
-	errClassQuarantined     = "quarantined_spectrum"
-	errClassDisabled        = "uploads_disabled"
-	errClassShed            = "shed"
-	errClassClientGone      = "client_gone"
-	errClassDeadline        = "deadline"
-	errClassInternal        = "internal"
-	errClassPanic           = "panic"
+	errClassBadRequest       = "bad_request"
+	errClassTooLarge         = "too_large"
+	errClassUnknownEngine    = "unknown_engine"
+	errClassUnknownSpectrum  = "unknown_spectrum"
+	errClassQuarantined      = "quarantined_spectrum"
+	errClassDisabled         = "uploads_disabled"
+	errClassShed             = "shed"
+	errClassShardUnavailable = "shard_unavailable"
+	errClassClientGone       = "client_gone"
+	errClassDeadline         = "deadline"
+	errClassInternal         = "internal"
+	errClassPanic            = "panic"
 )
 
 // errorJSON is the single error-response path of the daemon: every 4xx

@@ -1,0 +1,326 @@
+package cli
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/engine"
+	"repro/internal/remote"
+	"repro/internal/reptile"
+	"repro/internal/seq"
+)
+
+// This file is the daemon's cluster face. A node serves shard entries
+// (local spectra that are prefix slices of a larger one) and answers
+// the two wire endpoints a coordinator needs: GET /v2/shards for
+// discovery and POST /v2/query for membership/count/neighborhood
+// queries. A coordinator registers RemoteSpectrum entries whose
+// correction requests fan those queries back out to the owning nodes;
+// GET /v2/cluster shows the shard map and per-shard traffic.
+
+// parseShardList parses a -shards-owned value: comma-separated shard
+// numbers in [0, of), deduplicated and sorted.
+func parseShardList(s string, of int) ([]int, error) {
+	var out []int
+	seen := make(map[int]bool)
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		i, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad shard number %q", f)
+		}
+		if i < 0 || i >= of {
+			return nil, fmt.Errorf("shard %d out of range [0, %d)", i, of)
+		}
+		if !seen[i] {
+			seen[i] = true
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no shards listed")
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// discoverCluster polls the nodes' shard listings until every shard of
+// every advertised spectrum has an owner, retrying so node and
+// coordinator processes can start in any order.
+func discoverCluster(nodes []string, wait time.Duration) (map[string]*remote.ShardMap, error) {
+	httpc := &http.Client{Timeout: 5 * time.Second}
+	deadline := time.Now().Add(wait)
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		maps, err := remote.Discover(ctx, httpc, nodes)
+		cancel()
+		if err == nil && len(maps) == 0 {
+			err = fmt.Errorf("cluster discovery: the nodes advertise no shards")
+		}
+		if err == nil {
+			return maps, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("cluster discovery failed after %v: %w", wait, err)
+		}
+		log.Printf("cluster discovery not ready, retrying: %v", err)
+		time.Sleep(500 * time.Millisecond)
+	}
+}
+
+// retryAfterSeconds renders a Retry-After value from a node's own
+// recovery estimate, defaulting to the daemon's standard 5s.
+func retryAfterSeconds(secs int) string {
+	if secs <= 0 {
+		secs = 5
+	}
+	return strconv.Itoa(secs)
+}
+
+// newRemoteEntry builds a registry slot for a coordinator spectrum:
+// spec stays nil, queries go through the fan-out backend. The Reptile
+// service slot still resolves eagerly (construction is metadata-only —
+// no shard round trips), so startup logs whether the cluster spectrum
+// is Reptile-servable.
+func (s *server) newRemoteEntry(name string, rs *remote.RemoteSpectrum) *entry {
+	e := &entry{name: name, remote: rs, services: make(map[string]*serviceSlot)}
+	e.refs.Store(1)
+	for _, engName := range engine.Names() {
+		e.services[engName] = &serviceSlot{}
+	}
+	if rep, err := engine.Lookup(reptile.EngineName); err == nil {
+		if e.reptileErr = s.checkServable(rep, e); e.reptileErr == nil {
+			_, e.reptileErr = s.service(rep, e)
+		}
+	}
+	return e
+}
+
+// handleShards is GET /v2/shards: the shard entries this node owns, in
+// the shape remote.Discover consumes.
+func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
+	resp := remote.ShardsResponse{Shards: []remote.ShardInfo{}}
+	for _, e := range s.reg.snapshot() {
+		if e.shard != nil {
+			resp.Shards = append(resp.Shards, *e.shard)
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleQuery is POST /v2/query?spectrum=ENTRY: batched kmer queries
+// against one registry entry. On a node the entry is a local (shard)
+// spectrum and answers come from its columns; on a coordinator the
+// entry may be a remote spectrum, in which case the query proxies
+// through the fan-out backend — that is how a cluster client can probe
+// per-shard availability without issuing a correction.
+//
+// The endpoint is quarantine-aware exactly like the correction paths: a
+// spectrum whose integrity checks failed answers 503 with Retry-After,
+// never silently-absent kmers.
+func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.selectEntry(w, r)
+	if !ok {
+		return
+	}
+	defer e.release()
+
+	var req remote.QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.opts.MaxChunkBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "decoding query: %v", err)
+		return
+	}
+	if req.D < 0 {
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "negative neighborhood radius %d", req.D)
+		return
+	}
+	kms := make([]seq.Kmer, len(req.Kmers))
+	for i, str := range req.Kmers {
+		v, err := strconv.ParseUint(str, 10, 64)
+		if err != nil {
+			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "kmer %d: bad value %q", i, str)
+			return
+		}
+		kms[i] = seq.Kmer(v)
+	}
+
+	if e.quarantined.Load() {
+		w.Header().Set("Retry-After", "5")
+		s.errorJSON(w, http.StatusServiceUnavailable, errClassQuarantined,
+			"spectrum %q is quarantined (unserviceable pending repair): %v", e.name, e.healthErr())
+		return
+	}
+	if e.remote != nil {
+		s.proxyQuery(w, e, kms, req.D)
+		return
+	}
+
+	var resp remote.QueryResponse
+	if req.D == 0 {
+		resp.Indexes = make([]int, len(kms))
+		resp.Counts = make([]uint32, len(kms))
+		for i, km := range kms {
+			resp.Indexes[i] = e.spec.Index(km)
+			if resp.Indexes[i] >= 0 {
+				resp.Counts[i] = e.spec.Count(km)
+			}
+		}
+	} else {
+		ni, err := e.neighborIndex(req.D)
+		if err != nil {
+			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "neighborhood radius %d: %v", req.D, err)
+			return
+		}
+		resp.Neighbors = make([][]string, len(kms))
+		var buf []seq.Kmer
+		for i, km := range kms {
+			buf = ni.NeighborKmers(km, buf[:0])
+			out := make([]string, len(buf))
+			for j, nb := range buf {
+				out[j] = strconv.FormatUint(uint64(nb), 10)
+			}
+			resp.Neighbors[i] = out
+		}
+	}
+	// A mapped spectrum that failed lazy validation mid-scan answered
+	// some of the queries above "absent"; quarantine and refuse rather
+	// than hand a coordinator wrong data.
+	if specErr := e.spec.Err(); specErr != nil {
+		s.quarantine(e, specErr)
+		w.Header().Set("Retry-After", "5")
+		s.errorJSON(w, http.StatusServiceUnavailable, errClassQuarantined,
+			"spectrum %q is quarantined (unserviceable pending repair): %v", e.name, specErr)
+		return
+	}
+	s.countShardQuery(e, "ok")
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// proxyQuery answers /v2/query against a coordinator's remote entry by
+// fanning out through the backend, mapping an unreachable shard to the
+// same 503-with-Retry-After the correction path produces.
+func (s *server) proxyQuery(w http.ResponseWriter, e *entry, kms []seq.Kmer, d int) {
+	var resp remote.QueryResponse
+	var err error
+	if d == 0 {
+		resp.Indexes = make([]int, len(kms))
+		resp.Counts = make([]uint32, len(kms))
+		for i, km := range kms {
+			if resp.Indexes[i], err = e.remote.Index(km); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = e.remote.CountMany(kms, resp.Counts)
+		}
+	} else {
+		resp.Neighbors = make([][]string, len(kms))
+		for i, km := range kms {
+			var hood []seq.Kmer
+			if hood, err = e.remote.Neighborhood(km, d, nil); err != nil {
+				break
+			}
+			out := make([]string, len(hood))
+			for j, nb := range hood {
+				out[j] = strconv.FormatUint(uint64(nb), 10)
+			}
+			resp.Neighbors[i] = out
+		}
+	}
+	if err != nil {
+		var sue *remote.ShardUnavailableError
+		if errors.As(err, &sue) {
+			w.Header().Set("Retry-After", retryAfterSeconds(sue.RetryAfter))
+			s.errorJSON(w, http.StatusServiceUnavailable, errClassShardUnavailable, "%v", err)
+			return
+		}
+		s.errorJSON(w, http.StatusBadGateway, errClassInternal, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// countShardQuery feeds the node-side per-shard request counter; a
+// no-op for entries that are not shards.
+func (s *server) countShardQuery(e *entry, outcome string) {
+	if e.shard != nil {
+		s.m.shardRequests.With(e.shard.Spectrum, strconv.Itoa(e.shard.Shard), outcome).Inc()
+	}
+}
+
+// handleCluster is GET /v2/cluster: the coordinator's shard map and
+// per-shard traffic counters. On a non-coordinator daemon the spectra
+// list is empty.
+func (s *server) handleCluster(w http.ResponseWriter, r *http.Request) {
+	type shardStatus struct {
+		Shard    int    `json:"shard"`
+		Node     string `json:"node"`
+		Entry    string `json:"entry"`
+		Kmers    int    `json:"kmers"`
+		Requests int64  `json:"requests"`
+		Errors   int64  `json:"errors"`
+	}
+	type spectrumStatus struct {
+		Name       string        `json:"name"`
+		K          int           `json:"k"`
+		Kmers      int           `json:"kmers"`
+		PrefixBits uint          `json:"prefix_bits"`
+		Shards     []shardStatus `json:"shards"`
+	}
+	type nodeStatus struct {
+		Node     string `json:"node"`
+		Shards   int    `json:"shards"`
+		Requests int64  `json:"requests"`
+		Errors   int64  `json:"errors"`
+	}
+	spectra := []spectrumStatus{}
+	byNode := make(map[string]*nodeStatus)
+	for _, e := range s.reg.snapshot() {
+		if e.remote == nil {
+			continue
+		}
+		locs := e.remote.Shards()
+		stats := e.remote.ShardStats()
+		ss := spectrumStatus{
+			Name: e.name, K: e.remote.K(), Kmers: e.remote.Len(),
+			PrefixBits: e.remote.Partition().Bits,
+			Shards:     make([]shardStatus, len(locs)),
+		}
+		for i, loc := range locs {
+			ss.Shards[i] = shardStatus{
+				Shard: i, Node: loc.Node, Entry: loc.Entry, Kmers: loc.Kmers,
+				Requests: stats[i].Requests, Errors: stats[i].Errors,
+			}
+			ns := byNode[loc.Node]
+			if ns == nil {
+				ns = &nodeStatus{Node: loc.Node}
+				byNode[loc.Node] = ns
+			}
+			ns.Shards++
+			ns.Requests += stats[i].Requests
+			ns.Errors += stats[i].Errors
+		}
+		spectra = append(spectra, ss)
+	}
+	nodes := make([]nodeStatus, 0, len(byNode))
+	for _, ns := range byNode {
+		nodes = append(nodes, *ns)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Node < nodes[j].Node })
+	writeJSON(w, http.StatusOK, map[string]any{
+		"spectra": spectra,
+		"nodes":   nodes,
+	})
+}

@@ -44,6 +44,11 @@ type serverMetrics struct {
 	reads        *metrics.Counter
 	changedReads *metrics.Counter
 	changedBases *metrics.Counter
+	// shardRequests counts shard query round trips by spectrum, shard
+	// and outcome: on a coordinator these are the fan-out requests its
+	// RemoteSpectrum backends issue ("ok", "unavailable", "error"); on a
+	// node they are the /v2/query requests its shard entries answered.
+	shardRequests *metrics.CounterVec
 	// spectra is the number of spectra currently registered; quarantined
 	// is how many of them are refusing requests pending repair; swaps
 	// counts registry mutations by operation (upload, replace, delete,
@@ -77,6 +82,9 @@ func newServerMetrics() *serverMetrics {
 			"Reads whose sequence was altered by correction."),
 		changedBases: reg.NewCounter("repro_changed_bases_total",
 			"Individual bases rewritten by correction."),
+		shardRequests: reg.NewCounterVec("repro_shard_requests_total",
+			"Shard query round trips by spectrum, shard and outcome.",
+			"spectrum", "shard", "outcome"),
 		spectra: reg.NewGauge("repro_spectra_loaded",
 			"Spectra currently registered and servable."),
 		quarantined: reg.NewGauge("repro_spectra_quarantined",

@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/engine"
 	"repro/internal/kspectrum"
+	"repro/internal/remote"
 	"repro/internal/reptile"
 )
 
@@ -61,6 +62,81 @@ type entry struct {
 	// background probe (the CAS is the spawn dedup) retries the backing
 	// file until it verifies again or the entry leaves the registry.
 	quarantined atomic.Bool
+
+	// remote is set on coordinator entries: the spectrum lives sharded
+	// across the cluster behind this backend and spec is nil. Remote
+	// entries never quarantine — node failures surface per-request as
+	// shard-unavailable 503s.
+	remote *remote.RemoteSpectrum
+	// shard is set on node-side shard entries: the metadata GET
+	// /v2/shards advertises to discovering coordinators.
+	shard *remote.ShardInfo
+	// nis caches the per-radius neighbor indexes POST /v2/query d>0
+	// answers are served from, built lazily per distinct d.
+	nimu sync.Mutex
+	nis  map[int]*kspectrum.NeighborIndex
+}
+
+// k, size and bothStrands read the entry's spectrum metadata through
+// whichever backing it has — local columns or the remote shard map.
+func (e *entry) k() int {
+	if e.spec != nil {
+		return e.spec.K
+	}
+	return e.remote.K()
+}
+
+func (e *entry) size() int {
+	if e.spec != nil {
+		return e.spec.Size()
+	}
+	return e.remote.Len()
+}
+
+func (e *entry) bothStrands() bool {
+	if e.spec != nil {
+		return e.spec.BothStrands
+	}
+	return e.remote.BothStrands()
+}
+
+// healthErr is the entry's sticky health: a local spectrum's deferred
+// integrity verdict, or the remote backend's closed state.
+func (e *entry) healthErr() error {
+	if e.spec != nil {
+		return e.spec.Err()
+	}
+	return e.remote.Err()
+}
+
+// neighborIndex resolves the entry's shared NeighborIndex for radius d,
+// building it at most once per distinct d (c = min(k, d+4), the same
+// derivation the correction engines use, so node answers are identical
+// to local ones). Only valid on local entries.
+func (e *entry) neighborIndex(d int) (*kspectrum.NeighborIndex, error) {
+	e.nimu.Lock()
+	defer e.nimu.Unlock()
+	if ni, ok := e.nis[d]; ok {
+		return ni, nil
+	}
+	c := min(e.spec.K, d+4)
+	var (
+		ni  *kspectrum.NeighborIndex
+		err error
+	)
+	if e.spec.Mapped() {
+		ni, err = kspectrum.NewNeighborIndexLazy(e.spec, d, c)
+	} else {
+		ni, err = kspectrum.NewNeighborIndex(e.spec, d, c)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if e.nis == nil {
+		e.nis = make(map[int]*kspectrum.NeighborIndex)
+	}
+	e.nis[d] = ni
+	return ni, nil
 }
 
 // acquire takes a request hold on the entry.
@@ -73,7 +149,7 @@ func (e *entry) release() {
 	if e == nil {
 		return
 	}
-	if e.refs.Add(-1) == 0 && e.owned {
+	if e.refs.Add(-1) == 0 && e.owned && e.spec != nil {
 		if err := e.spec.Close(); err != nil {
 			log.Printf("spectrum %q: close after drain: %v", e.name, err)
 		}

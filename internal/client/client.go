@@ -78,6 +78,79 @@ type attempt struct {
 	err            error
 }
 
+// Policy is the retry-wait schedule the daemon's transient answers call
+// for, factored out of Client so other retrying callers — the
+// coordinator's shard fan-out in internal/remote — share the exact same
+// arithmetic instead of copy-pasting it. The zero value selects the
+// Client defaults: 100ms base, 5s cap, no retries.
+type Policy struct {
+	// MaxRetries is how many times a retryable failure is retried beyond
+	// the first attempt (0 = fail fast, n = up to n+1 attempts).
+	MaxRetries int
+	// BaseBackoff seeds the exponential backoff (<= 0 selects 100ms).
+	BaseBackoff time.Duration
+	// MaxBackoff caps a single jittered wait (<= 0 selects 5s). A daemon
+	// Retry-After longer than the cap is trusted up to 10x the cap.
+	MaxBackoff time.Duration
+}
+
+// resolve materializes the policy defaults.
+func (p Policy) resolve() (base, maxWait time.Duration) {
+	base = p.BaseBackoff
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	maxWait = p.MaxBackoff
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	return base, maxWait
+}
+
+// Wait computes the pause before retry `try` (0-based), honoring the
+// server's delay-seconds Retry-After header as the wait floor. The
+// jittered component is uniform in (0, base*2^try] capped at the
+// policy's MaxBackoff — full jitter decorrelates a thundering herd of
+// clients retrying the same shed. A Retry-After longer than the jittered
+// wait is trusted as the floor, but only up to 10x MaxBackoff: beyond
+// that it is a misconfiguration, not a schedule.
+func (p Policy) Wait(try int, retryAfterHeader string) time.Duration {
+	base, maxWait := p.resolve()
+	wait := backoff(base, maxWait, try)
+	if ra := retryAfter(retryAfterHeader); ra > wait {
+		if lid := 10 * maxWait; ra > lid {
+			ra = lid
+		}
+		wait = ra
+	}
+	return wait
+}
+
+// Sleep waits out Wait(try, retryAfterHeader) or the context, whichever
+// ends first; the context's error is returned when it won.
+func (p Policy) Sleep(ctx context.Context, try int, retryAfterHeader string) error {
+	timer := time.NewTimer(p.Wait(try, retryAfterHeader))
+	select {
+	case <-ctx.Done():
+		timer.Stop()
+		return ctx.Err()
+	case <-timer.C:
+		return nil
+	}
+}
+
+// Retryable reports whether an attempt outcome warrants a retry under
+// the daemon's contract: transport errors, 429 (admission shed) and 5xx
+// (quarantine, restart) are transient; other statuses are final.
+func Retryable(status int, err error) bool {
+	return err != nil || status == http.StatusTooManyRequests || status >= 500
+}
+
+// policy assembles the client's embedded retry policy.
+func (c *Client) policy() Policy {
+	return Policy{MaxRetries: c.MaxRetries, BaseBackoff: c.BaseBackoff, MaxBackoff: c.MaxBackoff}
+}
+
 // Correct posts one encoded FASTQ chunk to a correction endpoint (full
 // URL, query included), retrying per the client's policy. The error is
 // non-nil only when the final attempt failed in transport — an HTTP
@@ -87,14 +160,7 @@ func (c *Client) Correct(ctx context.Context, url string, chunk []byte) (Result,
 	if httpc == nil {
 		httpc = &http.Client{}
 	}
-	base := c.BaseBackoff
-	if base <= 0 {
-		base = 100 * time.Millisecond
-	}
-	maxWait := c.MaxBackoff
-	if maxWait <= 0 {
-		maxWait = 5 * time.Second
-	}
+	pol := c.policy()
 
 	var res Result
 	for try := 0; ; try++ {
@@ -102,42 +168,25 @@ func (c *Client) Correct(ctx context.Context, url string, chunk []byte) (Result,
 		res.Status, res.Body = a.status, a.body
 		res.Reads, res.Changed = a.reads, a.changed
 		res.Attempts = try + 1
-		retryable := a.err != nil ||
-			a.status == http.StatusTooManyRequests || a.status >= 500
-		if !retryable {
+		if !Retryable(a.status, a.err) {
 			return res, nil
 		}
 		if try >= c.MaxRetries {
 			res.GaveUp = true
 			return res, a.err
 		}
-		wait := backoff(base, maxWait, try)
-		if ra := retryAfter(a.retryAfter); ra > wait {
-			// Trust the daemon's own estimate as the floor, within reason:
-			// a Retry-After beyond 10x the cap is a misconfiguration, not
-			// a schedule.
-			if lid := 10 * maxWait; ra > lid {
-				ra = lid
-			}
-			wait = ra
-		}
-		timer := time.NewTimer(wait)
-		select {
-		case <-ctx.Done():
-			timer.Stop()
+		if err := pol.Sleep(ctx, try, a.retryAfter); err != nil {
 			res.GaveUp = true
 			if a.err == nil {
-				a.err = ctx.Err()
+				a.err = err
 			}
 			return res, a.err
-		case <-timer.C:
 		}
 	}
 }
 
 // backoff is the uniformly-jittered exponential wait before retry
-// `try`: (0, base*2^try] capped at ceil. Full jitter decorrelates a
-// thundering herd of clients retrying the same shed.
+// `try`: (0, base*2^try] capped at ceil.
 func backoff(base, ceil time.Duration, try int) time.Duration {
 	d := base << uint(try)
 	if d <= 0 || d > ceil {

@@ -162,3 +162,52 @@ func TestRetryAfterIsTheFloor(t *testing.T) {
 		t.Errorf("retry after %v, want >= ~1s (Retry-After honored)", gap)
 	}
 }
+
+// TestPolicyWaitRetryAfterFloor is the deterministic regression test for
+// the exported Policy: a 503-quarantined node's Retry-After must floor
+// the wait exactly (the jitter is strictly smaller than the floor here),
+// and a Retry-After beyond 10x MaxBackoff must clamp to exactly that
+// bound — the arithmetic the coordinator fan-out now shares.
+func TestPolicyWaitRetryAfterFloor(t *testing.T) {
+	p := Policy{BaseBackoff: time.Millisecond, MaxBackoff: time.Second}
+	// Jitter for try 0 is in (0, 1ms]; the 7s floor always wins exactly.
+	for i := 0; i < 50; i++ {
+		if got := p.Wait(0, "7"); got != 7*time.Second {
+			t.Fatalf("Wait(0, \"7\") = %v, want exactly 7s", got)
+		}
+	}
+	// 600s > 10*MaxBackoff: clamp to exactly 10s.
+	for i := 0; i < 50; i++ {
+		if got := p.Wait(0, "600"); got != 10*time.Second {
+			t.Fatalf("Wait(0, \"600\") = %v, want the 10x cap (10s)", got)
+		}
+	}
+	// Garbage and negative headers fall back to pure jittered backoff.
+	for _, h := range []string{"", "soon", "-3"} {
+		if got := p.Wait(0, h); got <= 0 || got > time.Millisecond {
+			t.Fatalf("Wait(0, %q) = %v, want jitter in (0, 1ms]", h, got)
+		}
+	}
+	// The jittered component still caps at MaxBackoff for deep retries.
+	if got := p.Wait(30, ""); got <= 0 || got > time.Second {
+		t.Fatalf("Wait(30, \"\") = %v, want <= MaxBackoff", got)
+	}
+}
+
+// TestRetryable pins the shared transient-outcome classification.
+func TestRetryable(t *testing.T) {
+	cases := []struct {
+		status int
+		err    error
+		want   bool
+	}{
+		{200, nil, false}, {400, nil, false}, {404, nil, false},
+		{429, nil, true}, {500, nil, true}, {503, nil, true},
+		{0, context.DeadlineExceeded, true},
+	}
+	for _, c := range cases {
+		if got := Retryable(c.status, c.err); got != c.want {
+			t.Errorf("Retryable(%d, %v) = %v want %v", c.status, c.err, got, c.want)
+		}
+	}
+}

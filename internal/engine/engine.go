@@ -30,6 +30,13 @@ type Capabilities struct {
 	// (0 = no engine-specific limit beyond seq.MaxK). Reptile's packed
 	// 2k-base tiles cap it at seq.MaxK/2.
 	MaxSpectrumK int
+	// RemoteSpectrum reports that the engine's service path can run
+	// against a kspectrum.SpectrumBackend (Run.Backend) instead of a
+	// local *Spectrum — the property the coordinator's distributed
+	// serving mode routes on. Engines that need full column access
+	// (REDEEM fits its model over every spectrum entry) leave it false
+	// and stay colocated with their spectrum.
+	RemoteSpectrum bool
 }
 
 // ServesSpectrum reports whether the engine can serve requests against a

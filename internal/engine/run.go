@@ -45,6 +45,12 @@ type Run struct {
 	// Spectrum, when non-nil, is a preloaded k-spectrum the engine
 	// adopts instead of counting the input.
 	Spectrum *kspectrum.Spectrum
+	// Backend, when non-nil (and Spectrum is nil), is a pluggable
+	// spectrum query backend — typically a remote, sharded spectrum —
+	// that engines with Capabilities.RemoteSpectrum adopt for their
+	// service path. Engines asserting richer access (neighborhoods)
+	// type-assert kspectrum.NeighborSource on it.
+	Backend kspectrum.SpectrumBackend
 	// SpectrumPath, when set, loads the spectrum from the persistent
 	// store instead. The stored k is authoritative: an explicit
 	// disagreeing k is an error, an unset k adopts it.
@@ -134,6 +140,13 @@ func WithCheckpointEvery(n int64) Option { return func(r *Run) { r.CheckpointEve
 // WithSpectrum supplies a preloaded in-memory spectrum the engine adopts
 // instead of counting the input.
 func WithSpectrum(spec *kspectrum.Spectrum) Option { return func(r *Run) { r.Spectrum = spec } }
+
+// WithSpectrumBackend supplies a pluggable spectrum query backend (local
+// adapter or remote shard router) for engines whose service path
+// declares Capabilities.RemoteSpectrum.
+func WithSpectrumBackend(b kspectrum.SpectrumBackend) Option {
+	return func(r *Run) { r.Backend = b }
+}
 
 // SpectrumMode selects how a persisted spectrum is materialized by
 // WithSpectrumPath / LoadSpectrumForK.

@@ -1,0 +1,128 @@
+package kspectrum
+
+import (
+	"errors"
+
+	"repro/internal/seq"
+)
+
+// SpectrumBackend is the query seam every spectrum consumer goes
+// through: the correction engines, the tile scorer and the serve daemon
+// ask membership/count questions here instead of touching *Spectrum
+// columns directly, so a remote, sharded spectrum (internal/remote) can
+// stand in for a local one. Local backends — built, copied or mapped
+// spectra wrapped by Local — never return errors from queries (a mapped
+// spectrum's lazy-validation failure surfaces through Err and absent
+// answers, exactly as Spectrum.Index behaves); remote backends return
+// transport and availability errors, which callers must surface rather
+// than misread as "absent".
+//
+// Implementations must be safe for concurrent use.
+type SpectrumBackend interface {
+	// K is the kmer length.
+	K() int
+	// Len is the number of distinct kmers across the whole spectrum.
+	Len() int
+	// Index returns the position of km in the globally-sorted spectrum,
+	// or -1 when absent.
+	Index(km seq.Kmer) (int, error)
+	// Count returns km's occurrence count (0 when absent).
+	Count(km seq.Kmer) (uint32, error)
+	// Contains reports membership.
+	Contains(km seq.Kmer) (bool, error)
+	// CountMany fills counts[i] with the occurrence count of kms[i]
+	// (len(counts) must equal len(kms)). Batching is the amortization
+	// lever for remote backends: one round trip per owning shard instead
+	// of one per kmer.
+	CountMany(kms []seq.Kmer, counts []uint32) error
+	// Err reports the backend's sticky health (nil when servable).
+	Err() error
+	// Close releases backing resources; queries afterwards answer
+	// absent or ErrSpectrumClosed.
+	Close() error
+}
+
+// NeighborSource answers d-neighborhood queries by kmer value: all
+// spectrum kmers within Hamming distance d of km, appended to dst in
+// ascending order without duplicates. d == 0 degenerates to membership.
+// Remote backends implement it by fanning out to the shards a mutation
+// of km's prefix could land in (PrefixPartition.NeighborShards).
+type NeighborSource interface {
+	Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error)
+}
+
+// localBackend adapts a *Spectrum to SpectrumBackend. (The adapter
+// exists because Spectrum's K is a public field, which blocks a K()
+// method on the type itself.)
+type localBackend struct{ s *Spectrum }
+
+// Local wraps a built, copied or mapped spectrum as a SpectrumBackend.
+// Queries never error; Err and Close delegate to the spectrum.
+func Local(s *Spectrum) SpectrumBackend { return localBackend{s} }
+
+// Unwrap exposes the underlying spectrum of a Local backend (nil for
+// any other implementation) — the escape hatch for local-only engines
+// that need full column access.
+func Unwrap(b SpectrumBackend) *Spectrum {
+	if lb, ok := b.(localBackend); ok {
+		return lb.s
+	}
+	return nil
+}
+
+func (b localBackend) K() int   { return b.s.K }
+func (b localBackend) Len() int { return b.s.Size() }
+func (b localBackend) Index(km seq.Kmer) (int, error) {
+	return b.s.Index(km), nil
+}
+func (b localBackend) Count(km seq.Kmer) (uint32, error) {
+	return b.s.Count(km), nil
+}
+func (b localBackend) Contains(km seq.Kmer) (bool, error) {
+	return b.s.Contains(km), nil
+}
+func (b localBackend) CountMany(kms []seq.Kmer, counts []uint32) error {
+	b.s.CountMany(kms, counts)
+	return nil
+}
+func (b localBackend) Err() error          { return b.s.Err() }
+func (b localBackend) Close() error        { return b.s.Close() }
+func (b localBackend) BothStrands() bool   { return b.s.BothStrands }
+func (b localBackend) Spectrum() *Spectrum { return b.s }
+
+// CountMany fills counts[i] with the occurrence count of kms[i]; the
+// slices must have equal length. It is the batched form of Count.
+func (s *Spectrum) CountMany(kms []seq.Kmer, counts []uint32) {
+	for i, km := range kms {
+		counts[i] = s.Count(km)
+	}
+}
+
+// localNeighbors answers neighborhood queries from a local spectrum and
+// its NeighborIndex.
+type localNeighbors struct {
+	s  *Spectrum
+	ni *NeighborIndex
+}
+
+// LocalNeighbors builds a NeighborSource over a local spectrum. ni may
+// be nil when only d == 0 (membership) queries will be issued; d > 0
+// queries require ni and must satisfy d <= ni.D.
+func LocalNeighbors(s *Spectrum, ni *NeighborIndex) NeighborSource {
+	return localNeighbors{s: s, ni: ni}
+}
+
+func (l localNeighbors) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error) {
+	if d == 0 {
+		if i := l.s.Index(km); i >= 0 {
+			dst = append(dst, l.s.Kmers[i])
+		}
+		return dst, nil
+	}
+	if l.ni == nil {
+		return dst, errNoNeighborIndex
+	}
+	return l.ni.NeighborKmers(km, dst), nil
+}
+
+var errNoNeighborIndex = errors.New("kspectrum: neighborhood query without a NeighborIndex")

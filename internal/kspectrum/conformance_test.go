@@ -2,7 +2,6 @@ package kspectrum
 
 import (
 	"bytes"
-	"encoding/binary"
 	"errors"
 	"fmt"
 	"os"
@@ -24,86 +23,9 @@ import (
 // structure to first touch) but never to disagree on answers for a valid
 // store, and never to crash on an invalid one.
 
-// corruptCase is one mutilated store image. The table is shared by the
-// streaming-decoder corruption test (TestSpectrumStoreRejectsCorruption)
-// and the backend conformance suite, so both backends face the same
-// adversarial inputs.
-type corruptCase struct {
-	name string
-	data []byte
-}
-
-// corruptStoreCases derives the corruption matrix from a valid encoding
-// of s: truncations of every section, header field forgeries, single-bit
-// flips in each column and the trailer, ordering violations, and
-// trailing garbage.
-func corruptStoreCases(s *Spectrum, valid []byte) []corruptCase {
-	kmerCol := storeHeaderLen
-	countCol := kmerCol + 8*len(s.Kmers)
-	crcOff := len(valid) - 4
-
-	mutate := func(fn func(b []byte) []byte) []byte {
-		b := append([]byte(nil), valid...)
-		return fn(b)
-	}
-	return []corruptCase{
-		{"empty", nil},
-		{"truncated magic", valid[:2]},
-		{"truncated header", valid[:storeHeaderLen-3]},
-		{"truncated kmer column", valid[:kmerCol+8*len(s.Kmers)/2]},
-		{"truncated count column", valid[:countCol+4*len(s.Kmers)/2-1]},
-		{"truncated checksum", valid[:len(valid)-1]},
-		{"wrong magic", mutate(func(b []byte) []byte { b[0] = 'X'; return b })},
-		{"wrong version", mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[4:8], StoreVersion+1)
-			return b
-		})},
-		{"zero k", mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[8:12], 0)
-			return b
-		})},
-		{"oversized k", mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[8:12], 33)
-			return b
-		})},
-		{"unknown flags", mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint32(b[12:16], 0xF0)
-			return b
-		})},
-		{"absurd count", mutate(func(b []byte) []byte {
-			binary.LittleEndian.PutUint64(b[16:24], 1<<40)
-			return b
-		})},
-		{"forged count, k=32, header only", func() []byte {
-			// k in [16,32] evades the 4^k bound and 2^31-1 evades the
-			// index limit: the decoder must fail on truncation after at
-			// most one slab, never allocate count-sized columns up front
-			// (this case completing quickly IS the assertion).
-			hdr := append([]byte(nil), valid[:storeHeaderLen]...)
-			binary.LittleEndian.PutUint32(hdr[8:12], 32)
-			binary.LittleEndian.PutUint64(hdr[16:24], (1<<31)-1)
-			return hdr
-		}()},
-		{"flipped kmer byte", mutate(func(b []byte) []byte { b[kmerCol+3] ^= 0x40; return b })},
-		{"flipped count byte", mutate(func(b []byte) []byte { b[countCol] ^= 0x01; return b })},
-		{"flipped crc byte", mutate(func(b []byte) []byte { b[crcOff] ^= 0x01; return b })},
-		{"kmer order swap", mutate(func(b []byte) []byte {
-			// Swap the first two kmer records: individually valid values,
-			// but the strict-ascending invariant breaks.
-			tmp := make([]byte, 8)
-			copy(tmp, b[kmerCol:kmerCol+8])
-			copy(b[kmerCol:kmerCol+8], b[kmerCol+8:kmerCol+16])
-			copy(b[kmerCol+8:kmerCol+16], tmp)
-			return b
-		})},
-		{"out-of-range kmer", mutate(func(b []byte) []byte {
-			// Set high bits beyond 2k on the last kmer record.
-			b[countCol-1] = 0xFF
-			return b
-		})},
-		{"trailing garbage", append(append([]byte(nil), valid...), 0xAA)},
-	}
-}
+// The corruption matrix itself lives in conformance.go (exported as
+// CorruptionCases) so internal/remote's conformance suite runs the same
+// table against the distributed backend.
 
 // storeBackend is one way of materializing a store image as a queryable
 // Spectrum.
@@ -150,9 +72,9 @@ func TestStoreConformanceCorruption(t *testing.T) {
 	valid := encodeSpectrum(t, s)
 	for _, be := range storeBackends() {
 		t.Run(be.name, func(t *testing.T) {
-			for _, tc := range corruptStoreCases(s, valid) {
-				t.Run(tc.name, func(t *testing.T) {
-					got, err := be.open(t, tc.data)
+			for _, tc := range CorruptionCases(s, valid) {
+				t.Run(tc.Name, func(t *testing.T) {
+					got, err := be.open(t, tc.Data)
 					if err != nil {
 						if !errors.Is(err, ErrSpectrumStore) {
 							t.Fatalf("error does not wrap ErrSpectrumStore: %v", err)
@@ -503,8 +425,8 @@ func FuzzOpenMapped(f *testing.F) {
 	s := storeTestSpectrum(f, 6, 80, true)
 	valid := encodeSpectrum(f, s)
 	f.Add(valid)
-	for _, tc := range corruptStoreCases(s, valid) {
-		f.Add(tc.data)
+	for _, tc := range CorruptionCases(s, valid) {
+		f.Add(tc.Data)
 	}
 	f.Add(encodeSpectrum(f, &Spectrum{K: 3}))
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -167,13 +167,13 @@ func newMappedSpectrum(data []byte, path string) (*Spectrum, error) {
 		s.Kmers = unsafe.Slice((*seq.Kmer)(unsafe.Pointer(&data[storeHeaderLen])), count)
 		s.Counts = unsafe.Slice((*uint32)(unsafe.Pointer(&data[storeHeaderLen+8*count])), count)
 	}
-	pbits := pickPBits(count, k)
-	s.pshift = uint(2*k - pbits)
+	part := pickIndexPartition(count, k)
+	s.pshift = part.Shift()
 	s.mapped = &mappedState{
 		data:    data,
 		path:    path,
-		bounds:  make([]atomic.Int32, (1<<pbits)+1),
-		checked: make([]atomic.Uint32, (1<<pbits+31)/32),
+		bounds:  make([]atomic.Int32, part.Shards()+1),
+		checked: make([]atomic.Uint32, uint(part.Shards()+31)/32),
 	}
 	return s, nil
 }

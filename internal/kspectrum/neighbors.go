@@ -158,6 +158,38 @@ func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 	return out
 }
 
+// NeighborKmers is Neighbors by value: it appends the kmers (not the
+// spectrum indices) of km's d-neighborhood to dst, deduplicated and in
+// ascending kmer order. Because the spectrum is sorted and unique,
+// ascending kmer order and ascending index order are the same
+// enumeration — the property the distributed path relies on to make a
+// merged multi-shard neighborhood byte-identical to a local one.
+func (ni *NeighborIndex) NeighborKmers(km seq.Kmer, dst []seq.Kmer) []seq.Kmer {
+	k := ni.spec.K
+	start := len(dst)
+	for r, mask := range ni.masks {
+		key := km &^ mask
+		idx := ni.replica(r)
+		kmers := ni.spec.Kmers
+		lo := sort.Search(len(idx), func(i int) bool { return kmers[idx[i]]&^mask >= key })
+		for i := lo; i < len(idx) && kmers[idx[i]]&^mask == key; i++ {
+			cand := kmers[idx[i]]
+			if seq.HammingKmer(km, cand, k) <= ni.D {
+				dst = append(dst, cand)
+			}
+		}
+	}
+	found := dst[start:]
+	slices.Sort(found)
+	out := dst[:start]
+	for i, v := range found {
+		if i == 0 || v != found[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
 // BruteForceNeighbors enumerates the complete d-neighborhood by probing
 // every kmer within Hamming distance d of km against the spectrum — the
 // paper's alternative O(C(k,d)·4^d·log|R^k|) method, kept as the oracle for

@@ -1,0 +1,88 @@
+package kspectrum
+
+import "repro/internal/seq"
+
+// PrefixPartition is the one description of how this package splits kmer
+// space by high bits. Three subsystems partition identically — the
+// builder's count shards (sharded.go), the frozen and lazy query-index
+// buckets (spectrum.go, mapped.go), and the distributed shard router
+// (shardsplit.go, internal/remote) — and all of them now derive their
+// routing from this type, so the partitions cannot drift.
+//
+// A partition of k-mers into 2^Bits shards assigns kmer km to shard
+// km >> Shift(): because kmers pack bases MSB-first, each shard is one
+// contiguous range of the sorted spectrum, and the concatenation of
+// sorted shards in shard order is the sorted whole.
+type PrefixPartition struct {
+	K    int  // kmer length in bases
+	Bits uint // number of high bits that select the shard; Bits <= 2*K
+}
+
+// Shift is the right-shift that maps a kmer to its shard number.
+func (p PrefixPartition) Shift() uint { return uint(2*p.K) - p.Bits }
+
+// Shards is the number of shards, 2^Bits.
+func (p PrefixPartition) Shards() int { return 1 << p.Bits }
+
+// ShardOf returns the shard owning km.
+func (p PrefixPartition) ShardOf(km seq.Kmer) int {
+	return int(uint64(km) >> p.Shift())
+}
+
+// prefixBitsFor returns the smallest bit count whose shard count is >= n,
+// clamped to [0, max]. Callers supply their own cap: the builder caps at
+// min(10, 2k), the query index at min(22, 2k), the distributed splitter
+// at 2k.
+func prefixBitsFor(n int, max uint) uint {
+	var bits uint
+	for n > 1<<bits && bits < max {
+		bits++
+	}
+	return bits
+}
+
+// NeighborShards appends to dst the shards that can own a kmer within
+// Hamming distance d of km, deduplicated and in ascending order. It is
+// exact: a shard is included iff some kmer at distance <= d lands there.
+//
+// Only substitutions in the first ceil(Bits/2) bases can change the
+// shard — base i occupies bits [2(K-1-i), 2(K-i)) from the bottom, so a
+// base with 2i >= Bits lies entirely below the shard prefix — which
+// bounds the fan-out of a d-neighborhood query at C(nb,d)*3^d shards
+// for nb prefix bases, independent of K.
+func (p PrefixPartition) NeighborShards(km seq.Kmer, d int, dst []int) []int {
+	nb := int((p.Bits + 1) / 2) // bases overlapping the shard prefix
+	if nb > p.K {
+		nb = p.K
+	}
+	seen := map[int]bool{p.ShardOf(km): true}
+	var walk func(km seq.Kmer, from, left int)
+	walk = func(cur seq.Kmer, from, left int) {
+		if left == 0 {
+			return
+		}
+		for i := from; i < nb; i++ {
+			orig := cur.At(i, p.K)
+			for b := seq.Base(0); b < 4; b++ {
+				if b == orig {
+					continue
+				}
+				mut := cur.WithBase(i, p.K, b)
+				seen[p.ShardOf(mut)] = true
+				walk(mut, i+1, left-1)
+			}
+		}
+	}
+	walk(km, 0, d)
+	start := len(dst)
+	for s := range seen {
+		dst = append(dst, s)
+	}
+	sub := dst[start:]
+	for i := 1; i < len(sub); i++ {
+		for j := i; j > 0 && sub[j] < sub[j-1]; j-- {
+			sub[j], sub[j-1] = sub[j-1], sub[j]
+		}
+	}
+	return dst
+}

@@ -38,16 +38,7 @@ func (o BuildOptions) resolve(k int) (workers int, shardBits uint) {
 			shards = 4 * workers
 		}
 	}
-	for shards > 1<<shardBits {
-		shardBits++
-	}
-	if max := uint(10); shardBits > max {
-		shardBits = max
-	}
-	if max := uint(2 * k); shardBits > max {
-		shardBits = max
-	}
-	return workers, shardBits
+	return workers, prefixBitsFor(shards, min(10, uint(2*k)))
 }
 
 // chunkSize is the read-batch granularity of the producer: large enough to
@@ -73,7 +64,7 @@ type SpectrumBuilder struct {
 	k           int
 	bothStrands bool
 	workers     int
-	shardShift  uint
+	part        PrefixPartition
 	shards      []countShard
 
 	// onFlush, when set, is invoked after each buffer flush while the
@@ -94,12 +85,13 @@ func NewSpectrumBuilder(k int, bothStrands bool, opts ...BuildOptions) (*Spectru
 		o = opts[0]
 	}
 	workers, shardBits := o.resolve(k)
+	part := PrefixPartition{K: k, Bits: shardBits}
 	sb := &SpectrumBuilder{
 		k:           k,
 		bothStrands: bothStrands,
 		workers:     workers,
-		shardShift:  uint(2*k) - shardBits,
-		shards:      make([]countShard, 1<<shardBits),
+		part:        part,
+		shards:      make([]countShard, part.Shards()),
 	}
 	for i := range sb.shards {
 		sb.shards[i].counts = NewCounter(0)
@@ -147,12 +139,10 @@ func (sb *SpectrumBuilder) countChunk(reads []seq.Read, buf [][]seq.Kmer) {
 	}
 	for _, r := range reads {
 		ForEachKmer(r.Seq, sb.k, func(km seq.Kmer, _ int) {
-			s := km >> sb.shardShift
-			buf[s] = append(buf[s], km)
+			buf[sb.part.ShardOf(km)] = append(buf[sb.part.ShardOf(km)], km)
 			if sb.bothStrands {
 				rc := seq.RevComp(km, sb.k)
-				s = rc >> sb.shardShift
-				buf[s] = append(buf[s], rc)
+				buf[sb.part.ShardOf(rc)] = append(buf[sb.part.ShardOf(rc)], rc)
 			}
 		})
 	}

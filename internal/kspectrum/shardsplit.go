@@ -1,0 +1,61 @@
+package kspectrum
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/seq"
+)
+
+// SplitShards cuts a spectrum into n per-prefix shards under the same
+// high-bit partition the builder and the query index use. n is rounded
+// up to a power of two and capped at 4^k. Each returned sub-spectrum is
+// a zero-copy view over the source's columns (shard i holds exactly the
+// kmers whose top partition bits equal i — one contiguous sorted range),
+// valid as a standalone spectrum: WriteSpectrumFile persists it as a
+// normal KSPC store, and the concatenation of the shards in shard order
+// reproduces the source byte-for-byte. Empty shards are returned too —
+// a cluster needs a file per shard so ownership stays explicit.
+//
+// A memory-mapped source is fully verified first, so corruption is
+// rejected at split time rather than smeared across shard files.
+func SplitShards(s *Spectrum, n int) (PrefixPartition, []*Spectrum, error) {
+	if err := s.Verify(); err != nil {
+		return PrefixPartition{}, nil, err
+	}
+	if n < 1 {
+		return PrefixPartition{}, nil, fmt.Errorf("kspectrum: invalid shard count %d", n)
+	}
+	part := PrefixPartition{K: s.K, Bits: prefixBitsFor(n, uint(2*s.K))}
+	shards := make([]*Spectrum, part.Shards())
+	lo := 0
+	for i := range shards {
+		hi := len(s.Kmers)
+		if i+1 < len(shards) {
+			target := seq.Kmer(uint64(i+1) << part.Shift())
+			hi = lo + sort.Search(len(s.Kmers)-lo, func(j int) bool { return s.Kmers[lo+j] >= target })
+		}
+		shards[i] = &Spectrum{
+			K:           s.K,
+			Kmers:       s.Kmers[lo:hi:hi],
+			Counts:      s.Counts[lo:hi:hi],
+			BothStrands: s.BothStrands,
+		}
+		lo = hi
+	}
+	return part, shards, nil
+}
+
+// ShardFileName is the canonical file name of shard i of n for a
+// spectrum whose base name (no extension) is base. The stem doubles as
+// the daemon's registry entry name for the shard, so it sticks to the
+// registry's name alphabet.
+func ShardFileName(base string, i, n int) string {
+	return fmt.Sprintf("%s.s%dof%d.kspc", base, i, n)
+}
+
+// ShardEntryName is ShardFileName without the .kspc extension — the
+// name a serving node registers shard i of n under.
+func ShardEntryName(base string, i, n int) string {
+	return fmt.Sprintf("%s.s%dof%d", base, i, n)
+}

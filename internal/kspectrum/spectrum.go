@@ -105,12 +105,12 @@ func (s *Spectrum) freezeIndex() {
 	if n == 0 {
 		return
 	}
-	pbits := pickPBits(n, s.K)
-	s.pshift = uint(2*s.K - pbits)
-	s.pbuckets = make([]int32, (1<<pbits)+1)
+	part := pickIndexPartition(n, s.K)
+	s.pshift = part.Shift()
+	s.pbuckets = make([]int32, part.Shards()+1)
 	cur := 0
 	for i, km := range s.Kmers {
-		b := int(uint64(km) >> s.pshift)
+		b := part.ShardOf(km)
 		for cur <= b {
 			s.pbuckets[cur] = int32(i)
 			cur++
@@ -121,16 +121,16 @@ func (s *Spectrum) freezeIndex() {
 	}
 }
 
-// pickPBits sizes the prefix-bucket table for n kmers of length k so the
-// average bucket holds ~2 entries, capped by 2k and a 4M-bucket bound.
-// Both the frozen index and the lazy mapped index use it, so a mapped and
-// a copied load of the same store bucket identically.
-func pickPBits(n, k int) int {
-	pbits := 1
-	for 1<<pbits < n/2 && pbits < 2*k && pbits < 22 {
-		pbits++
+// pickIndexPartition sizes the prefix-bucket table for n kmers of length
+// k so the average bucket holds ~2 entries, capped by 2k and a 4M-bucket
+// bound. Both the frozen index and the lazy mapped index use it, so a
+// mapped and a copied load of the same store bucket identically.
+func pickIndexPartition(n, k int) PrefixPartition {
+	bits := prefixBitsFor(n/2, min(uint(2*k), 22))
+	if bits < 1 {
+		bits = 1
 	}
-	return pbits
+	return PrefixPartition{K: k, Bits: bits}
 }
 
 // Index returns the position of km in the sorted spectrum, or -1. After

@@ -135,9 +135,9 @@ func TestSpectrumStoreFile(t *testing.T) {
 func TestSpectrumStoreRejectsCorruption(t *testing.T) {
 	s := storeTestSpectrum(t, 12, 200, true)
 	valid := encodeSpectrum(t, s)
-	for _, tc := range corruptStoreCases(s, valid) {
-		t.Run(tc.name, func(t *testing.T) {
-			got, err := ReadSpectrum(bytes.NewReader(tc.data))
+	for _, tc := range CorruptionCases(s, valid) {
+		t.Run(tc.Name, func(t *testing.T) {
+			got, err := ReadSpectrum(bytes.NewReader(tc.Data))
 			if err == nil {
 				t.Fatalf("corrupted input accepted: %d kmers decoded", got.Size())
 			}

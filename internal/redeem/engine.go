@@ -62,6 +62,11 @@ func (redeemEngine) Capabilities() engine.Capabilities {
 		Streaming:     true,
 		SpectrumReuse: true,
 		MaxSpectrumK:  seq.MaxK,
+		// The EM fit and the sparse Pe graph walk every spectrum column,
+		// so REDEEM must be colocated with its spectrum: no remote
+		// backend. The coordinator refuses to route redeem requests to a
+		// sharded spectrum on this declaration.
+		RemoteSpectrum: false,
 	}
 }
 

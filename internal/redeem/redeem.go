@@ -108,6 +108,14 @@ type Model struct {
 	Err  *simulate.KmerErrorModel
 	Spec *kspectrum.Spectrum
 
+	// backend is the spectrum query seam the correction loop's membership
+	// screen goes through. REDEEM stays colocated with its spectrum — the
+	// EM fit walks every column (engine.Capabilities.RemoteSpectrum is
+	// false) — so this is always the local adapter, but routing the
+	// queries through it keeps the per-read hot path on the same
+	// interface every other consumer uses.
+	backend kspectrum.SpectrumBackend
+
 	// Y[l] is the observed occurrence count of spectrum kmer l; T[l] the
 	// EM-estimated expected number of read attempts.
 	Y []float64
@@ -169,7 +177,7 @@ func NewFromSpectrum(spec *kspectrum.Spectrum, errModel *simulate.KmerErrorModel
 	if err != nil {
 		return nil, err
 	}
-	m := &Model{Cfg: cfg, Err: errModel, Spec: spec}
+	m := &Model{Cfg: cfg, Err: errModel, Spec: spec, backend: kspectrum.Local(spec)}
 	m.Y = make([]float64, spec.Size())
 	m.T = make([]float64, spec.Size())
 	for i, c := range spec.Counts {
@@ -392,7 +400,9 @@ func (m *Model) correctRead(r seq.Read, liberal float64, s *correctScratch) seq.
 	for p := range kmerIdx {
 		kmerIdx[p] = -1
 		if km, ok := seq.Pack(out.Seq[p:], k); ok {
-			if idx := m.Spec.Index(km); idx >= 0 {
+			// Local backends never error; the screen treats any failure
+			// as "absent", which only marks the read suspicious.
+			if idx, _ := m.backend.Index(km); idx >= 0 {
 				kmerIdx[p] = int32(idx)
 				if m.T[idx] < liberal {
 					suspicious = true

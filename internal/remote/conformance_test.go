@@ -1,0 +1,312 @@
+// Cluster conformance: the PR 6 spectrum-store conformance suite
+// (corruption table + byte-identity) applied to the distributed
+// backend. The spectrum is split into shard files, served by real
+// daemon handlers over in-process HTTP nodes, and queried through
+// RemoteSpectrum — every answer must be byte-identical to the local
+// backend over the unsharded source, corruption must be rejected at
+// shard load time, and a dead node must surface as a typed
+// availability error on exactly its shards while the others keep
+// answering.
+package remote_test
+
+import (
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/cli"
+	"repro/internal/client"
+	"repro/internal/kspectrum"
+	"repro/internal/remote"
+	"repro/internal/seq"
+	"repro/internal/simulate"
+)
+
+// testSpectrum builds the deterministic corpus spectrum every cluster
+// test shards.
+func testSpectrum(t *testing.T) *kspectrum.Spectrum {
+	t.Helper()
+	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
+		Name: "t", GenomeLen: 5000, ReadLen: 36, Coverage: 25,
+		ErrorRate: 0.008, Bias: simulate.EcoliBias, QualityNoise: 2, Seed: 41,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := kspectrum.Build(simulate.Reads(ds.Sim), 11, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return spec
+}
+
+// cluster is one in-process sharded deployment: N shard files spread
+// across node daemons plus the coordinator-side remote backend.
+type cluster struct {
+	spec    *kspectrum.Spectrum
+	part    kspectrum.PrefixPartition
+	rs      *remote.RemoteSpectrum
+	servers []*httptest.Server
+	// ownerNode[shard] is the index into servers of the owning node.
+	ownerNode []int
+}
+
+// startCluster splits spec across len(nodesShards) node daemons
+// (nodesShards[n] lists the shard numbers node n owns — together they
+// must cover all shards) and connects a RemoteSpectrum to them.
+func startCluster(t *testing.T, spec *kspectrum.Spectrum, shards int, nodesShards [][]int) *cluster {
+	t.Helper()
+	dir := t.TempDir()
+	part, views, err := kspectrum.SplitShards(spec, shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(views)
+	paths := make([]string, n)
+	for i, sh := range views {
+		paths[i] = filepath.Join(dir, kspectrum.ShardFileName("main", i, n))
+		if err := kspectrum.WriteSpectrumFile(paths[i], sh); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := &cluster{spec: spec, part: part, ownerNode: make([]int, n)}
+	var urls []string
+	for nodeIdx, owned := range nodesShards {
+		loaded := make(map[string]*kspectrum.Spectrum)
+		meta := make(map[string]remote.ShardInfo)
+		for _, i := range owned {
+			sh, err := kspectrum.ReadSpectrumFile(paths[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			entry := kspectrum.ShardEntryName("main", i, n)
+			loaded[entry] = sh
+			meta[entry] = remote.ShardInfo{
+				Spectrum: "main", Shard: i, Of: n, Entry: entry,
+				K: sh.K, BothStrands: sh.BothStrands, Kmers: sh.Size(),
+			}
+			c.ownerNode[i] = nodeIdx
+		}
+		h, err := cli.NewHandler(loaded, cli.ServerOptions{Workers: 1, ShardEntries: meta})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(h)
+		t.Cleanup(ts.Close)
+		c.servers = append(c.servers, ts)
+		urls = append(urls, ts.URL)
+	}
+	maps, err := remote.Discover(context.Background(), nil, urls)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := maps["main"]
+	if !ok {
+		t.Fatalf("discovery found %d spectra, no %q", len(maps), "main")
+	}
+	c.rs, err = remote.New(m, remote.Options{
+		Policy: client.Policy{MaxRetries: 1, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// kmerOnShard finds a spectrum kmer owned by the given shard.
+func (c *cluster) kmerOnShard(t *testing.T, shard int) seq.Kmer {
+	t.Helper()
+	for _, km := range c.spec.Kmers {
+		if c.part.ShardOf(km) == shard {
+			return km
+		}
+	}
+	t.Fatalf("no spectrum kmer lands on shard %d", shard)
+	return 0
+}
+
+// TestRemoteSpectrumConformanceIdentity: every query against the
+// 2-node, 4-shard cluster must be byte-identical to the local backend
+// over the unsharded spectrum — positions (global index), counts,
+// membership, batches, and d-neighborhoods in identical order.
+func TestRemoteSpectrumConformanceIdentity(t *testing.T) {
+	spec := testSpectrum(t)
+	c := startCluster(t, spec, 4, [][]int{{0, 1}, {2, 3}})
+	local := kspectrum.Local(spec)
+
+	if c.rs.K() != spec.K || c.rs.Len() != spec.Size() || !c.rs.BothStrands() {
+		t.Fatalf("remote metadata k=%d len=%d both=%v, want k=%d len=%d both=true",
+			c.rs.K(), c.rs.Len(), c.rs.BothStrands(), spec.K, spec.Size())
+	}
+
+	// Probe set: a sample of present kmers plus mutated (mostly absent)
+	// ones, covering every shard.
+	var probes []seq.Kmer
+	for i := 0; i < len(spec.Kmers); i += 53 {
+		km := spec.Kmers[i]
+		probes = append(probes, km, km^3, km^(3<<20))
+	}
+	for _, km := range probes {
+		wantIdx, _ := local.Index(km)
+		gotIdx, err := c.rs.Index(km)
+		if err != nil {
+			t.Fatalf("Index(%v): %v", km, err)
+		}
+		if gotIdx != wantIdx {
+			t.Fatalf("Index(%v) = %d, local %d", km, gotIdx, wantIdx)
+		}
+		wantCnt, _ := local.Count(km)
+		gotCnt, err := c.rs.Count(km)
+		if err != nil {
+			t.Fatalf("Count(%v): %v", km, err)
+		}
+		if gotCnt != wantCnt {
+			t.Fatalf("Count(%v) = %d, local %d", km, gotCnt, wantCnt)
+		}
+	}
+
+	// Batched counts in one call.
+	wantCounts := make([]uint32, len(probes))
+	gotCounts := make([]uint32, len(probes))
+	if err := local.CountMany(probes, wantCounts); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.rs.CountMany(probes, gotCounts); err != nil {
+		t.Fatal(err)
+	}
+	for i := range probes {
+		if gotCounts[i] != wantCounts[i] {
+			t.Fatalf("CountMany[%d] = %d, local %d", i, gotCounts[i], wantCounts[i])
+		}
+	}
+
+	// Neighborhoods: same sets in the same ascending order as the local
+	// NeighborIndex over the unsharded spectrum.
+	ni, err := kspectrum.NewNeighborIndex(spec, 1, min(spec.K, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	localNeigh := kspectrum.LocalNeighbors(spec, ni)
+	for d := 0; d <= 1; d++ {
+		for i := 0; i < len(probes); i += 7 {
+			km := probes[i]
+			want, err := localNeigh.Neighborhood(km, d, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := c.rs.Neighborhood(km, d, nil)
+			if err != nil {
+				t.Fatalf("Neighborhood(%v, %d): %v", km, d, err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("Neighborhood(%v, %d): %d kmers, local %d", km, d, len(got), len(want))
+			}
+			for j := range want {
+				if got[j] != want[j] {
+					t.Fatalf("Neighborhood(%v, %d)[%d] = %v, local %v", km, d, j, got[j], want[j])
+				}
+			}
+		}
+	}
+}
+
+// TestShardFilesRejectCorruption: every corruption case of the PR 6
+// store conformance table, applied to a shard file, must be rejected at
+// shard load time with ErrSpectrumStore — a node can never come up
+// serving a mangled shard.
+func TestShardFilesRejectCorruption(t *testing.T) {
+	spec := testSpectrum(t)
+	_, views, err := kspectrum.SplitShards(spec, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dir := t.TempDir()
+	// Shard 0 stands in for any shard: a valid standalone store.
+	path := filepath.Join(dir, kspectrum.ShardFileName("main", 0, 4))
+	if err := kspectrum.WriteSpectrumFile(path, views[0]); err != nil {
+		t.Fatal(err)
+	}
+	valid, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := kspectrum.ReadSpectrumFile(path); err != nil {
+		t.Fatalf("valid shard rejected: %v", err)
+	}
+	for _, tc := range kspectrum.CorruptionCases(views[0], valid) {
+		t.Run(tc.Name, func(t *testing.T) {
+			bad := filepath.Join(dir, "bad.kspc")
+			if err := os.WriteFile(bad, tc.Data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, err := kspectrum.ReadSpectrumFile(bad)
+			if err == nil {
+				t.Fatal("corrupted shard loaded cleanly")
+			}
+			if !errors.Is(err, kspectrum.ErrSpectrumStore) {
+				t.Fatalf("error does not wrap ErrSpectrumStore: %v", err)
+			}
+		})
+	}
+}
+
+// TestRemoteShardUnavailable: killing one node must degrade exactly its
+// shards — typed *ShardUnavailableError with the shard and node
+// identified — while shards on the surviving node keep answering
+// byte-identically.
+func TestRemoteShardUnavailable(t *testing.T) {
+	spec := testSpectrum(t)
+	c := startCluster(t, spec, 4, [][]int{{0, 1}, {2, 3}})
+	local := kspectrum.Local(spec)
+
+	kmAlive := c.kmerOnShard(t, 0) // node 0
+	kmDead := c.kmerOnShard(t, 2)  // node 1
+
+	c.servers[1].Close()
+
+	// The dead node's shard fails with the typed availability error.
+	_, err := c.rs.Count(kmDead)
+	var sue *remote.ShardUnavailableError
+	if !errors.As(err, &sue) {
+		t.Fatalf("query against dead node: %v, want *ShardUnavailableError", err)
+	}
+	if sue.Spectrum != "main" || sue.Shard != 2 || sue.Node != c.servers[1].URL {
+		t.Fatalf("error identifies %q shard %d node %s, want main shard 2 node %s",
+			sue.Spectrum, sue.Shard, sue.Node, c.servers[1].URL)
+	}
+
+	// The surviving node's shards answer exactly as before.
+	wantIdx, _ := local.Index(kmAlive)
+	gotIdx, err := c.rs.Index(kmAlive)
+	if err != nil {
+		t.Fatalf("query against live node after peer death: %v", err)
+	}
+	if gotIdx != wantIdx {
+		t.Fatalf("Index(%v) = %d, local %d", kmAlive, gotIdx, wantIdx)
+	}
+
+	// A batch spanning both nodes reports the failure (no silent
+	// absences) but still fills the live shards' counts.
+	kms := []seq.Kmer{kmAlive, kmDead}
+	counts := make([]uint32, 2)
+	if err := c.rs.CountMany(kms, counts); !errors.As(err, &sue) {
+		t.Fatalf("CountMany spanning a dead node: %v, want *ShardUnavailableError", err)
+	}
+	wantCnt, _ := local.Count(kmAlive)
+	if counts[0] != wantCnt {
+		t.Fatalf("live-shard count in failed batch = %d, want %d", counts[0], wantCnt)
+	}
+
+	// Per-shard stats recorded the failure on shard 2 only.
+	stats := c.rs.ShardStats()
+	if stats[2].Errors == 0 {
+		t.Errorf("shard 2 error counter = 0 after node death")
+	}
+	if stats[0].Errors != 0 {
+		t.Errorf("shard 0 error counter = %d, want 0", stats[0].Errors)
+	}
+}

@@ -1,0 +1,127 @@
+package remote
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+
+	"repro/internal/kspectrum"
+)
+
+// ShardLoc is one shard's resolved location in a cluster: the node that
+// owns it and the registry entry to query it under.
+type ShardLoc struct {
+	Node  string
+	Entry string
+	Kmers int
+}
+
+// ShardMap is one spectrum's complete distribution across a cluster: a
+// prefix partition plus the owning node of every shard. Built by
+// Discover, consumed by New.
+type ShardMap struct {
+	Spectrum    string
+	Part        kspectrum.PrefixPartition
+	BothStrands bool
+	Shards      []ShardLoc
+}
+
+// Len is the number of distinct kmers across all shards.
+func (m *ShardMap) Len() int {
+	n := 0
+	for _, s := range m.Shards {
+		n += s.Kmers
+	}
+	return n
+}
+
+// Discover polls every node's GET /v2/shards and assembles per-spectrum
+// shard maps. It is strict: every spectrum mentioned anywhere must have
+// all of its shards owned by exactly one node each, with consistent k,
+// shard count and strand closure — a partial or conflicting map would
+// silently misroute queries, so it is a startup error instead. A nil
+// httpc uses http.DefaultClient.
+func Discover(ctx context.Context, httpc *http.Client, nodes []string) (map[string]*ShardMap, error) {
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	maps := make(map[string]*ShardMap)
+	for _, node := range nodes {
+		sr, err := fetchShards(ctx, httpc, node)
+		if err != nil {
+			return nil, fmt.Errorf("remote: discovering %s: %w", node, err)
+		}
+		for _, si := range sr.Shards {
+			if si.Of < 1 || si.Of&(si.Of-1) != 0 {
+				return nil, fmt.Errorf("remote: node %s: spectrum %q has non-power-of-two shard count %d", node, si.Spectrum, si.Of)
+			}
+			if si.Shard < 0 || si.Shard >= si.Of {
+				return nil, fmt.Errorf("remote: node %s: spectrum %q shard %d out of range of %d", node, si.Spectrum, si.Shard, si.Of)
+			}
+			m := maps[si.Spectrum]
+			if m == nil {
+				part := kspectrum.PrefixPartition{K: si.K}
+				for 1<<part.Bits < si.Of {
+					part.Bits++
+				}
+				m = &ShardMap{
+					Spectrum:    si.Spectrum,
+					Part:        part,
+					BothStrands: si.BothStrands,
+					Shards:      make([]ShardLoc, si.Of),
+				}
+				maps[si.Spectrum] = m
+			}
+			if si.K != m.Part.K || si.Of != len(m.Shards) || si.BothStrands != m.BothStrands {
+				return nil, fmt.Errorf("remote: node %s: spectrum %q shard %d (k=%d, of=%d, both=%v) disagrees with the cluster (k=%d, of=%d, both=%v)",
+					node, si.Spectrum, si.Shard, si.K, si.Of, si.BothStrands, m.Part.K, len(m.Shards), m.BothStrands)
+			}
+			if owner := m.Shards[si.Shard].Node; owner != "" {
+				return nil, fmt.Errorf("remote: spectrum %q shard %d owned by both %s and %s", si.Spectrum, si.Shard, owner, node)
+			}
+			m.Shards[si.Shard] = ShardLoc{Node: node, Entry: si.Entry, Kmers: si.Kmers}
+		}
+	}
+	names := make([]string, 0, len(maps))
+	for name := range maps {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m := maps[name]
+		for i, s := range m.Shards {
+			if s.Node == "" {
+				return nil, fmt.Errorf("remote: spectrum %q shard %d of %d has no owner among the configured nodes", name, i, len(m.Shards))
+			}
+		}
+	}
+	return maps, nil
+}
+
+// fetchShards GETs one node's shard listing.
+func fetchShards(ctx context.Context, httpc *http.Client, node string) (*ShardsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, node+"/v2/shards", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /v2/shards: %s", resp.Status)
+	}
+	var sr ShardsResponse
+	if err := json.Unmarshal(body, &sr); err != nil {
+		return nil, fmt.Errorf("GET /v2/shards: decoding: %w", err)
+	}
+	return &sr, nil
+}

@@ -1,0 +1,420 @@
+package remote
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"slices"
+	"strconv"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/client"
+	"repro/internal/kspectrum"
+	"repro/internal/seq"
+)
+
+// Options configures a RemoteSpectrum.
+type Options struct {
+	// HTTP is the transport (nil selects http.DefaultClient; set a
+	// Timeout on it — the per-attempt bound).
+	HTTP *http.Client
+	// Policy is the per-shard retry schedule; the zero value fails fast
+	// with Client-default backoff arithmetic.
+	Policy client.Policy
+	// OnQuery, when set, observes every shard round trip with an outcome
+	// of "ok", "unavailable" (retry budget exhausted) or "error"
+	// (non-retryable node answer). The daemon hangs its per-shard
+	// request counters here.
+	OnQuery func(shard int, outcome string)
+}
+
+// RemoteSpectrum is the coordinator's view of a sharded spectrum: a
+// kspectrum.SpectrumBackend and kspectrum.NeighborSource that routes
+// each query to the node owning the kmer's prefix shard and merges the
+// answers. Index positions are global — each shard's local index plus
+// the prefix-sum offset of the shards before it — so a remote spectrum
+// is positionally byte-identical to the unsharded one.
+//
+// Failures are errors, never silent absences: a node that stays
+// unreachable or quarantined through the retry budget yields a
+// *ShardUnavailableError, which the daemon maps to 503-with-Retry-After
+// for requests touching that shard while the rest of the keyspace keeps
+// serving.
+//
+// A RemoteSpectrum is safe for concurrent use.
+type RemoteSpectrum struct {
+	name    string
+	part    kspectrum.PrefixPartition
+	both    bool
+	shards  []ShardLoc
+	offsets []int // len(shards)+1 prefix sums; offsets[n] is the global Len
+	httpc   *http.Client
+	policy  client.Policy
+	onQuery func(shard int, outcome string)
+	stats   []shardCounters
+	closed  atomic.Bool
+}
+
+// shardCounters is one shard's request tally.
+type shardCounters struct {
+	requests atomic.Int64
+	errors   atomic.Int64
+}
+
+// ShardStat is a point-in-time snapshot of one shard's traffic.
+type ShardStat struct {
+	Shard    int
+	Node     string
+	Requests int64
+	Errors   int64
+}
+
+// New builds a RemoteSpectrum over a discovered shard map.
+func New(m *ShardMap, opts Options) (*RemoteSpectrum, error) {
+	if m == nil || len(m.Shards) == 0 {
+		return nil, fmt.Errorf("remote: empty shard map")
+	}
+	if len(m.Shards) != m.Part.Shards() {
+		return nil, fmt.Errorf("remote: shard map has %d shards for a %d-shard partition", len(m.Shards), m.Part.Shards())
+	}
+	httpc := opts.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	offsets := make([]int, len(m.Shards)+1)
+	for i, s := range m.Shards {
+		offsets[i+1] = offsets[i] + s.Kmers
+	}
+	return &RemoteSpectrum{
+		name:    m.Spectrum,
+		part:    m.Part,
+		both:    m.BothStrands,
+		shards:  slices.Clone(m.Shards),
+		offsets: offsets,
+		httpc:   httpc,
+		policy:  opts.Policy,
+		onQuery: opts.OnQuery,
+		stats:   make([]shardCounters, len(m.Shards)),
+	}, nil
+}
+
+// Name is the spectrum's cluster-wide base name.
+func (r *RemoteSpectrum) Name() string { return r.name }
+
+// SetOnQuery installs the per-round-trip observer (see Options.OnQuery).
+// It must be called before the spectrum serves queries.
+func (r *RemoteSpectrum) SetOnQuery(f func(shard int, outcome string)) { r.onQuery = f }
+
+// K is the kmer length.
+func (r *RemoteSpectrum) K() int { return r.part.K }
+
+// Len is the number of distinct kmers across all shards.
+func (r *RemoteSpectrum) Len() int { return r.offsets[len(r.shards)] }
+
+// BothStrands reports whether the sharded spectrum was built RC-closed.
+func (r *RemoteSpectrum) BothStrands() bool { return r.both }
+
+// Partition exposes the routing partition (for the daemon's cluster
+// status endpoint).
+func (r *RemoteSpectrum) Partition() kspectrum.PrefixPartition { return r.part }
+
+// Shards exposes the shard map (for the daemon's cluster status
+// endpoint).
+func (r *RemoteSpectrum) Shards() []ShardLoc { return slices.Clone(r.shards) }
+
+// Err reports sticky health; a remote spectrum has none — failures are
+// per-query.
+func (r *RemoteSpectrum) Err() error {
+	if r.closed.Load() {
+		return kspectrum.ErrSpectrumClosed
+	}
+	return nil
+}
+
+// Close marks the backend closed; it holds no local resources.
+func (r *RemoteSpectrum) Close() error {
+	r.closed.Store(true)
+	return nil
+}
+
+// ShardStats snapshots per-shard traffic counters.
+func (r *RemoteSpectrum) ShardStats() []ShardStat {
+	out := make([]ShardStat, len(r.shards))
+	for i := range r.shards {
+		out[i] = ShardStat{
+			Shard:    i,
+			Node:     r.shards[i].Node,
+			Requests: r.stats[i].requests.Load(),
+			Errors:   r.stats[i].errors.Load(),
+		}
+	}
+	return out
+}
+
+// Index returns km's position in the globally-sorted spectrum (-1
+// absent): the owning shard's local index plus that shard's offset.
+func (r *RemoteSpectrum) Index(km seq.Kmer) (int, error) {
+	shard := r.part.ShardOf(km)
+	resp, err := r.query(shard, QueryRequest{Kmers: []string{formatKmer(km)}})
+	if err != nil {
+		return -1, err
+	}
+	if len(resp.Indexes) != 1 {
+		return -1, r.malformed(shard, "1 index", len(resp.Indexes))
+	}
+	if resp.Indexes[0] < 0 {
+		return -1, nil
+	}
+	return r.offsets[shard] + resp.Indexes[0], nil
+}
+
+// Count returns km's occurrence count (0 absent).
+func (r *RemoteSpectrum) Count(km seq.Kmer) (uint32, error) {
+	shard := r.part.ShardOf(km)
+	resp, err := r.query(shard, QueryRequest{Kmers: []string{formatKmer(km)}})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Counts) != 1 {
+		return 0, r.malformed(shard, "1 count", len(resp.Counts))
+	}
+	return resp.Counts[0], nil
+}
+
+// Contains reports membership.
+func (r *RemoteSpectrum) Contains(km seq.Kmer) (bool, error) {
+	idx, err := r.Index(km)
+	return idx >= 0, err
+}
+
+// CountMany fills counts[i] with the count of kms[i], batching one
+// round trip per owning shard and issuing the shard requests
+// concurrently. The first shard failure is returned; counts for kmers
+// on healthy shards are still filled.
+func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
+	if len(kms) != len(counts) {
+		return fmt.Errorf("remote: CountMany: %d kmers but %d count slots", len(kms), len(counts))
+	}
+	if len(kms) == 0 {
+		return nil
+	}
+	// Group input positions by owning shard.
+	byShard := make(map[int][]int)
+	for i, km := range kms {
+		s := r.part.ShardOf(km)
+		byShard[s] = append(byShard[s], i)
+	}
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+	)
+	for shard, positions := range byShard {
+		wg.Add(1)
+		go func(shard int, positions []int) {
+			defer wg.Done()
+			req := QueryRequest{Kmers: make([]string, len(positions))}
+			for j, pos := range positions {
+				req.Kmers[j] = formatKmer(kms[pos])
+			}
+			resp, err := r.query(shard, req)
+			if err == nil && len(resp.Counts) != len(positions) {
+				err = r.malformed(shard, fmt.Sprintf("%d counts", len(positions)), len(resp.Counts))
+			}
+			if err != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = err
+				}
+				mu.Unlock()
+				return
+			}
+			for j, pos := range positions {
+				counts[pos] = resp.Counts[j]
+			}
+		}(shard, positions)
+	}
+	wg.Wait()
+	return firstErr
+}
+
+// Neighborhood appends the spectrum kmers within Hamming distance d of
+// km to dst, ascending and unique — the NeighborSource contract. d == 0
+// is a membership probe against the owning shard alone; d > 0 fans out
+// to exactly the shards a d-mutation of km could land in
+// (PrefixPartition.NeighborShards) and merges their answers. Because
+// shards partition the kmer space into ascending contiguous ranges and
+// each shard answers in ascending order, the merged result ordered by
+// shard is globally ascending — identical to the local NeighborIndex
+// answer on the unsharded spectrum.
+func (r *RemoteSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error) {
+	if d == 0 {
+		idx, err := r.Index(km)
+		if err != nil {
+			return dst, err
+		}
+		if idx >= 0 {
+			dst = append(dst, km)
+		}
+		return dst, nil
+	}
+	shards := r.part.NeighborShards(km, d, nil)
+	kmStr := formatKmer(km)
+	results := make([][]seq.Kmer, len(shards))
+	errs := make([]error, len(shards))
+	var wg sync.WaitGroup
+	for i, shard := range shards {
+		wg.Add(1)
+		go func(i, shard int) {
+			defer wg.Done()
+			resp, err := r.query(shard, QueryRequest{Kmers: []string{kmStr}, D: d})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			if len(resp.Neighbors) != 1 {
+				errs[i] = r.malformed(shard, "1 neighbor list", len(resp.Neighbors))
+				return
+			}
+			out := make([]seq.Kmer, 0, len(resp.Neighbors[0]))
+			for _, s := range resp.Neighbors[0] {
+				nb, err := parseKmer(s)
+				if err != nil {
+					errs[i] = fmt.Errorf("remote: shard %d of %q at %s: %w", shard, r.name, r.shards[shard].Node, err)
+					return
+				}
+				out = append(out, nb)
+			}
+			results[i] = out
+		}(i, shard)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return dst, err
+		}
+	}
+	// NeighborShards returns shards ascending and shards own ascending
+	// contiguous kmer ranges, so in-order concatenation is globally
+	// ascending already; each shard's list is unique within itself and
+	// shards are disjoint, so no dedup is needed.
+	for _, out := range results {
+		dst = append(dst, out...)
+	}
+	return dst, nil
+}
+
+// malformed builds the protocol-violation error for a shard answer with
+// the wrong shape.
+func (r *RemoteSpectrum) malformed(shard int, want string, got int) error {
+	return fmt.Errorf("remote: shard %d of %q at %s: malformed answer: want %s, got %d",
+		shard, r.name, r.shards[shard].Node, want, got)
+}
+
+// query runs one shard query under the retry policy. Retryable failures
+// (transport, 429, 5xx) are retried with jittered backoff honoring the
+// node's Retry-After; an exhausted budget yields *ShardUnavailableError.
+// Non-retryable node answers (a 4xx) fail immediately.
+func (r *RemoteSpectrum) query(shard int, qr QueryRequest) (*QueryResponse, error) {
+	if r.closed.Load() {
+		return nil, kspectrum.ErrSpectrumClosed
+	}
+	loc := r.shards[shard]
+	body, err := json.Marshal(qr)
+	if err != nil {
+		return nil, err
+	}
+	target := loc.Node + "/v2/query?spectrum=" + url.QueryEscape(loc.Entry)
+	ctx := context.Background()
+	var (
+		lastErr        error
+		lastRetryAfter string
+	)
+	for try := 0; ; try++ {
+		r.stats[shard].requests.Add(1)
+		status, respBody, retryAfter, err := postJSON(ctx, r.httpc, target, body)
+		if err == nil && status == http.StatusOK {
+			var resp QueryResponse
+			if err := json.Unmarshal(respBody, &resp); err != nil {
+				return nil, fmt.Errorf("remote: shard %d of %q at %s: decoding answer: %w", shard, r.name, loc.Node, err)
+			}
+			r.observe(shard, "ok")
+			return &resp, nil
+		}
+		if err == nil {
+			err = fmt.Errorf("HTTP %d: %s", status, truncate(respBody, 200))
+		}
+		if !client.Retryable(status, nil) && status != 0 {
+			r.stats[shard].errors.Add(1)
+			r.observe(shard, "error")
+			return nil, fmt.Errorf("remote: shard %d of %q at %s: %w", shard, r.name, loc.Node, err)
+		}
+		lastErr, lastRetryAfter = err, retryAfter
+		if try >= r.policy.MaxRetries {
+			break
+		}
+		if serr := r.policy.Sleep(ctx, try, retryAfter); serr != nil {
+			break
+		}
+	}
+	r.stats[shard].errors.Add(1)
+	r.observe(shard, "unavailable")
+	secs, _ := strconv.Atoi(lastRetryAfter)
+	return nil, &ShardUnavailableError{
+		Spectrum:   r.name,
+		Shard:      shard,
+		Node:       loc.Node,
+		RetryAfter: secs,
+		Err:        lastErr,
+	}
+}
+
+func (r *RemoteSpectrum) observe(shard int, outcome string) {
+	if r.onQuery != nil {
+		r.onQuery(shard, outcome)
+	}
+}
+
+// postJSON sends one query attempt. A transport failure returns err;
+// any HTTP answer returns (status, body, retryAfter, nil).
+func postJSON(ctx context.Context, httpc *http.Client, target string, body []byte) (int, []byte, string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, target, bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := httpc.Do(req)
+	if err != nil {
+		return 0, nil, "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil {
+		return 0, nil, "", err
+	}
+	return resp.StatusCode, data, resp.Header.Get("Retry-After"), nil
+}
+
+func truncate(b []byte, n int) string {
+	if len(b) > n {
+		b = b[:n]
+	}
+	return string(bytes.TrimSpace(b))
+}
+
+// formatKmer and parseKmer are the wire codec: decimal strings, because
+// JSON numbers cannot carry a full 64-bit packed kmer.
+func formatKmer(km seq.Kmer) string { return strconv.FormatUint(uint64(km), 10) }
+
+func parseKmer(s string) (seq.Kmer, error) {
+	v, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad kmer %q: %w", s, err)
+	}
+	return seq.Kmer(v), nil
+}

@@ -71,6 +71,9 @@ func (reptileEngine) Capabilities() engine.Capabilities {
 		// A tile packs 2k - overlap bases into one word, so served
 		// spectra are bounded at half the packable kmer length.
 		MaxSpectrumK: seq.MaxK / 2,
+		// The service path queries only through the SpectrumBackend /
+		// NeighborSource seam, so a remote sharded spectrum serves.
+		RemoteSpectrum: true,
 	}
 }
 
@@ -139,8 +142,14 @@ func resolveParams(sample []seq.Read, run *engine.Run, spec *kspectrum.Spectrum)
 // summary renders the resolved parameters and Phase-1 products for the
 // CLI status line.
 func (c *Corrector) summary() string {
+	size := 0
+	if c.Spec != nil {
+		size = c.Spec.Size()
+	} else if c.backend != nil {
+		size = c.backend.Len()
+	}
 	return fmt.Sprintf("k=%d d=%d Cg=%d Cm=%d Qc=%d; spectrum %d kmers, %d tiles",
-		c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, c.Spec.Size(), c.Tiles.Size())
+		c.P.K, c.P.D, c.P.Cg, c.P.Cm, c.P.Qc, size, c.Tiles.Size())
 }
 
 func (reptileEngine) Correct(ctx context.Context, reads []seq.Read, run *engine.Run) ([]seq.Read, *engine.Result, error) {
@@ -215,15 +224,29 @@ func (reptileEngine) NewService(run *engine.Run) (engine.ChunkCorrector, error) 
 	if err != nil {
 		return nil, err
 	}
-	if spec == nil {
-		return nil, fmt.Errorf("reptile: service needs a spectrum")
-	}
 	p := e.params
 	if e.dSet {
 		p.D = e.d
 	}
 	if e.overlapSet {
 		p.Overlap = e.overlap
+	}
+	if spec == nil && run.Backend != nil {
+		// Distributed serving: the spectrum lives behind the backend. The
+		// backend must also answer neighborhoods (RemoteSpectrum in
+		// internal/remote does; so does any kspectrum.NeighborSource).
+		neigh, ok := run.Backend.(kspectrum.NeighborSource)
+		if !ok {
+			return nil, fmt.Errorf("reptile: spectrum backend %T cannot answer neighborhood queries", run.Backend)
+		}
+		svc, err := NewServiceBackend(run.Backend, neigh, p)
+		if err != nil {
+			return nil, err
+		}
+		return chunkService{svc: svc}, nil
+	}
+	if spec == nil {
+		return nil, fmt.Errorf("reptile: service needs a spectrum")
 	}
 	svc, err := NewService(spec, p)
 	if err != nil {

@@ -119,11 +119,35 @@ func (p Params) validate() error {
 
 // Corrector holds the Phase-1 information extraction products (§2.3):
 // the k-spectrum, the Hamming-neighborhood index, and the tile counts.
+//
+// Spectrum queries go through the backend/neigh seam: hand-built
+// Correctors (tests, the batch pipeline) fill only Spec and NI and the
+// seam self-wires from them on first use (ensureQuerier); the service
+// path can instead plug any kspectrum.SpectrumBackend + NeighborSource
+// pair — in particular a remote, sharded spectrum — leaving Spec nil.
 type Corrector struct {
 	P     Params
 	Spec  *kspectrum.Spectrum
 	NI    *kspectrum.NeighborIndex
 	Tiles *kspectrum.TileSet
+
+	// backend and neigh are the pluggable query seam. When nil they are
+	// derived from Spec and NI before the first correction.
+	backend kspectrum.SpectrumBackend
+	neigh   kspectrum.NeighborSource
+}
+
+// ensureQuerier wires the query seam from the legacy Spec/NI fields when
+// the caller did not supply one. It runs at every single-threaded entry
+// point, before worker pools fork, so the written fields are safely
+// published to the workers.
+func (c *Corrector) ensureQuerier() {
+	if c.neigh == nil {
+		c.neigh = kspectrum.LocalNeighbors(c.Spec, c.NI)
+	}
+	if c.backend == nil && c.Spec != nil {
+		c.backend = kspectrum.Local(c.Spec)
+	}
 }
 
 // New runs Phase 1 over the read set. Parameter thresholds Cg and Cm are
@@ -356,10 +380,16 @@ type scratch struct {
 	mutants []mutantTile
 	sel     []mutantTile // dominating/strong candidates of the current tile
 	best    []mutantTile // minimum-Hamming subset of sel
-	na, nb  []int32      // d-neighborhoods of the two constituent kmers
+	na, nb  []seq.Kmer   // d-neighborhoods of the two constituent kmers
 	tile    []byte       // unpacked replacement tile
 	rcSeq   []byte       // reverse-complement pass: bases
 	rcQual  []byte       // reverse-complement pass: qualities
+
+	// err records the first backend failure seen by this worker. Local
+	// backends never fail; a remote one can, and a failed neighborhood
+	// must abort the run rather than silently correct against an
+	// incomplete candidate set.
+	err error
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(scratch) }}
@@ -426,16 +456,18 @@ func (c *Corrector) correctTile(bases, qual []byte, pos int, d1, d2 int, s *scra
 
 // mutantTiles enumerates the observed d-mutant tiles of (a,b), excluding the
 // tile itself (Definition 2.2 with the overlap-consistency constraint),
-// into the scratch mutant buffer.
+// into the scratch mutant buffer. The candidate kmers arrive by value in
+// ascending order from either neighborhood source, so the enumeration —
+// and every downstream decision — is identical for local and remote
+// backends.
 func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int, s *scratch) []mutantTile {
 	p := c.P
-	s.na = c.neighborhood(a, d1, s.na[:0])
-	s.nb = c.neighborhood(b, d2, s.nb[:0])
+	s.na = c.hood(a, d1, s.na[:0], s)
+	s.nb = c.hood(b, d2, s.nb[:0], s)
 	na, nb := s.na, s.nb
 	out := s.mutants[:0]
-	for _, ai := range na {
-		for _, bi := range nb {
-			ka, kb := c.Spec.Kmers[ai], c.Spec.Kmers[bi]
+	for _, ka := range na {
+		for _, kb := range nb {
 			if ka == a && kb == b {
 				continue
 			}
@@ -454,15 +486,14 @@ func (c *Corrector) mutantTiles(a, b seq.Kmer, d1, d2 int, s *scratch) []mutantT
 	return out
 }
 
-// neighborhood appends the spectrum indices within distance d of km to dst.
-func (c *Corrector) neighborhood(km seq.Kmer, d int, dst []int32) []int32 {
-	if d == 0 {
-		if i := c.Spec.Index(km); i >= 0 {
-			return append(dst, int32(i))
-		}
-		return dst
+// hood appends the spectrum kmers within distance d of km to dst through
+// the neighborhood seam, recording the first failure in the scratch.
+func (c *Corrector) hood(km seq.Kmer, d int, dst []seq.Kmer, s *scratch) []seq.Kmer {
+	out, err := c.neigh.Neighborhood(km, d, dst)
+	if err != nil && s.err == nil {
+		s.err = err
 	}
-	return c.NI.Neighbors(km, dst)
+	return out
 }
 
 // overlapConsistent checks that the last l bases of ka equal the first l of kb.
@@ -529,7 +560,9 @@ func (c *Corrector) tileBytes(m mutantTile, s *scratch) []byte {
 // copy itself it allocates nothing: the inner loop runs entirely on pooled
 // scratch buffers (see CorrectInPlace for the fully allocation-free form).
 func (c *Corrector) CorrectRead(r seq.Read) seq.Read {
+	c.ensureQuerier()
 	s := scratchPool.Get().(*scratch)
+	s.err = nil
 	out := c.correctRead(r, s)
 	scratchPool.Put(s)
 	return out
@@ -545,7 +578,9 @@ func (c *Corrector) correctRead(r seq.Read, s *scratch) seq.Read {
 // for converted ambiguous positions, qual) — the zero-allocation form of
 // CorrectRead for callers that own their buffers. qual may be nil.
 func (c *Corrector) CorrectInPlace(bases, qual []byte) {
+	c.ensureQuerier()
 	s := scratchPool.Get().(*scratch)
+	s.err = nil
 	convertAmbiguous(bases, qual, c.P)
 	c.correctInPlace(bases, qual, s)
 	scratchPool.Put(s)
@@ -586,6 +621,11 @@ func (c *Corrector) correctPass(bases, qual []byte, s *scratch) {
 	d1 := p.D
 	retried := false
 	for pos+tileLen <= len(bases) {
+		if s.err != nil {
+			// A backend failure poisons the run: stop deciding against
+			// incomplete neighborhoods; the caller discards the output.
+			return
+		}
 		dec := c.correctTile(bases, qual, pos, d1, p.D, s)
 		switch dec {
 		case decValid, decCorrected:
@@ -642,6 +682,7 @@ const cancelPollMask = 63
 // cancelled, returning (nil, ctx.Err()). All workers have exited by the
 // time it returns — cancellation leaks no goroutines.
 func (c *Corrector) CorrectAllCtx(ctx context.Context, reads []seq.Read, workers int) ([]seq.Read, error) {
+	c.ensureQuerier()
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -654,19 +695,24 @@ func (c *Corrector) CorrectAllCtx(ctx context.Context, reads []seq.Read, workers
 				return nil, ctx.Err()
 			}
 			out[i] = c.correctRead(r, &s)
+			if s.err != nil {
+				return nil, s.err
+			}
 		}
 		return out, nil
 	}
 	var wg sync.WaitGroup
 	chunk := (len(reads) + workers - 1) / workers
-	for w := 0; w < workers; w++ {
+	nw := (len(reads) + chunk - 1) / chunk
+	errs := make([]error, nw)
+	for w := 0; w < nw; w++ {
 		lo := w * chunk
 		hi := min(lo+chunk, len(reads))
 		if lo >= hi {
 			break
 		}
 		wg.Add(1)
-		go func(lo, hi int) {
+		go func(w, lo, hi int) {
 			defer wg.Done()
 			var s scratch
 			for i := lo; i < hi; i++ {
@@ -674,12 +720,21 @@ func (c *Corrector) CorrectAllCtx(ctx context.Context, reads []seq.Read, workers
 					return
 				}
 				out[i] = c.correctRead(reads[i], &s)
+				if s.err != nil {
+					errs[w] = s.err
+					return
+				}
 			}
-		}(lo, hi)
+		}(w, lo, hi)
 	}
 	wg.Wait()
 	if err := ctx.Err(); err != nil {
 		return nil, err
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }

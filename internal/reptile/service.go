@@ -22,6 +22,13 @@ type Service struct {
 	p    Params
 	spec *kspectrum.Spectrum
 	ni   *kspectrum.NeighborIndex
+
+	// backend and neigh are the query seam handed to every per-request
+	// Corrector. For a local service they wrap spec/ni; a distributed
+	// service (NewServiceBackend) carries a remote pair and leaves
+	// spec/ni nil.
+	backend kspectrum.SpectrumBackend
+	neigh   kspectrum.NeighborSource
 }
 
 // NewService validates the parameters against the preloaded spectrum and
@@ -76,15 +83,71 @@ func NewService(spec *kspectrum.Spectrum, p Params) (*Service, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Service{p: p, spec: spec, ni: ni}, nil
+	return &Service{
+		p: p, spec: spec, ni: ni,
+		backend: kspectrum.Local(spec),
+		neigh:   kspectrum.LocalNeighbors(spec, ni),
+	}, nil
+}
+
+// NewServiceBackend is NewService over the pluggable query seam: the
+// spectrum lives behind b (typically a remote shard router) and
+// d-neighborhoods come from neigh, so the service holds no local columns
+// at all. p.K must be zero (adopt the backend's k) or agree with it; the
+// backend must answer for both strands — the corrector's
+// reverse-complement pass depends on an RC-closed spectrum, and backends
+// exposing a BothStrands() accessor are checked for it.
+func NewServiceBackend(b kspectrum.SpectrumBackend, neigh kspectrum.NeighborSource, p Params) (*Service, error) {
+	if b == nil || neigh == nil {
+		return nil, fmt.Errorf("reptile: service backend needs a SpectrumBackend and a NeighborSource")
+	}
+	if spec := kspectrum.Unwrap(b); spec != nil {
+		// A local backend keeps the richer local path (lazy NI choice,
+		// full validation) — the seam costs nothing when the data is here.
+		return NewService(spec, p)
+	}
+	if p.K == 0 {
+		p.K = b.K()
+	} else if p.K != b.K() {
+		return nil, fmt.Errorf("reptile: params want k=%d but backend has k=%d", p.K, b.K())
+	}
+	if p.D == 0 {
+		p.D = 1
+	}
+	if p.C == 0 {
+		p.C = min(p.K, p.D+4)
+	}
+	if p.Cr == 0 {
+		p.Cr = 2
+	}
+	if p.DefaultBase == 0 {
+		p.DefaultBase = 'A'
+	}
+	if p.MaxNPerWindow == 0 {
+		p.MaxNPerWindow = p.D
+	}
+	if p.Qc != 0 && p.Qm == 0 {
+		p.Qm = p.Qc + 15
+	}
+	if bs, ok := b.(interface{ BothStrands() bool }); ok && !bs.BothStrands() {
+		return nil, fmt.Errorf("reptile: backend spectrum was not built from both strands")
+	}
+	// validate() with Spectrum nil checks the scalar parameters only.
+	if err := p.validate(); err != nil {
+		return nil, err
+	}
+	return &Service{p: p, backend: b, neigh: neigh}, nil
 }
 
 // Params returns the service's resolved parameter block (request-derived
 // fields still zero).
 func (s *Service) Params() Params { return s.p }
 
-// Spectrum returns the shared spectrum.
+// Spectrum returns the shared spectrum (nil for a backend-only service).
 func (s *Service) Spectrum() *kspectrum.Spectrum { return s.spec }
+
+// Backend returns the service's spectrum query backend.
+func (s *Service) Backend() kspectrum.SpectrumBackend { return s.backend }
 
 // CorrectChunk corrects one independent chunk of reads with `workers`
 // goroutines and returns the corrected copies plus the fully-resolved
@@ -122,7 +185,7 @@ func (s *Service) CorrectChunkCtx(ctx context.Context, reads []seq.Read, workers
 	if p.Cm == 0 {
 		p.Cm = cm
 	}
-	c := &Corrector{P: p, Spec: s.spec, NI: s.ni, Tiles: tiles}
+	c := &Corrector{P: p, Spec: s.spec, NI: s.ni, Tiles: tiles, backend: s.backend, neigh: s.neigh}
 	out, err := c.CorrectAllCtx(ctx, reads, workers)
 	if err != nil {
 		return nil, nil, err

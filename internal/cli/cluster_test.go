@@ -39,6 +39,13 @@ type clusterFixture struct {
 }
 
 func newClusterFixture(t *testing.T) *clusterFixture {
+	return newClusterFixtureD(t, 0)
+}
+
+// newClusterFixtureD is newClusterFixture with the coordinator's Reptile
+// Hamming budget (the serve -d flag) set, so tests can exercise the
+// d>1 query mix the [D3a] shifted retry produces.
+func newClusterFixtureD(t *testing.T, d int) *clusterFixture {
 	t.Helper()
 	ds, err := simulate.BuildDataset(simulate.DatasetSpec{
 		Name: "t", GenomeLen: 6000, ReadLen: 36, Coverage: 30,
@@ -106,6 +113,7 @@ func newClusterFixture(t *testing.T) *clusterFixture {
 	}
 	fx.coord, err = newServer(map[string]*kspectrum.Spectrum{}, ServerOptions{
 		Workers:       2,
+		D:             d,
 		RemoteSpectra: map[string]*remote.RemoteSpectrum{"main": fx.rs},
 	})
 	if err != nil {
@@ -252,6 +260,122 @@ func TestClusterCorrectByteIdentity(t *testing.T) {
 	if !strings.Contains(string(mbody), `repro_shard_requests_total{spectrum="main",shard="0",outcome="ok"}`) {
 		t.Error("/metrics has no per-shard request counters")
 	}
+}
+
+// TestClusterCorrectByteIdentityD2: byte-identity must also hold at
+// D=2, where the corrector mixes radii — full-D neighborhoods for
+// [D3]/[D4] plus the d=1 query of the [D3a] shifted retry. The local
+// reference only matches if its NeighborSource honors the requested
+// radius exactly, as each remote node does with its per-d index.
+func TestClusterCorrectByteIdentityD2(t *testing.T) {
+	fx := newClusterFixtureD(t, 2)
+
+	chunk := fx.reads[:200]
+	body, err := fastq.EncodeChunk(chunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := reptile.NewService(fx.spec, reptile.Params{D: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refOut, refC, err := svc.CorrectChunk(chunk, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if refC.P.D != 2 {
+		t.Fatalf("reference corrector resolved D=%d, want 2", refC.P.D)
+	}
+	want, err := fastq.EncodeChunk(refOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resp, got := postChunk(t, http.DefaultClient,
+		fx.coordTS.URL+"/v2/correct?spectrum=main&engine=reptile", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("cluster correct at D=2: status %d: %s", resp.StatusCode, got)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("D=2 cluster correction diverges from the single-node reference")
+	}
+}
+
+// TestClusterQueryRejectsOutOfRangeKmer: a kmer value outside the
+// spectrum's 2k-bit keyspace must be a 400, not a crash. Before the
+// keyspace check such a value indexed the coordinator's shard table out
+// of range inside fan-out goroutines — past the recover middleware —
+// and took the daemon down.
+func TestClusterQueryRejectsOutOfRangeKmer(t *testing.T) {
+	fx := newClusterFixture(t)
+
+	oversized := seq.Kmer(1) << uint(2*fx.spec.K) // first value past the keyspace
+	for _, d := range []int{0, 1} {
+		resp, body := fx.queryCluster(t, []seq.Kmer{oversized}, d)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("oversized kmer at d=%d: status %d, want 400: %s", d, resp.StatusCode, body)
+		}
+		if !strings.Contains(string(body), "does not fit") {
+			t.Errorf("d=%d rejection does not explain the keyspace: %s", d, body)
+		}
+	}
+
+	// The nodes run the same validation on their own query endpoint.
+	req := remote.QueryRequest{Kmers: []string{strconv.FormatUint(uint64(oversized), 10)}}
+	payload, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	entry := kspectrum.ShardEntryName("main", 0, 4)
+	nresp, err := http.Post(fx.nodes[0].URL+"/v2/query?spectrum="+entry,
+		"application/json", bytes.NewReader(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized kmer on a node: status %d, want 400", nresp.StatusCode)
+	}
+
+	// The coordinator and its cluster survived all of it.
+	km := fx.kmerOnShard(t, 3)
+	resp, body := fx.queryCluster(t, []seq.Kmer{km}, 0)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("valid query after oversized ones: status %d: %s", resp.StatusCode, body)
+	}
+	var qr remote.QueryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.Indexes[0] != fx.spec.Index(km) {
+		t.Errorf("post-attack answer diverged: index %d, local %d", qr.Indexes[0], fx.spec.Index(km))
+	}
+}
+
+// TestClusterQueryRadiusCap: an unauthenticated client must not be able
+// to force unbounded per-d NeighborIndex builds; radii past the
+// server's maximum are a 400.
+func TestClusterQueryRadiusCap(t *testing.T) {
+	fx := newClusterFixture(t)
+
+	km := fx.kmerOnShard(t, 0)
+	resp, body := fx.queryCluster(t, []seq.Kmer{km}, defaultMaxQueryRadius+5)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("d=%d query: status %d, want 400: %s", defaultMaxQueryRadius+5, resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "maximum") {
+		t.Errorf("radius rejection does not name the cap: %s", body)
+	}
+	// The cap tracks an operator-raised -d: the server must never refuse
+	// the radius its own corrector will issue.
+	if got := fx.coord.maxQueryRadius(); got != defaultMaxQueryRadius {
+		t.Fatalf("default maxQueryRadius = %d, want %d", got, defaultMaxQueryRadius)
+	}
+	fx.coord.opts.D = defaultMaxQueryRadius + 2
+	if got := fx.coord.maxQueryRadius(); got != defaultMaxQueryRadius+2 {
+		t.Fatalf("raised maxQueryRadius = %d, want %d", got, defaultMaxQueryRadius+2)
+	}
+	fx.coord.opts.D = 1
 }
 
 // TestClusterQueryProxy: the coordinator's /v2/query must answer with

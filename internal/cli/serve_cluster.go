@@ -119,6 +119,22 @@ func (s *server) handleShards(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// defaultMaxQueryRadius bounds the neighborhood radius POST /v2/query
+// accepts when the serve -d flag does not ask for more. d=4 already
+// covers every radius the correction engines issue in practice while
+// keeping the per-d index builds (C(min(k,d+4),d) spectrum sorts each,
+// cached forever) and the nis map bounded.
+const defaultMaxQueryRadius = 4
+
+// maxQueryRadius is the largest d the node answers: the configured
+// Reptile budget when the operator raised it past the default cap.
+func (s *server) maxQueryRadius() int {
+	if s.opts.D > defaultMaxQueryRadius {
+		return s.opts.D
+	}
+	return defaultMaxQueryRadius
+}
+
 // handleQuery is POST /v2/query?spectrum=ENTRY: batched kmer queries
 // against one registry entry. On a node the entry is a local (shard)
 // spectrum and answers come from its columns; on a coordinator the
@@ -146,11 +162,31 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "negative neighborhood radius %d", req.D)
 		return
 	}
+	if maxD := s.maxQueryRadius(); req.D > maxD {
+		// Each distinct d>0 costs a permanently cached NeighborIndex
+		// build — C(c,d) full-spectrum sorts — on an unauthenticated
+		// endpoint; without the cap a handful of large-d requests is a
+		// trivial CPU/memory exhaustion.
+		s.errorJSON(w, http.StatusBadRequest, errClassBadRequest,
+			"neighborhood radius %d exceeds this server's maximum %d", req.D, maxD)
+		return
+	}
+	// Reject kmer values outside the spectrum's 2k-bit keyspace before
+	// they reach any index structure: an oversized value would index
+	// the local prefix buckets — or, on a coordinator, the remote shard
+	// table inside fan-out goroutines, past the recover middleware —
+	// out of range.
+	kbits := uint(2 * e.k())
 	kms := make([]seq.Kmer, len(req.Kmers))
 	for i, str := range req.Kmers {
 		v, err := strconv.ParseUint(str, 10, 64)
 		if err != nil {
 			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest, "kmer %d: bad value %q", i, str)
+			return
+		}
+		if kbits < 64 && v>>kbits != 0 {
+			s.errorJSON(w, http.StatusBadRequest, errClassBadRequest,
+				"kmer %d: value %q does not fit a packed %d-mer", i, str, e.k())
 			return
 		}
 		kms[i] = seq.Kmer(v)
@@ -163,7 +199,7 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if e.remote != nil {
-		s.proxyQuery(w, e, kms, req.D)
+		s.proxyQuery(r.Context(), w, e, kms, req.D)
 		return
 	}
 
@@ -209,27 +245,22 @@ func (s *server) handleQuery(w http.ResponseWriter, r *http.Request) {
 }
 
 // proxyQuery answers /v2/query against a coordinator's remote entry by
-// fanning out through the backend, mapping an unreachable shard to the
-// same 503-with-Retry-After the correction path produces.
-func (s *server) proxyQuery(w http.ResponseWriter, e *entry, kms []seq.Kmer, d int) {
+// fanning out through the backend — one round trip per owning shard for
+// a d=0 batch, the indexes and counts riding the same answer — mapping
+// an unreachable shard to the same 503-with-Retry-After the correction
+// path produces. The shard round trips are scoped to the request ctx.
+func (s *server) proxyQuery(ctx context.Context, w http.ResponseWriter, e *entry, kms []seq.Kmer, d int) {
 	var resp remote.QueryResponse
 	var err error
 	if d == 0 {
 		resp.Indexes = make([]int, len(kms))
 		resp.Counts = make([]uint32, len(kms))
-		for i, km := range kms {
-			if resp.Indexes[i], err = e.remote.Index(km); err != nil {
-				break
-			}
-		}
-		if err == nil {
-			err = e.remote.CountMany(kms, resp.Counts)
-		}
+		err = e.remote.IndexCountManyCtx(ctx, kms, resp.Indexes, resp.Counts)
 	} else {
 		resp.Neighbors = make([][]string, len(kms))
 		for i, km := range kms {
 			var hood []seq.Kmer
-			if hood, err = e.remote.Neighborhood(km, d, nil); err != nil {
+			if hood, err = e.remote.NeighborhoodCtx(ctx, km, d, nil); err != nil {
 				break
 			}
 			out := make([]string, len(hood))

@@ -1,7 +1,9 @@
 package kspectrum
 
 import (
+	"context"
 	"errors"
+	"fmt"
 
 	"repro/internal/seq"
 )
@@ -49,6 +51,17 @@ type SpectrumBackend interface {
 // of km's prefix could land in (PrefixPartition.NeighborShards).
 type NeighborSource interface {
 	Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error)
+}
+
+// ContextBinder is optionally implemented by backends whose queries
+// block on I/O: BindContext returns a view of the backend whose
+// queries are cancelled with ctx, so a request-scoped caller (the
+// serve daemon's correction path) can make shard round trips respect
+// its deadline and client disconnects. The returned backend shares
+// all state with the original — only the context differs. Local
+// backends never block and do not implement it.
+type ContextBinder interface {
+	BindContext(ctx context.Context) SpectrumBackend
 }
 
 // localBackend adapts a *Spectrum to SpectrumBackend. (The adapter
@@ -122,7 +135,25 @@ func (l localNeighbors) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.
 	if l.ni == nil {
 		return dst, errNoNeighborIndex
 	}
-	return l.ni.NeighborKmers(km, dst), nil
+	if d > l.ni.D {
+		return dst, fmt.Errorf("kspectrum: neighborhood radius %d exceeds the index radius %d", d, l.ni.D)
+	}
+	start := len(dst)
+	dst = l.ni.NeighborKmers(km, dst)
+	if d < l.ni.D {
+		// The index enumerates its full D-neighborhood; honor the
+		// requested radius. A remote shard answers exactly d (its
+		// per-d node index), so the seam's local/distributed
+		// byte-identity depends on the local source filtering too.
+		kept := dst[:start]
+		for _, nb := range dst[start:] {
+			if seq.HammingKmer(km, nb, l.s.K) <= d {
+				kept = append(kept, nb)
+			}
+		}
+		dst = kept
+	}
+	return dst, nil
 }
 
 var errNoNeighborIndex = errors.New("kspectrum: neighborhood query without a NeighborIndex")

@@ -95,6 +95,44 @@ func TestLocalNeighborsMatchesOracle(t *testing.T) {
 	}
 }
 
+// TestLocalNeighborsHonorsRequestedRadius: a d=1 query against a D=2
+// index must return exactly the d=1 neighborhood, not the index's full
+// D-neighborhood. The distributed path answers the requested radius
+// exactly (each node builds a per-d index), so the seam's
+// local/remote byte-identity — in particular the corrector's [D3a]
+// shifted retry, which queries d=1 while running with p.D >= 2 —
+// depends on the local source filtering.
+func TestLocalNeighborsHonorsRequestedRadius(t *testing.T) {
+	s := storeTestSpectrum(t, 12, 200, true)
+	ni, err := NewNeighborIndex(s, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := LocalNeighbors(s, ni)
+	for _, km := range s.Kmers[:64] {
+		for _, probe := range []seq.Kmer{km, km ^ 2, km ^ (3 << 8)} {
+			for d := 1; d <= 2; d++ {
+				got, err := src.Neighborhood(probe, d, nil)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var want []seq.Kmer
+				for _, i := range BruteForceNeighbors(s, probe, d) {
+					want = append(want, s.Kmers[i])
+				}
+				if !reflect.DeepEqual(got, want) && !(len(got) == 0 && len(want) == 0) {
+					t.Fatalf("Neighborhood(%#x, %d) = %v want %v", uint64(probe), d, got, want)
+				}
+			}
+		}
+	}
+	// A radius the index cannot answer is an error, never a silent
+	// partial neighborhood.
+	if _, err := src.Neighborhood(s.Kmers[0], 3, nil); err == nil {
+		t.Fatal("Neighborhood(d=3) on a D=2 index answered without error")
+	}
+}
+
 // TestSplitShardsRoundTrip: the shards must concatenate back to the
 // source byte-for-byte, each shard must be a valid standalone store, and
 // every kmer must live in the shard the partition routes it to.

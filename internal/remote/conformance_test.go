@@ -11,7 +11,10 @@ package remote_test
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
+	"io"
+	"net/http"
 	"net/http/httptest"
 	"os"
 	"path/filepath"
@@ -211,6 +214,109 @@ func TestRemoteSpectrumConformanceIdentity(t *testing.T) {
 				}
 			}
 		}
+	}
+}
+
+// TestRemoteQueryHonorsContext: a context-bound view of the backend
+// must abandon its shard round trips when the context expires. Before
+// query() took a context, a stalled node held a coordinator correction
+// slot for the full HTTP-client timeout (plus retry backoffs) after the
+// requesting client was long gone.
+func TestRemoteQueryHonorsContext(t *testing.T) {
+	entry := kspectrum.ShardEntryName("main", 0, 1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v2/shards", func(w http.ResponseWriter, r *http.Request) {
+		json.NewEncoder(w).Encode(remote.ShardsResponse{Shards: []remote.ShardInfo{{
+			Spectrum: "main", Shard: 0, Of: 1, Entry: entry,
+			K: 11, BothStrands: true, Kmers: 1,
+		}}})
+	})
+	queryStarted := make(chan struct{}, 8)
+	unblock := make(chan struct{})
+	mux.HandleFunc("/v2/query", func(w http.ResponseWriter, r *http.Request) {
+		// Drain the body: the server only watches for a client hang-up
+		// (which cancels r.Context) once the request is fully read.
+		io.Copy(io.Discard, r.Body)
+		select {
+		case queryStarted <- struct{}{}:
+		default:
+		}
+		select {
+		case <-r.Context().Done(): // the client hung up
+		case <-unblock: // test over; let Close drain
+		}
+	})
+	ts := httptest.NewServer(mux)
+	t.Cleanup(ts.Close)
+	t.Cleanup(func() { close(unblock) })
+
+	maps, err := remote.Discover(context.Background(), nil, []string{ts.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hour-long backoffs: if cancellation ever stopped short-circuiting
+	// the retry sleep, the test would time out instead of passing slowly.
+	rs, err := remote.New(maps["main"], remote.Options{
+		Policy: client.Policy{MaxRetries: 2, BaseBackoff: time.Hour, MaxBackoff: time.Hour},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 150*time.Millisecond)
+	defer cancel()
+	bound := rs.BindContext(ctx)
+	start := time.Now()
+	counts := make([]uint32, 1)
+	err = bound.CountMany([]seq.Kmer{0}, counts)
+	if err == nil {
+		t.Fatal("CountMany against a stalled node under an expired context answered without error")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Fatalf("cancelled query returned after %v; the context was ignored", elapsed)
+	}
+	select {
+	case <-queryStarted:
+	default:
+		t.Fatal("the query never reached the node; the test stalled before the interesting part")
+	}
+
+	// Binding the background context is the identity: no wrapper, no
+	// behavior change for callers without a deadline.
+	if rs.BindContext(context.Background()) != kspectrum.SpectrumBackend(rs) {
+		t.Error("BindContext(Background) wrapped the backend")
+	}
+}
+
+// TestRemoteRejectsOutOfRangeKmer: kmer values outside the partition
+// keyspace must come back as errors from every query form — never an
+// out-of-range shard index inside the fan-out goroutines.
+func TestRemoteRejectsOutOfRangeKmer(t *testing.T) {
+	spec := testSpectrum(t)
+	c := startCluster(t, spec, 4, [][]int{{0, 1}, {2, 3}})
+
+	oversized := seq.Kmer(1) << uint(2*spec.K)
+	if _, err := c.rs.Index(oversized); err == nil {
+		t.Error("Index accepted an out-of-keyspace kmer")
+	}
+	if _, err := c.rs.Count(oversized); err == nil {
+		t.Error("Count accepted an out-of-keyspace kmer")
+	}
+	if _, err := c.rs.Neighborhood(oversized, 1, nil); err == nil {
+		t.Error("Neighborhood accepted an out-of-keyspace kmer")
+	}
+	counts := make([]uint32, 2)
+	if err := c.rs.CountMany([]seq.Kmer{c.kmerOnShard(t, 0), oversized}, counts); err == nil {
+		t.Error("CountMany accepted an out-of-keyspace kmer")
+	}
+	// The backend stays healthy: valid queries still answer.
+	km := c.kmerOnShard(t, 1)
+	got, err := c.rs.Count(km)
+	if err != nil {
+		t.Fatalf("valid query after rejections: %v", err)
+	}
+	if want := spec.Count(km); got != want {
+		t.Fatalf("Count(%v) = %d, local %d", km, got, want)
 	}
 }
 

@@ -156,11 +156,32 @@ func (r *RemoteSpectrum) ShardStats() []ShardStat {
 	return out
 }
 
+// shardOf routes km to its owning shard, rejecting kmers outside the
+// partition's 2k-bit keyspace. Without the bounds check a hostile or
+// corrupt kmer value (>= 4^k) would index the shard and stats tables
+// out of range — inside spawned fan-out goroutines, where a panic
+// escapes any HTTP recover middleware and kills the process.
+func (r *RemoteSpectrum) shardOf(km seq.Kmer) (int, error) {
+	shard := r.part.ShardOf(km)
+	if shard < 0 || shard >= len(r.shards) {
+		return 0, fmt.Errorf("remote: kmer %d does not fit the %d-base keyspace of %q", uint64(km), r.part.K, r.name)
+	}
+	return shard, nil
+}
+
 // Index returns km's position in the globally-sorted spectrum (-1
 // absent): the owning shard's local index plus that shard's offset.
 func (r *RemoteSpectrum) Index(km seq.Kmer) (int, error) {
-	shard := r.part.ShardOf(km)
-	resp, err := r.query(shard, QueryRequest{Kmers: []string{formatKmer(km)}})
+	return r.IndexCtx(context.Background(), km)
+}
+
+// IndexCtx is Index with the shard round trip scoped to ctx.
+func (r *RemoteSpectrum) IndexCtx(ctx context.Context, km seq.Kmer) (int, error) {
+	shard, err := r.shardOf(km)
+	if err != nil {
+		return -1, err
+	}
+	resp, err := r.query(ctx, shard, QueryRequest{Kmers: []string{formatKmer(km)}})
 	if err != nil {
 		return -1, err
 	}
@@ -175,8 +196,16 @@ func (r *RemoteSpectrum) Index(km seq.Kmer) (int, error) {
 
 // Count returns km's occurrence count (0 absent).
 func (r *RemoteSpectrum) Count(km seq.Kmer) (uint32, error) {
-	shard := r.part.ShardOf(km)
-	resp, err := r.query(shard, QueryRequest{Kmers: []string{formatKmer(km)}})
+	return r.CountCtx(context.Background(), km)
+}
+
+// CountCtx is Count with the shard round trip scoped to ctx.
+func (r *RemoteSpectrum) CountCtx(ctx context.Context, km seq.Kmer) (uint32, error) {
+	shard, err := r.shardOf(km)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := r.query(ctx, shard, QueryRequest{Kmers: []string{formatKmer(km)}})
 	if err != nil {
 		return 0, err
 	}
@@ -192,21 +221,18 @@ func (r *RemoteSpectrum) Contains(km seq.Kmer) (bool, error) {
 	return idx >= 0, err
 }
 
-// CountMany fills counts[i] with the count of kms[i], batching one
-// round trip per owning shard and issuing the shard requests
-// concurrently. The first shard failure is returned; counts for kmers
-// on healthy shards are still filled.
-func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
-	if len(kms) != len(counts) {
-		return fmt.Errorf("remote: CountMany: %d kmers but %d count slots", len(kms), len(counts))
-	}
-	if len(kms) == 0 {
-		return nil
-	}
-	// Group input positions by owning shard.
+// fanOutByShard groups kms by owning shard, issues one d=0 query per
+// shard concurrently under ctx, and hands each shard's answer to fill
+// together with the input positions it covers (fill runs in the
+// fan-out goroutines but each call owns disjoint positions). The first
+// failure is recorded and returned; healthy shards still fill.
+func (r *RemoteSpectrum) fanOutByShard(ctx context.Context, kms []seq.Kmer, fill func(shard int, positions []int, resp *QueryResponse) error) error {
 	byShard := make(map[int][]int)
 	for i, km := range kms {
-		s := r.part.ShardOf(km)
+		s, err := r.shardOf(km)
+		if err != nil {
+			return err
+		}
 		byShard[s] = append(byShard[s], i)
 	}
 	var (
@@ -222,9 +248,9 @@ func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
 			for j, pos := range positions {
 				req.Kmers[j] = formatKmer(kms[pos])
 			}
-			resp, err := r.query(shard, req)
-			if err == nil && len(resp.Counts) != len(positions) {
-				err = r.malformed(shard, fmt.Sprintf("%d counts", len(positions)), len(resp.Counts))
+			resp, err := r.query(ctx, shard, req)
+			if err == nil {
+				err = fill(shard, positions, resp)
 			}
 			if err != nil {
 				mu.Lock()
@@ -232,15 +258,66 @@ func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
 					firstErr = err
 				}
 				mu.Unlock()
-				return
-			}
-			for j, pos := range positions {
-				counts[pos] = resp.Counts[j]
 			}
 		}(shard, positions)
 	}
 	wg.Wait()
 	return firstErr
+}
+
+// CountMany fills counts[i] with the count of kms[i], batching one
+// round trip per owning shard and issuing the shard requests
+// concurrently. The first shard failure is returned; counts for kmers
+// on healthy shards are still filled.
+func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
+	return r.CountManyCtx(context.Background(), kms, counts)
+}
+
+// CountManyCtx is CountMany with the shard round trips scoped to ctx.
+func (r *RemoteSpectrum) CountManyCtx(ctx context.Context, kms []seq.Kmer, counts []uint32) error {
+	if len(kms) != len(counts) {
+		return fmt.Errorf("remote: CountMany: %d kmers but %d count slots", len(kms), len(counts))
+	}
+	if len(kms) == 0 {
+		return nil
+	}
+	return r.fanOutByShard(ctx, kms, func(shard int, positions []int, resp *QueryResponse) error {
+		if len(resp.Counts) != len(positions) {
+			return r.malformed(shard, fmt.Sprintf("%d counts", len(positions)), len(resp.Counts))
+		}
+		for j, pos := range positions {
+			counts[pos] = resp.Counts[j]
+		}
+		return nil
+	})
+}
+
+// IndexCountManyCtx fills idxs[i] with the global index of kms[i] (-1
+// absent) and counts[i] with its occurrence count, in the same one
+// round trip per owning shard — a d=0 node answer carries both columns,
+// so batch callers wanting indexes and counts (the coordinator's query
+// proxy) pay no extra fan-out over CountManyCtx alone.
+func (r *RemoteSpectrum) IndexCountManyCtx(ctx context.Context, kms []seq.Kmer, idxs []int, counts []uint32) error {
+	if len(kms) != len(idxs) || len(kms) != len(counts) {
+		return fmt.Errorf("remote: IndexCountMany: %d kmers but %d index and %d count slots", len(kms), len(idxs), len(counts))
+	}
+	if len(kms) == 0 {
+		return nil
+	}
+	return r.fanOutByShard(ctx, kms, func(shard int, positions []int, resp *QueryResponse) error {
+		if len(resp.Indexes) != len(positions) || len(resp.Counts) != len(positions) {
+			return r.malformed(shard, fmt.Sprintf("%d indexes and counts", len(positions)), len(resp.Indexes))
+		}
+		for j, pos := range positions {
+			if resp.Indexes[j] >= 0 {
+				idxs[pos] = r.offsets[shard] + resp.Indexes[j]
+			} else {
+				idxs[pos] = -1
+			}
+			counts[pos] = resp.Counts[j]
+		}
+		return nil
+	})
 }
 
 // Neighborhood appends the spectrum kmers within Hamming distance d of
@@ -253,8 +330,14 @@ func (r *RemoteSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
 // shard is globally ascending — identical to the local NeighborIndex
 // answer on the unsharded spectrum.
 func (r *RemoteSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error) {
+	return r.NeighborhoodCtx(context.Background(), km, d, dst)
+}
+
+// NeighborhoodCtx is Neighborhood with the shard round trips scoped to
+// ctx.
+func (r *RemoteSpectrum) NeighborhoodCtx(ctx context.Context, km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error) {
 	if d == 0 {
-		idx, err := r.Index(km)
+		idx, err := r.IndexCtx(ctx, km)
 		if err != nil {
 			return dst, err
 		}
@@ -262,6 +345,12 @@ func (r *RemoteSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq
 			dst = append(dst, km)
 		}
 		return dst, nil
+	}
+	// Validates km against the keyspace too: every d-mutation of an
+	// in-range kmer stays in range, so the fanned-out shards are in
+	// bounds by construction.
+	if _, err := r.shardOf(km); err != nil {
+		return dst, err
 	}
 	shards := r.part.NeighborShards(km, d, nil)
 	kmStr := formatKmer(km)
@@ -272,7 +361,7 @@ func (r *RemoteSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq
 		wg.Add(1)
 		go func(i, shard int) {
 			defer wg.Done()
-			resp, err := r.query(shard, QueryRequest{Kmers: []string{kmStr}, D: d})
+			resp, err := r.query(ctx, shard, QueryRequest{Kmers: []string{kmStr}, D: d})
 			if err != nil {
 				errs[i] = err
 				return
@@ -309,6 +398,48 @@ func (r *RemoteSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq
 	return dst, nil
 }
 
+// BindContext implements kspectrum.ContextBinder: the returned backend
+// shares every shard, counter and policy with r but scopes all shard
+// round trips (including retry backoff sleeps) to ctx, so the daemon's
+// per-request deadline and client disconnects actually cancel in-flight
+// fan-outs. A background ctx returns r itself.
+func (r *RemoteSpectrum) BindContext(ctx context.Context) kspectrum.SpectrumBackend {
+	if ctx == nil || ctx == context.Background() {
+		return r
+	}
+	return boundSpectrum{r: r, ctx: ctx}
+}
+
+// boundSpectrum is a RemoteSpectrum view pinned to one request context;
+// it implements kspectrum.SpectrumBackend and kspectrum.NeighborSource
+// by delegating to the Ctx query forms.
+type boundSpectrum struct {
+	r   *RemoteSpectrum
+	ctx context.Context
+}
+
+func (b boundSpectrum) K() int            { return b.r.K() }
+func (b boundSpectrum) Len() int          { return b.r.Len() }
+func (b boundSpectrum) BothStrands() bool { return b.r.BothStrands() }
+func (b boundSpectrum) Err() error        { return b.r.Err() }
+func (b boundSpectrum) Close() error      { return b.r.Close() }
+func (b boundSpectrum) Index(km seq.Kmer) (int, error) {
+	return b.r.IndexCtx(b.ctx, km)
+}
+func (b boundSpectrum) Count(km seq.Kmer) (uint32, error) {
+	return b.r.CountCtx(b.ctx, km)
+}
+func (b boundSpectrum) Contains(km seq.Kmer) (bool, error) {
+	idx, err := b.r.IndexCtx(b.ctx, km)
+	return idx >= 0, err
+}
+func (b boundSpectrum) CountMany(kms []seq.Kmer, counts []uint32) error {
+	return b.r.CountManyCtx(b.ctx, kms, counts)
+}
+func (b boundSpectrum) Neighborhood(km seq.Kmer, d int, dst []seq.Kmer) ([]seq.Kmer, error) {
+	return b.r.NeighborhoodCtx(b.ctx, km, d, dst)
+}
+
 // malformed builds the protocol-violation error for a shard answer with
 // the wrong shape.
 func (r *RemoteSpectrum) malformed(shard int, want string, got int) error {
@@ -316,13 +447,24 @@ func (r *RemoteSpectrum) malformed(shard int, want string, got int) error {
 		shard, r.name, r.shards[shard].Node, want, got)
 }
 
-// query runs one shard query under the retry policy. Retryable failures
-// (transport, 429, 5xx) are retried with jittered backoff honoring the
-// node's Retry-After; an exhausted budget yields *ShardUnavailableError.
-// Non-retryable node answers (a 4xx) fail immediately.
-func (r *RemoteSpectrum) query(shard int, qr QueryRequest) (*QueryResponse, error) {
+// query runs one shard query under the retry policy, with every
+// attempt and backoff sleep scoped to ctx — a cancelled request stops
+// retrying instead of blocking a correction slot past its deadline.
+// Retryable failures (transport, 429, 5xx) are retried with jittered
+// backoff honoring the node's Retry-After; an exhausted budget yields
+// *ShardUnavailableError. Non-retryable node answers (a 4xx) fail
+// immediately.
+func (r *RemoteSpectrum) query(ctx context.Context, shard int, qr QueryRequest) (*QueryResponse, error) {
 	if r.closed.Load() {
 		return nil, kspectrum.ErrSpectrumClosed
+	}
+	if shard < 0 || shard >= len(r.shards) {
+		// Belt over shardOf's suspenders: never index the shard or
+		// stats tables out of range inside a fan-out goroutine.
+		return nil, fmt.Errorf("remote: shard %d out of range for %q (%d shards)", shard, r.name, len(r.shards))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	loc := r.shards[shard]
 	body, err := json.Marshal(qr)
@@ -330,7 +472,6 @@ func (r *RemoteSpectrum) query(shard int, qr QueryRequest) (*QueryResponse, erro
 		return nil, err
 	}
 	target := loc.Node + "/v2/query?spectrum=" + url.QueryEscape(loc.Entry)
-	ctx := context.Background()
 	var (
 		lastErr        error
 		lastRetryAfter string

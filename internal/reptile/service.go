@@ -186,6 +186,19 @@ func (s *Service) CorrectChunkCtx(ctx context.Context, reads []seq.Read, workers
 		p.Cm = cm
 	}
 	c := &Corrector{P: p, Spec: s.spec, NI: s.ni, Tiles: tiles, backend: s.backend, neigh: s.neigh}
+	// A remote backend's shard round trips must die with this request:
+	// bind its queries (and the neighborhood seam, which for a remote
+	// service is the same object) to ctx so the daemon's deadline and
+	// client disconnects cancel in-flight fan-outs instead of letting
+	// retries hold a correction slot long past cancellation.
+	if cb, ok := s.backend.(kspectrum.ContextBinder); ok {
+		c.backend = cb.BindContext(ctx)
+	}
+	if cb, ok := s.neigh.(kspectrum.ContextBinder); ok {
+		if bn, ok := cb.BindContext(ctx).(kspectrum.NeighborSource); ok {
+			c.neigh = bn
+		}
+	}
 	out, err := c.CorrectAllCtx(ctx, reads, workers)
 	if err != nil {
 		return nil, nil, err

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestVettoolSmoke proves the binary speaks the cmd/go vettool
+// protocol end to end: `go vet -vettool=reprolint` on a scratch module
+// fails with our diagnostic on a violating package and passes on a
+// clean one.
+func TestVettoolSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and shells out to go vet")
+	}
+	tool := filepath.Join(t.TempDir(), "reprolint")
+	build := exec.Command("go", "build", "-o", tool, ".")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building reprolint: %v\n%s", err, out)
+	}
+
+	t.Run("violation", func(t *testing.T) {
+		dir := writeModule(t, `package p
+
+import "fmt"
+
+//repro:noalloc
+func Hot(s string) {
+	fmt.Println(s)
+}
+`)
+		out, err := runVet(t, tool, dir)
+		if err == nil {
+			t.Fatalf("go vet passed on a //repro:noalloc violation:\n%s", out)
+		}
+		if !strings.Contains(out, "calls fmt.Println") || !strings.Contains(out, "(noalloc)") {
+			t.Fatalf("vet failed but without the expected noalloc diagnostic:\n%s", out)
+		}
+	})
+
+	t.Run("clean", func(t *testing.T) {
+		dir := writeModule(t, `package p
+
+//repro:noalloc
+func Hot(dst []byte) []byte {
+	dst = append(dst, 'x')
+	return dst
+}
+`)
+		out, err := runVet(t, tool, dir)
+		if err != nil {
+			t.Fatalf("go vet failed on a clean package: %v\n%s", err, out)
+		}
+	})
+}
+
+func writeModule(t *testing.T, src string) string {
+	t.Helper()
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "go.mod"), []byte("module smoke\n\ngo 1.22\n"), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "p.go"), []byte(src), 0o666); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func runVet(t *testing.T, tool, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+tool, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}

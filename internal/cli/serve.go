@@ -192,9 +192,14 @@ func serveCmd(args []string, stdout io.Writer) error {
 	// (retrying until -cluster-wait elapses, so node and coordinator
 	// processes can start in any order) and register a remote fan-out
 	// backend per discovered spectrum.
+	// The signal context exists before cluster discovery so a SIGTERM
+	// during the startup retry loop aborts it immediately; the serving
+	// select below reuses it for graceful drain.
+	ctx, stop := signalContext()
+	defer stop()
 	var remoteSpectra map[string]*remote.RemoteSpectrum
 	if *coordinator {
-		maps, err := discoverCluster(nodes, *clusterWait)
+		maps, err := discoverCluster(ctx, nodes, *clusterWait)
 		if err != nil {
 			return err
 		}
@@ -280,8 +285,6 @@ func serveCmd(args []string, stdout io.Writer) error {
 		ReadTimeout:       *readTimeout,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	ctx, stop := signalContext()
-	defer stop()
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	log.Printf("serving %d spectra on %s (max-inflight %d, max-queue %d, request-timeout %v, engines %s)",

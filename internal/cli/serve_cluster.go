@@ -57,13 +57,20 @@ func parseShardList(s string, of int) ([]int, error) {
 
 // discoverCluster polls the nodes' shard listings until every shard of
 // every advertised spectrum has an owner, retrying so node and
-// coordinator processes can start in any order.
-func discoverCluster(nodes []string, wait time.Duration) (map[string]*remote.ShardMap, error) {
+// coordinator processes can start in any order. ctx bounds the whole
+// wait: a SIGTERM during startup aborts the retry loop immediately
+// instead of spinning until the -cluster-wait deadline.
+func discoverCluster(ctx context.Context, nodes []string, wait time.Duration) (map[string]*remote.ShardMap, error) {
 	httpc := &http.Client{Timeout: 5 * time.Second}
 	deadline := time.Now().Add(wait)
+	retry := time.NewTimer(0)
+	if !retry.Stop() {
+		<-retry.C
+	}
+	defer retry.Stop()
 	for {
-		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-		maps, err := remote.Discover(ctx, httpc, nodes)
+		attemptCtx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		maps, err := remote.Discover(attemptCtx, httpc, nodes)
 		cancel()
 		if err == nil && len(maps) == 0 {
 			err = fmt.Errorf("cluster discovery: the nodes advertise no shards")
@@ -71,11 +78,19 @@ func discoverCluster(nodes []string, wait time.Duration) (map[string]*remote.Sha
 		if err == nil {
 			return maps, nil
 		}
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, fmt.Errorf("cluster discovery aborted: %w", cerr)
+		}
 		if time.Now().After(deadline) {
 			return nil, fmt.Errorf("cluster discovery failed after %v: %w", wait, err)
 		}
 		log.Printf("cluster discovery not ready, retrying: %v", err)
-		time.Sleep(500 * time.Millisecond)
+		retry.Reset(500 * time.Millisecond)
+		select {
+		case <-ctx.Done():
+			return nil, fmt.Errorf("cluster discovery aborted: %w", ctx.Err())
+		case <-retry.C:
+		}
 	}
 }
 

@@ -169,7 +169,7 @@ func (s *server) correction(h http.HandlerFunc) http.HandlerFunc {
 		// "serve.request:any:panic" (or an err rule) exercises the
 		// recovery path above against a live daemon. Disabled, this is
 		// one atomic load.
-		if err := faultinject.Check("serve.request", faultinject.OpAny); err != nil {
+		if err := faultinject.Check(faultinject.SiteServeRequest, faultinject.OpAny); err != nil {
 			panic(err)
 		}
 		h(t, r)

@@ -30,8 +30,8 @@
 //	kill       SIGKILL the process (crash simulation: no deferred
 //	           cleanup, no flushes)
 //
-// Example: REPRO_FAULTS='spill.write:write:nth=6:kill' kills the
-// process during the sixth spill-file write.
+// Example: REPRO_FAULTS='spill:write:nth=6:kill' kills the process
+// during the sixth spill-file write.
 package faultinject
 
 import (
@@ -43,6 +43,37 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+)
+
+// Site names an instrumented call site. Instrumentation points pass one
+// of the declared Site constants below; the faultsite analyzer
+// (internal/lint/faultsite) checks every constant-valued site argument
+// against this registry, so a typo'd site — which would silently never
+// match any REPRO_FAULTS rule — is a vet error, not a dead test knob.
+// Rule.Site stays a plain string because it is parsed from the
+// environment and supports the "*" wildcard.
+type Site string
+
+// The declared fault sites. Adding an instrumentation point means adding
+// a constant here — the analyzer picks the registry up from this
+// package's export data, no analyzer change needed.
+const (
+	// SiteKSPC covers spectrum store writes: the KSPC column encode, the
+	// pre-rename fsync, and the atomic rename into place.
+	SiteKSPC Site = "kspc"
+	// SiteKSPCDir is the store's parent-directory fsync after the rename.
+	SiteKSPCDir Site = "kspc.dir"
+	// SiteSpill covers spill-run file creation and writes in the
+	// out-of-core counter.
+	SiteSpill Site = "spill"
+	// SiteMerge covers spill-run reads during the k-way merge.
+	SiteMerge Site = "merge"
+	// SiteManifest covers checkpoint manifest creation, write and rename.
+	SiteManifest Site = "manifest"
+	// SiteManifestDir is the manifest's parent-directory fsync.
+	SiteManifestDir Site = "manifest.dir"
+	// SiteServeRequest is the daemon's per-request hook.
+	SiteServeRequest Site = "serve.request"
 )
 
 // Op classifies an instrumented operation.
@@ -128,13 +159,13 @@ func Enable(rules ...*Rule) (disable func()) {
 // check consults the plan for (site, op) and returns the rule to apply,
 // or nil. The w==nil caller (non-write operations) never sees Short/Torn
 // rules misfire because those only make sense on writes, which pass w.
-func check(site string, op Op) *Rule {
+func check(site Site, op Op) *Rule {
 	p := active.Load()
 	if p == nil {
 		return nil
 	}
 	for _, r := range p.rules {
-		if r.Site != "" && r.Site != "*" && r.Site != site {
+		if r.Site != "" && r.Site != "*" && r.Site != string(site) {
 			continue
 		}
 		if r.Op != OpAny && op != OpAny && r.Op != op {
@@ -155,7 +186,7 @@ func check(site string, op Op) *Rule {
 // fire applies a triggered rule's terminal action (everything except
 // Short/Torn, which only writers interpret) and returns the error to
 // surface. Delay rules sleep and return nil.
-func (r *Rule) fire(site string) error {
+func (r *Rule) fire(site Site) error {
 	switch {
 	case r.Kill:
 		killSelf()
@@ -175,7 +206,9 @@ func (r *Rule) fire(site string) error {
 // Check is the bare instrumentation hook for sites without a byte
 // stream (request handling, directory syncs): it returns the injected
 // error, or nil. Disabled cost: one atomic load.
-func Check(site string, op Op) error {
+//
+//repro:noalloc
+func Check(site Site, op Op) error {
 	r := check(site, op)
 	if r == nil {
 		return nil
@@ -200,7 +233,7 @@ var _ File = (*os.File)(nil)
 // it; the returned File carries the site so read/write/sync/close rules
 // apply to subsequent operations. Disabled, it returns the *os.File
 // itself.
-func Create(site, path string) (File, error) {
+func Create(site Site, path string) (File, error) {
 	if !Enabled() {
 		return os.Create(path)
 	}
@@ -215,7 +248,7 @@ func Create(site, path string) (File, error) {
 }
 
 // Open is os.Open behind the seam, mirroring Create.
-func Open(site, path string) (File, error) {
+func Open(site Site, path string) (File, error) {
 	if !Enabled() {
 		return os.Open(path)
 	}
@@ -230,7 +263,7 @@ func Open(site, path string) (File, error) {
 }
 
 // Rename is os.Rename behind the seam.
-func Rename(site, oldpath, newpath string) error {
+func Rename(site Site, oldpath, newpath string) error {
 	if err := Check(site, OpRename); err != nil {
 		return err
 	}
@@ -239,7 +272,7 @@ func Rename(site, oldpath, newpath string) error {
 
 // Writer decorates w with the site's write rules; disabled, it returns
 // w itself (no wrapper allocation).
-func Writer(site string, w io.Writer) io.Writer {
+func Writer(site Site, w io.Writer) io.Writer {
 	if !Enabled() {
 		return w
 	}
@@ -248,7 +281,7 @@ func Writer(site string, w io.Writer) io.Writer {
 
 // Reader decorates r with the site's read rules; disabled, it returns
 // r itself.
-func Reader(site string, r io.Reader) io.Reader {
+func Reader(site Site, r io.Reader) io.Reader {
 	if !Enabled() {
 		return r
 	}
@@ -257,7 +290,7 @@ func Reader(site string, r io.Reader) io.Reader {
 
 // writeThrough applies a triggered write rule against dst: Short lies,
 // Torn writes a prefix then fails, everything else delegates to fire.
-func writeThrough(r *Rule, site string, dst io.Writer, p []byte) (int, error) {
+func writeThrough(r *Rule, site Site, dst io.Writer, p []byte) (int, error) {
 	switch {
 	case r.Short > 0:
 		return min(r.Short, len(p)), nil
@@ -276,7 +309,7 @@ func writeThrough(r *Rule, site string, dst io.Writer, p []byte) (int, error) {
 
 type writer struct {
 	w    io.Writer
-	site string
+	site Site
 }
 
 func (w *writer) Write(p []byte) (int, error) {
@@ -288,7 +321,7 @@ func (w *writer) Write(p []byte) (int, error) {
 
 type reader struct {
 	r    io.Reader
-	site string
+	site Site
 }
 
 func (r *reader) Read(p []byte) (int, error) {
@@ -303,7 +336,7 @@ func (r *reader) Read(p []byte) (int, error) {
 // file decorates an *os.File with the site's rules on every operation.
 type file struct {
 	f    *os.File
-	site string
+	site Site
 }
 
 func (f *file) Read(p []byte) (int, error) {

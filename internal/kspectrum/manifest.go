@@ -91,7 +91,7 @@ func writeManifestFile(dir string, m *manifest) error {
 		os.Remove(tmpPath)
 		return fmt.Errorf("kspectrum: checkpoint manifest: %w", err)
 	}
-	f, err := faultinject.Create("manifest", tmpPath)
+	f, err := faultinject.Create(faultinject.SiteManifest, tmpPath)
 	if err != nil {
 		return fmt.Errorf("kspectrum: checkpoint manifest: %w", err)
 	}
@@ -109,10 +109,10 @@ func writeManifestFile(dir string, m *manifest) error {
 	if err := f.Close(); err != nil {
 		return wrap(err)
 	}
-	if err := faultinject.Rename("manifest", tmpPath, filepath.Join(dir, ManifestName)); err != nil {
+	if err := faultinject.Rename(faultinject.SiteManifest, tmpPath, filepath.Join(dir, ManifestName)); err != nil {
 		return wrap(err)
 	}
-	if err := syncDir("manifest.dir", dir); err != nil {
+	if err := syncDir(faultinject.SiteManifestDir, dir); err != nil {
 		return fmt.Errorf("kspectrum: checkpoint manifest: %w", err)
 	}
 	return nil
@@ -277,7 +277,7 @@ func validateRun(ri runInfo, k int, bothStrands bool) error {
 // lost by a crash even though the file's bytes survived. Filesystems
 // that reject directory fsync (EINVAL) are treated as success — there
 // is nothing more this process can do.
-func syncDir(site, dir string) error {
+func syncDir(site faultinject.Site, dir string) error {
 	if err := faultinject.Check(site, faultinject.OpSync); err != nil {
 		return err
 	}

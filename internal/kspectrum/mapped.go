@@ -9,7 +9,6 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
-	"unsafe"
 
 	"repro/internal/seq"
 )
@@ -160,12 +159,7 @@ func newMappedSpectrum(data []byte, path string) (*Spectrum, error) {
 		BothStrands: flags&storeFlagBothStrands != 0,
 	}
 	if count > 0 {
-		// The columns start at offsets 24 and 24+8*count — 8- and 4-byte
-		// aligned within a page-aligned mapping — so on the little-endian
-		// platforms this file is built for, the fixed-width LE columns ARE
-		// the in-memory representation and can be reinterpreted in place.
-		s.Kmers = unsafe.Slice((*seq.Kmer)(unsafe.Pointer(&data[storeHeaderLen])), count)
-		s.Counts = unsafe.Slice((*uint32)(unsafe.Pointer(&data[storeHeaderLen+8*count])), count)
+		s.Kmers, s.Counts = mapColumns(data, count)
 	}
 	part := pickIndexPartition(count, k)
 	s.pshift = part.Shift()

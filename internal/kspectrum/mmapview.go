@@ -1,0 +1,24 @@
+package kspectrum
+
+import (
+	"unsafe"
+
+	"repro/internal/seq"
+)
+
+// mapColumns reinterprets the column region of a mapped KSPC file as the
+// in-memory kmer and count slices, without copying. The columns start at
+// offsets storeHeaderLen and storeHeaderLen+8*count — 8- and 4-byte
+// aligned within a page-aligned mapping — so on the little-endian
+// platforms this file format is built for, the fixed-width LE columns ARE
+// the in-memory representation. data must hold at least
+// storeHeaderLen+12*count bytes and count must be positive; the caller
+// (openMappedData) has already validated the geometry.
+//
+// This is the only unsafe code outside the mmap syscall wrappers, and it
+// lives in an mmap*.go file so the unsafescope analyzer can fence it in.
+func mapColumns(data []byte, count int) ([]seq.Kmer, []uint32) {
+	kmers := unsafe.Slice((*seq.Kmer)(unsafe.Pointer(&data[storeHeaderLen])), count)
+	counts := unsafe.Slice((*uint32)(unsafe.Pointer(&data[storeHeaderLen+8*count])), count)
+	return kmers, counts
+}

@@ -130,6 +130,8 @@ func (ni *NeighborIndex) Replicas() int { return len(ni.replicas) }
 // extended slice. Results are deduplicated and unordered. Passing a reused
 // dst makes the call allocation-free — the correction inner loop depends
 // on that.
+//
+//repro:noalloc
 func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 	k := ni.spec.K
 	start := len(dst)
@@ -137,7 +139,9 @@ func (ni *NeighborIndex) Neighbors(km seq.Kmer, dst []int32) []int32 {
 		key := km &^ mask
 		idx := ni.replica(r)
 		kmers := ni.spec.Kmers
-		lo := sort.Search(len(idx), func(i int) bool { return kmers[idx[i]]&^mask >= key })
+		// The closure captures only stack values; BenchmarkNeighbors pins
+		// this call at zero allocations.
+		lo := sort.Search(len(idx), func(i int) bool { return kmers[idx[i]]&^mask >= key }) //repro:alloc-ok
 		for i := lo; i < len(idx) && kmers[idx[i]]&^mask == key; i++ {
 			cand := idx[i]
 			if seq.HammingKmer(km, kmers[cand], k) <= ni.D {

@@ -270,7 +270,7 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 		return wrap(err)
 	}
 	defer os.Remove(tmp.Name()) // no-op after a successful rename
-	if err := WriteSpectrum(faultinject.Writer("kspc", tmp), s); err != nil {
+	if err := WriteSpectrum(faultinject.Writer(faultinject.SiteKSPC, tmp), s); err != nil {
 		tmp.Close()
 		return fmt.Errorf("%s: %w", path, err)
 	}
@@ -285,7 +285,7 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 	// after rename but before writeback replaces a previously good store
 	// with a zero-length or partial file — the CRC would catch it on
 	// load, but the good data would already be gone.
-	if err := faultinject.Check("kspc", faultinject.OpSync); err != nil {
+	if err := faultinject.Check(faultinject.SiteKSPC, faultinject.OpSync); err != nil {
 		tmp.Close()
 		return wrap(err)
 	}
@@ -296,14 +296,14 @@ func WriteSpectrumFile(path string, s *Spectrum) error {
 	if err := tmp.Close(); err != nil {
 		return wrap(err)
 	}
-	if err := faultinject.Rename("kspc", tmp.Name(), path); err != nil {
+	if err := faultinject.Rename(faultinject.SiteKSPC, tmp.Name(), path); err != nil {
 		return wrap(err)
 	}
 	// The rename itself is a directory mutation: fsync the parent so a
 	// crash immediately after this return cannot roll the directory back
 	// to an entry-less (or old-entry) state while the caller already
 	// reported success.
-	if err := syncDir("kspc.dir", filepath.Dir(path)); err != nil {
+	if err := syncDir(faultinject.SiteKSPCDir, filepath.Dir(path)); err != nil {
 		return wrap(err)
 	}
 	return nil

@@ -458,7 +458,7 @@ func (st *StreamBuilder) writeRunFile(s int, kmers []seq.Kmer, counts []uint32) 
 // partial file: durable directories outlive the builder, so a leaked
 // partial would linger forever and a resume must never find a torn run.
 func writeRun(path string, h runHeader, kmers []seq.Kmer, counts []uint32, durable bool) (uint32, error) {
-	f, err := faultinject.Create("spill", path)
+	f, err := faultinject.Create(faultinject.SiteSpill, path)
 	if err != nil {
 		return 0, fmt.Errorf("kspectrum: spill: %w", err)
 	}
@@ -638,7 +638,7 @@ func (st *StreamBuilder) mergeShard(s int) ([]seq.Kmer, []uint32, error) {
 		if err != nil {
 			return nil, nil, fmt.Errorf("kspectrum: merge: %w", err)
 		}
-		br := bufio.NewReaderSize(faultinject.Reader("merge", f), 1<<16)
+		br := bufio.NewReaderSize(faultinject.Reader(faultinject.SiteMerge, f), 1<<16)
 		var hdr [runHeaderLen]byte
 		_, err = io.ReadFull(br, hdr[:])
 		var h runHeader

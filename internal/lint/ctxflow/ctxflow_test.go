@@ -1,0 +1,19 @@
+package ctxflow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/ctxflow"
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxflow(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.NewAnalyzer("a"), "a")
+}
+
+// TestOutOfScope proves the analyzer is inert outside its package
+// scope: the same violating fixture produces nothing when the scope
+// names another package.
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata", ctxflow.NewAnalyzer("unrelated/pkg"), "clean")
+}

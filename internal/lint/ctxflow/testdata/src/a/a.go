@@ -1,0 +1,69 @@
+package a
+
+import (
+	"context"
+	"time"
+)
+
+func sleepNoCtx() {
+	time.Sleep(time.Second) // want `accept a context\.Context and select`
+}
+
+func sleepWithCtx(ctx context.Context) {
+	time.Sleep(time.Second) // want `ignoring its context`
+	<-ctx.Done()
+}
+
+func sleepCtxAware(ctx context.Context) {
+	t := time.NewTimer(time.Second)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func goNoCtx(done chan struct{}) {
+	go func() { close(done) }() // want `no context to bound it`
+}
+
+func goWithCtx(ctx context.Context, done chan struct{}) {
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+}
+
+func dropsCtx(ctx context.Context) context.CancelFunc {
+	c, cancel := context.WithTimeout(context.Background(), time.Second) // want `discarding the caller's cancellation`
+	_ = c
+	return cancel
+}
+
+func threadsCtx(ctx context.Context) context.CancelFunc {
+	c, cancel := context.WithTimeout(ctx, time.Second)
+	_ = c
+	return cancel
+}
+
+type server struct {
+	ctx context.Context
+}
+
+// Receiver carries the lifecycle context: goroutines are bounded.
+func (s *server) spawn(done chan struct{}) {
+	go func() {
+		<-s.ctx.Done()
+		close(done)
+	}()
+}
+
+// A root function that creates its own context owns its lifecycle.
+func rootDaemon(done chan struct{}) {
+	ctx, cancel := context.WithCancel(context.TODO())
+	defer cancel()
+	go func() {
+		<-ctx.Done()
+		close(done)
+	}()
+}

@@ -1,0 +1,13 @@
+package clean
+
+import "time"
+
+// Violations galore — but the analyzer under test is scoped to a
+// different package path, so none of this may be reported.
+func sleepNoCtx() {
+	time.Sleep(time.Millisecond)
+}
+
+func goNoCtx(done chan struct{}) {
+	go func() { close(done) }()
+}

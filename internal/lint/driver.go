@@ -1,0 +1,226 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// vetConfig is the JSON the go command hands a vettool for each
+// package: the file set, the import universe (as compiled export data),
+// and where to put the (for us, empty) facts file. The field set
+// mirrors what cmd/go emits for unitchecker-based tools; unknown fields
+// are ignored by encoding/json, so the driver tolerates go-version skew
+// in either direction.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// Main is the entry point cmd/reprolint delegates to. It speaks the
+// cmd/go vettool protocol:
+//
+//	reprolint -V=full      print a content-addressed version line
+//	reprolint -flags       print the supported flags (none) as JSON
+//	reprolint <file>.cfg   analyze one package described by the config
+//
+// Diagnostics print as file:line:col: messages on stderr and make the
+// process exit 2, which `go vet` surfaces as a failed package — the
+// compile-gate behavior reprolint exists for.
+func Main(analyzers ...*Analyzer) {
+	progname := filepath.Base(os.Args[0])
+	args := os.Args[1:]
+
+	var cfgPath string
+	for _, arg := range args {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			fmt.Printf("%s version devel buildID=%s\n", progname, selfID())
+			return
+		case arg == "-flags" || arg == "--flags":
+			fmt.Println("[]")
+			return
+		case arg == "help" || arg == "-help" || arg == "--help":
+			printHelp(progname, analyzers)
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			cfgPath = arg
+		}
+		// Anything else (stray vet flags) is deliberately ignored: the
+		// driver has no tunables, and failing on an unknown flag would
+		// couple us to the exact flag set each go release forwards.
+	}
+	if cfgPath == "" {
+		fmt.Fprintf(os.Stderr, "%s: run me via go vet -vettool=%s ./... (see %s help)\n", progname, progname, progname)
+		os.Exit(1)
+	}
+
+	diags, err := runConfig(cfgPath, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", progname, err)
+		os.Exit(1)
+	}
+	if len(diags) > 0 {
+		for _, d := range diags {
+			fmt.Fprintln(os.Stderr, d)
+		}
+		os.Exit(2)
+	}
+}
+
+// selfID hashes the executable so the go command's vet result cache
+// invalidates whenever reprolint is rebuilt with different analyzers —
+// a constant version string would serve stale verdicts.
+func selfID() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(exe)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}
+
+func printHelp(progname string, analyzers []*Analyzer) {
+	fmt.Printf("%s: the repro project's invariant checkers (run via go vet -vettool)\n\nAnalyzers:\n", progname)
+	for _, a := range analyzers {
+		doc := a.Doc
+		if i := strings.IndexByte(doc, '\n'); i >= 0 {
+			doc = doc[:i]
+		}
+		fmt.Printf("  %-12s %s\n", a.Name, doc)
+	}
+}
+
+// runConfig analyzes the one package a vet config describes and returns
+// rendered diagnostics.
+func runConfig(cfgPath string, analyzers []*Analyzer) ([]string, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+
+	// The facts file must exist even though reprolint's analyzers are
+	// factless: cmd/go records it as the action's output.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency visited only so a fact-using tool could read its
+		// exports; nothing to analyze.
+		return nil, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErrs []string
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			parseErrs = append(parseErrs, err.Error())
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("parse errors:\n%s", strings.Join(parseErrs, "\n"))
+	}
+
+	// Imports resolve through the export data the go command compiled
+	// for each dependency; ImportMap canonicalizes source-level paths
+	// (vendoring, test variants) first.
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tcfg := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Error:    func(error) {}, // collect via the returned error; keep going
+	}
+	if cfg.GoVersion != "" {
+		tcfg.GoVersion = cfg.GoVersion
+	}
+	info := newTypesInfo()
+	pkg, err := tcfg.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("typechecking %s: %w", cfg.ImportPath, err)
+	}
+
+	var diags []string
+	for _, a := range analyzers {
+		pass := NewPass(a, fset, files, pkg, info, func(d Diagnostic) {
+			diags = append(diags, fmt.Sprintf("%s: %s (%s)", fset.Position(d.Pos), d.Message, a.Name))
+		})
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analyzer %s: %w", a.Name, err)
+		}
+	}
+	sort.Strings(diags)
+	return diags, nil
+}
+
+// newTypesInfo allocates a types.Info with every map the analyzers
+// consult populated.
+func newTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}

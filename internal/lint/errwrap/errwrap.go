@@ -1,0 +1,113 @@
+// Package errwrap keeps the errors.Is contracts of the storage and
+// wire layers from rotting: in internal/kspectrum and internal/remote,
+// a fmt.Errorf that embeds another error must use %w, not %v/%s/%q.
+// Those packages export sentinel-wrapping guarantees (ErrSpectrumStore,
+// ErrCheckpoint, ShardUnavailableError) that callers test with
+// errors.Is/errors.As across process and HTTP boundaries; one %v in a
+// wrapping path silently severs the chain and the contract fails only
+// when the caller's errors.Is quietly returns false.
+package errwrap
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// DefaultScope is where the wrapping contract is load-bearing.
+var DefaultScope = []string{"internal/kspectrum", "internal/remote"}
+
+// Analyzer checks the project's default scope.
+var Analyzer = NewAnalyzer(DefaultScope...)
+
+// NewAnalyzer builds an errwrap analyzer scoped to the given package
+// path patterns.
+func NewAnalyzer(scope ...string) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "errwrap",
+		Doc:  "fmt.Errorf embedding an error must use %w in the store/wire packages",
+		Run: func(pass *lint.Pass) error {
+			return run(pass, scope)
+		},
+	}
+}
+
+func run(pass *lint.Pass, scope []string) error {
+	if !lint.PathMatches(pass.Pkg.Path(), scope) {
+		return nil
+	}
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lint.CalleePkgPath(pass.TypesInfo, call) != "fmt" || lint.CalleeName(call) != "Errorf" {
+				return true
+			}
+			checkErrorf(pass, call, errType)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkErrorf(pass *lint.Pass, call *ast.CallExpr, errType *types.Interface) {
+	if len(call.Args) < 2 {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[call.Args[0]]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return // dynamic format string; printf vet handles arity, we can't see verbs
+	}
+	verbs := parseVerbs(constant.StringVal(tv.Value))
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) {
+			break // arity mismatch is vet printf's finding, not ours
+		}
+		at := pass.TypesInfo.TypeOf(arg)
+		if at == nil || !types.Implements(at, errType) {
+			continue
+		}
+		if v := verbs[i]; v != 'w' {
+			pass.Reportf(arg.Pos(), "error formatted with %%%c loses the error chain; use %%w so errors.Is/As keep working", v)
+		}
+	}
+}
+
+// parseVerbs returns the verb rune consuming each successive argument
+// of a printf format string. A '*' width or precision consumes an
+// argument of its own and is recorded as '*'.
+func parseVerbs(format string) []rune {
+	var verbs []rune
+	runes := []rune(format)
+	for i := 0; i < len(runes); i++ {
+		if runes[i] != '%' {
+			continue
+		}
+		i++
+		// flags, width, precision — '*' consumes an arg.
+	spec:
+		for i < len(runes) {
+			switch runes[i] {
+			case '+', '-', '#', ' ', '0', '.', '1', '2', '3', '4', '5', '6', '7', '8', '9':
+				i++
+			case '*':
+				verbs = append(verbs, '*')
+				i++
+			default:
+				break spec
+			}
+		}
+		if i < len(runes) && runes[i] != '%' {
+			verbs = append(verbs, runes[i])
+		}
+	}
+	return verbs
+}

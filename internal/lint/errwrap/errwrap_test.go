@@ -1,0 +1,16 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/errwrap"
+	"repro/internal/lint/linttest"
+)
+
+func TestErrwrap(t *testing.T) {
+	linttest.Run(t, "testdata", errwrap.NewAnalyzer("a"), "a")
+}
+
+func TestOutOfScope(t *testing.T) {
+	linttest.Run(t, "testdata", errwrap.NewAnalyzer("unrelated/pkg"), "clean")
+}

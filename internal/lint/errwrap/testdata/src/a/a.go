@@ -1,0 +1,22 @@
+package a
+
+import (
+	"errors"
+	"fmt"
+)
+
+var sentinel = errors.New("boom")
+
+type opError struct{ msg string }
+
+func (e *opError) Error() string { return e.msg }
+
+func wrapOK(err error) error      { return fmt.Errorf("open store: %w", err) }
+func wrapBadV(err error) error    { return fmt.Errorf("open store: %v", err) } // want `use %w`
+func wrapBadS(err error) error    { return fmt.Errorf("open store: %s", err) } // want `use %w`
+func wrapBadQ(e *opError) error   { return fmt.Errorf("open store: %q", e) }   // want `use %w`
+func sentinelOK(msg string) error { return fmt.Errorf("%w: %s", sentinel, msg) }
+func noError(n int) error         { return fmt.Errorf("bad shard count %d", n) }
+func widthOK(err error, n int) error {
+	return fmt.Errorf("%*d tries: %w", 4, n, err)
+}

@@ -1,0 +1,6 @@
+package clean
+
+import "fmt"
+
+// Out of the analyzer's scope: %v on an error is legal here.
+func wrap(err error) error { return fmt.Errorf("context: %v", err) }

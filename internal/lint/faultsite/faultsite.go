@@ -1,0 +1,123 @@
+// Package faultsite makes fault-injection coverage un-typo-able. Every
+// faultinject call site names a site; harnesses arm rules against those
+// names via REPRO_FAULTS. Before this analyzer the names were matched
+// by convention — a typo'd site string compiled fine and silently
+// produced dead fault coverage (the rule never fired, the test
+// "passed"). Now faultinject declares its sites as constants of type
+// faultinject.Site, and this analyzer checks that every constant site
+// argument reaching the faultinject API equals one of the declared
+// constants. Non-constant arguments of type Site (a threaded parameter,
+// e.g. manifest.syncDir) are accepted: any constant that fed them was
+// itself checked at its own call site.
+//
+// The registry is read from the imported faultinject package's export
+// data, so the analyzer needs no hardcoded site list and works
+// per-package under go vet.
+package faultsite
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// Analyzer checks fault-site arguments against the declared registry.
+var Analyzer = &lint.Analyzer{
+	Name: "faultsite",
+	Doc:  "fault-injection site names must be declared faultinject.Site constants",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	if isFaultinjectPkg(pass.Pkg.Path()) {
+		return nil // the registry itself
+	}
+	fipkg := findFaultinject(pass.Pkg)
+	if fipkg == nil {
+		return nil // package doesn't touch the seam
+	}
+	siteType, registry := loadRegistry(fipkg)
+	if siteType == nil {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			checkCall(pass, call, siteType, registry)
+			return true
+		})
+	}
+	return nil
+}
+
+func isFaultinjectPkg(path string) bool {
+	return path == "faultinject" || strings.HasSuffix(path, "/faultinject")
+}
+
+func findFaultinject(pkg *types.Package) *types.Package {
+	for _, imp := range pkg.Imports() {
+		if isFaultinjectPkg(imp.Path()) {
+			return imp
+		}
+	}
+	return nil
+}
+
+// loadRegistry extracts the Site named type and the set of declared
+// site values from faultinject's package scope (via export data).
+func loadRegistry(fipkg *types.Package) (types.Type, map[string]bool) {
+	obj := fipkg.Scope().Lookup("Site")
+	tn, ok := obj.(*types.TypeName)
+	if !ok {
+		return nil, nil
+	}
+	siteType := tn.Type()
+	registry := make(map[string]bool)
+	for _, name := range fipkg.Scope().Names() {
+		c, ok := fipkg.Scope().Lookup(name).(*types.Const)
+		if !ok || !types.Identical(c.Type(), siteType) {
+			continue
+		}
+		if c.Val().Kind() == constant.String {
+			registry[constant.StringVal(c.Val())] = true
+		}
+	}
+	return siteType, registry
+}
+
+// checkCall validates every argument position whose parameter type is
+// faultinject.Site.
+func checkCall(pass *lint.Pass, call *ast.CallExpr, siteType types.Type, registry map[string]bool) {
+	tv, ok := pass.TypesInfo.Types[call.Fun]
+	if !ok {
+		return
+	}
+	sig, ok := tv.Type.(*types.Signature)
+	if !ok {
+		return
+	}
+	for i, arg := range call.Args {
+		if i >= sig.Params().Len() {
+			break
+		}
+		if !types.Identical(sig.Params().At(i).Type(), siteType) {
+			continue
+		}
+		atv, ok := pass.TypesInfo.Types[arg]
+		if !ok || atv.Value == nil {
+			continue // non-constant: a threaded Site value, checked at its source
+		}
+		if atv.Value.Kind() != constant.String {
+			continue
+		}
+		if site := constant.StringVal(atv.Value); !registry[site] {
+			pass.Reportf(arg.Pos(), "%q is not a declared fault site; add a faultinject.Site constant or use an existing one", site)
+		}
+	}
+}

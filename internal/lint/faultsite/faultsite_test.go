@@ -1,0 +1,12 @@
+package faultsite_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/faultsite"
+	"repro/internal/lint/linttest"
+)
+
+func TestFaultsite(t *testing.T) {
+	linttest.Run(t, "testdata", faultsite.Analyzer, "a")
+}

@@ -1,0 +1,24 @@
+package a
+
+import (
+	"io"
+
+	"faultinject"
+)
+
+func declared() {
+	_ = faultinject.Check("kspc", faultinject.OpAny)                // ok: literal matches a declared site
+	_ = faultinject.Check(faultinject.SiteSpill, faultinject.OpAny) // ok: the constant itself
+}
+
+func typo(w io.Writer) {
+	_ = faultinject.Check("kpsc", faultinject.OpAny)                   // want `"kpsc" is not a declared fault site`
+	_ = faultinject.Check(faultinject.Site("nope"), faultinject.OpAny) // want `"nope" is not a declared fault site`
+	_ = faultinject.Writer("spll", w)                                  // want `"spll" is not a declared fault site`
+}
+
+// A threaded Site parameter is accepted: whatever constant fed it was
+// checked at its own call site.
+func threaded(site faultinject.Site) error {
+	return faultinject.Check(site, faultinject.OpWrite)
+}

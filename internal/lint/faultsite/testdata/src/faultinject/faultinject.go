@@ -1,0 +1,26 @@
+// Package faultinject is a fixture model of the real
+// internal/faultinject registry: a Site type plus its declared
+// constants. The analyzer reads this table through the import, exactly
+// as it reads the real package's export data under go vet.
+package faultinject
+
+import "io"
+
+type Op uint8
+
+const (
+	OpAny Op = iota
+	OpWrite
+)
+
+// Site names an instrumented call site.
+type Site string
+
+// The declared registry.
+const (
+	SiteKSPC  Site = "kspc"
+	SiteSpill Site = "spill"
+)
+
+func Check(site Site, op Op) error            { return nil }
+func Writer(site Site, w io.Writer) io.Writer { return w }

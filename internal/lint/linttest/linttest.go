@@ -1,0 +1,245 @@
+// Package linttest is the fixture runner for internal/lint analyzers —
+// an analysistest-style harness built on the stdlib toolchain. A test
+// names packages under testdata/src; each fixture file annotates the
+// lines where the analyzer must report with
+//
+//	code // want "regexp"
+//
+// comments (multiple quoted regexps per comment allowed). The runner
+// typechecks the fixture, runs the analyzer, and fails the test on any
+// unmatched expectation or unexpected diagnostic.
+//
+// Imports inside fixtures resolve in two steps: a path with a directory
+// under testdata/src is compiled from source (so fixtures can model
+// project packages like faultinject without importing the real one),
+// and anything else resolves through the gc importer fed by
+// `go list -export`, i.e. the build cache — no network, no GOPATH
+// layout, same export data the vettool run sees.
+package linttest
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+// Run checks the analyzer against each named fixture package under
+// testdata/src.
+func Run(t *testing.T, testdata string, a *lint.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, testdata, a, pkg)
+	}
+}
+
+func runOne(t *testing.T, testdata string, a *lint.Analyzer, pkgPath string) {
+	t.Helper()
+	ld := newLoader(filepath.Join(testdata, "src"))
+	res, err := ld.load(pkgPath)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", pkgPath, err)
+	}
+
+	wants := collectWants(t, res.fset, res.files)
+	var got []lint.Diagnostic
+	pass := lint.NewPass(a, res.fset, res.files, res.pkg, res.info, func(d lint.Diagnostic) {
+		got = append(got, d)
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("fixture %s: analyzer %s: %v", pkgPath, a.Name, err)
+	}
+
+	for _, d := range got {
+		pos := res.fset.Position(d.Pos)
+		key := wantKey{filepath.Base(pos.Filename), pos.Line}
+		matched := false
+		for _, w := range wants[key] {
+			if !w.claimed && w.re.MatchString(d.Message) {
+				w.claimed = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var keys []wantKey
+	for k := range wants {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].file != keys[j].file {
+			return keys[i].file < keys[j].file
+		}
+		return keys[i].line < keys[j].line
+	})
+	for _, k := range keys {
+		for _, w := range wants[k] {
+			if !w.claimed {
+				t.Errorf("%s:%d: no diagnostic matching %q", k.file, k.line, w.re)
+			}
+		}
+	}
+}
+
+type wantKey struct {
+	file string
+	line int
+}
+
+type want struct {
+	re      *regexp.Regexp
+	claimed bool
+}
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[wantKey][]*want {
+	t.Helper()
+	out := make(map[wantKey][]*want)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				for _, expr := range lint.ParseWants(c.Text) {
+					re, err := regexp.Compile(expr)
+					if err != nil {
+						t.Fatalf("bad want regexp %q: %v", expr, err)
+					}
+					pos := fset.Position(c.Pos())
+					key := wantKey{filepath.Base(pos.Filename), pos.Line}
+					out[key] = append(out[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// loader typechecks fixture packages, resolving local imports from
+// srcRoot and everything else through the shared build-cache importer.
+type loader struct {
+	srcRoot string
+	fset    *token.FileSet
+	std     types.Importer
+	local   map[string]*types.Package
+}
+
+type loadResult struct {
+	fset  *token.FileSet
+	files []*ast.File
+	pkg   *types.Package
+	info  *types.Info
+}
+
+func newLoader(srcRoot string) *loader {
+	ld := &loader{
+		srcRoot: srcRoot,
+		fset:    token.NewFileSet(),
+		local:   make(map[string]*types.Package),
+	}
+	ld.std = importer.ForCompiler(ld.fset, "gc", exportLookup)
+	return ld
+}
+
+func (ld *loader) load(pkgPath string) (*loadResult, error) {
+	dir := filepath.Join(ld.srcRoot, pkgPath)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(ld.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no .go files in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	cfg := types.Config{Importer: (*fixtureImporter)(ld)}
+	pkg, err := cfg.Check(pkgPath, ld.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	return &loadResult{fset: ld.fset, files: files, pkg: pkg, info: info}, nil
+}
+
+// fixtureImporter adapts loader to types.Importer for the local-first,
+// build-cache-second import policy.
+type fixtureImporter loader
+
+func (imp *fixtureImporter) Import(path string) (*types.Package, error) {
+	ld := (*loader)(imp)
+	if pkg, ok := ld.local[path]; ok {
+		return pkg, nil
+	}
+	if st, err := os.Stat(filepath.Join(ld.srcRoot, path)); err == nil && st.IsDir() {
+		res, err := ld.load(path)
+		if err != nil {
+			return nil, fmt.Errorf("fixture import %q: %w", path, err)
+		}
+		res.pkg.MarkComplete()
+		ld.local[path] = res.pkg
+		return res.pkg, nil
+	}
+	return ld.std.Import(path)
+}
+
+var (
+	exportMu    sync.Mutex
+	exportFiles = make(map[string]string)
+)
+
+// exportLookup feeds the gc importer with export data from the build
+// cache: `go list -export` compiles (or reuses) the package and reports
+// the .a/export file path. Results memoize per-process.
+func exportLookup(path string) (io.ReadCloser, error) {
+	exportMu.Lock()
+	file, ok := exportFiles[path]
+	exportMu.Unlock()
+	if !ok {
+		cmd := exec.Command("go", "list", "-export", "-f", "{{.Export}}", path)
+		var out, errb bytes.Buffer
+		cmd.Stdout = &out
+		cmd.Stderr = &errb
+		if err := cmd.Run(); err != nil {
+			return nil, fmt.Errorf("go list -export %s: %v: %s", path, err, errb.String())
+		}
+		file = strings.TrimSpace(out.String())
+		if file == "" {
+			return nil, fmt.Errorf("go list -export %s: no export data", path)
+		}
+		exportMu.Lock()
+		exportFiles[path] = file
+		exportMu.Unlock()
+	}
+	return os.Open(file)
+}

@@ -1,0 +1,142 @@
+// Package nilness is an offline, deliberately small stand-in for
+// golang.org/x/tools' SSA-based nilness analyzer (the build container
+// has no module proxy, so the real one cannot be vendored). It catches
+// the highest-confidence slice of that analyzer's findings with pure
+// AST reasoning: using a value inside the very branch that just proved
+// it nil.
+//
+// Flagged, for an identifier x of pointer, func, interface, slice or
+// chan type:
+//
+//	if x == nil { ... x.f / x() / x[i] / *x ... }
+//	if x != nil { ... } else { ... same uses ... }
+//
+// The check bails out of a branch as soon as x is reassigned inside
+// it. Map indexing is exempt (reading a nil map is defined), as is
+// method selection on a nil pointer (a value-receiver-free method set
+// may tolerate it; the conservative cases are field access, calls,
+// indexing and explicit dereference).
+package nilness
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer reports uses of values on the branch that proved them nil.
+var Analyzer = &lint.Analyzer{
+	Name: "nilness",
+	Doc:  "flag dereferences of values the enclosing branch proved nil",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ifs, ok := n.(*ast.IfStmt)
+			if !ok {
+				return true
+			}
+			ident, eq := nilComparison(pass, ifs.Cond)
+			if ident == nil {
+				return true
+			}
+			if eq {
+				checkBranch(pass, ident, ifs.Body)
+			} else if els, ok := ifs.Else.(*ast.BlockStmt); ok {
+				checkBranch(pass, ident, els)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// nilComparison recognizes `x == nil` / `nil == x` (eq=true) and
+// `x != nil` / `nil != x` (eq=false) over a nilable identifier.
+func nilComparison(pass *lint.Pass, cond ast.Expr) (*ast.Ident, bool) {
+	be, ok := cond.(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return nil, false
+	}
+	var ident *ast.Ident
+	switch {
+	case isNil(pass, be.Y):
+		ident, _ = be.X.(*ast.Ident)
+	case isNil(pass, be.X):
+		ident, _ = be.Y.(*ast.Ident)
+	}
+	if ident == nil || !nilable(pass.TypesInfo.TypeOf(ident)) {
+		return nil, false
+	}
+	return ident, be.Op == token.EQL
+}
+
+func isNil(pass *lint.Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "nil" && pass.TypesInfo.Uses[id] == types.Universe.Lookup("nil")
+}
+
+// nilable reports whether a nil value of type t traps on the uses this
+// analyzer checks.
+func nilable(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Pointer, *types.Signature, *types.Interface, *types.Slice, *types.Chan:
+		return true
+	}
+	return false
+}
+
+// checkBranch walks one branch in statement order, reporting trapping
+// uses of the known-nil ident until it is reassigned.
+func checkBranch(pass *lint.Pass, ident *ast.Ident, body *ast.BlockStmt) {
+	obj := pass.TypesInfo.Uses[ident]
+	if obj == nil {
+		return
+	}
+	reassigned := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if reassigned {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+					reassigned = true
+				}
+			}
+		case *ast.SelectorExpr:
+			// Field access through a nil pointer traps; method selection
+			// is tolerated (see package doc).
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if sel, ok := pass.TypesInfo.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					pass.Reportf(n.Pos(), "%s is nil on this branch; selecting %s.%s panics", ident.Name, ident.Name, n.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil on this branch; calling it panics", ident.Name)
+			}
+		case *ast.IndexExpr:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				if t := pass.TypesInfo.TypeOf(id); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); !isMap {
+						pass.Reportf(n.Pos(), "%s is nil on this branch; indexing it panics", ident.Name)
+					}
+				}
+			}
+		case *ast.StarExpr:
+			if id, ok := n.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+				pass.Reportf(n.Pos(), "%s is nil on this branch; dereferencing it panics", ident.Name)
+			}
+		}
+		return true
+	})
+}

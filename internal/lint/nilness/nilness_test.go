@@ -1,0 +1,12 @@
+package nilness_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/nilness"
+)
+
+func TestNilness(t *testing.T) {
+	linttest.Run(t, "testdata", nilness.Analyzer, "a")
+}

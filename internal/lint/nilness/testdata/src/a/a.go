@@ -1,0 +1,64 @@
+package a
+
+type T struct{ n int }
+
+func derefInNilBranch(p *T) int {
+	if p == nil {
+		return p.n // want `p is nil on this branch`
+	}
+	return p.n
+}
+
+func callInNilBranch(f func() int) int {
+	if f == nil {
+		return f() // want `f is nil on this branch`
+	}
+	return f()
+}
+
+func indexInNilBranch(s []int) int {
+	if nil == s {
+		return s[0] // want `s is nil on this branch`
+	}
+	return s[0]
+}
+
+func starInNilBranch(p *int) int {
+	if p == nil {
+		return *p // want `p is nil on this branch`
+	}
+	return *p
+}
+
+func elseBranch(p *T) int {
+	if p != nil {
+		return p.n
+	} else {
+		return p.n // want `p is nil on this branch`
+	}
+}
+
+func reassigned(p *T) int {
+	if p == nil {
+		p = &T{}
+		return p.n // ok: reassigned before use
+	}
+	return p.n
+}
+
+// Reading a nil map is defined behavior.
+func mapRead(m map[string]int) int {
+	if m == nil {
+		return m["k"]
+	}
+	return m["k"]
+}
+
+// Method selection on a possibly-nil pointer is tolerated (the method
+// may handle nil receivers).
+func (t *T) len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}

@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	linttest.Run(t, "testdata", noalloc.Analyzer, "a")
+}

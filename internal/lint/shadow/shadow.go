@@ -1,0 +1,131 @@
+// Package shadow is an offline reimplementation of the x/tools shadow
+// heuristic (the build container has no module proxy, so the real one
+// cannot be vendored): a `:=` or `var` declaration that shadows an
+// outer variable is reported only when the outer variable is still
+// READ after the shadowing scope ends — the situation where a reader
+// (or a later edit) can plausibly confuse the two.
+//
+// Matching x/tools, only short variable declarations and var specs are
+// considered: function-literal parameters (the `go func(w, lo, hi int)`
+// worker idiom) and range variables never shadow. Beyond x/tools, the
+// outer variable's first touch after the shadowing scope must be a
+// read, not a store — a store cannot observe the wrong variable, and
+// every later read observes the store — which keeps the idiomatic
+// `if err := f(); err != nil { return err }` guard quiet in functions
+// that go on to reassign err. Package-level variables are not
+// considered shadowable, and _test.go files are skipped.
+package shadow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// Analyzer reports confusable variable shadowing.
+var Analyzer = &lint.Analyzer{
+	Name: "shadow",
+	Doc:  "flag declarations that shadow an outer variable still read afterwards",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) error {
+	// A use that is the entire LHS of an assignment is a store; only
+	// reads can observe the wrong variable.
+	writes := make(map[*ast.Ident]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					writes[id] = true
+				}
+			}
+			return true
+		})
+	}
+	touches := make(map[types.Object][]touch)
+	for ident, obj := range pass.TypesInfo.Uses {
+		if v, ok := obj.(*types.Var); ok && !v.IsField() {
+			touches[obj] = append(touches[obj], touch{ident.Pos(), writes[ident]})
+		}
+	}
+
+	for _, file := range pass.Files {
+		if lint.IsTestFile(pass.Fset, file.Pos()) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if n.Tok == token.DEFINE {
+					for _, lhs := range n.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							checkShadow(pass, id, touches)
+						}
+					}
+				}
+			case *ast.GenDecl:
+				if n.Tok == token.VAR {
+					for _, spec := range n.Specs {
+						if vs, ok := spec.(*ast.ValueSpec); ok {
+							for _, id := range vs.Names {
+								checkShadow(pass, id, touches)
+							}
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// touch is one appearance of a variable: where, and whether it was the
+// bare target of an assignment (a store) rather than a read.
+type touch struct {
+	pos   token.Pos
+	store bool
+}
+
+func checkShadow(pass *lint.Pass, ident *ast.Ident, touches map[types.Object][]touch) {
+	if ident.Name == "_" {
+		return
+	}
+	v, ok := pass.TypesInfo.Defs[ident].(*types.Var)
+	if !ok {
+		return // := redeclaration of an existing variable, not a new decl
+	}
+	inner := v.Parent()
+	if inner == nil || inner == pass.Pkg.Scope() {
+		return
+	}
+	outerScope, outerObj := inner.Parent().LookupParent(ident.Name, ident.Pos())
+	if outerObj == nil || outerScope == types.Universe || outerScope == pass.Pkg.Scope() {
+		return
+	}
+	outerVar, ok := outerObj.(*types.Var)
+	if !ok || outerVar == v || outerVar.Pos() >= ident.Pos() {
+		return
+	}
+	// Report only when the outer variable's first touch after the inner
+	// scope ends is a read: before that point the shadow cannot be
+	// observed, and a store resets the variable before any later read.
+	var first *touch
+	for i := range touches[outerVar] {
+		t := &touches[outerVar][i]
+		if t.pos > inner.End() && (first == nil || t.pos < first.pos) {
+			first = t
+		}
+	}
+	if first != nil && !first.store {
+		pass.Reportf(ident.Pos(), "declaration of %q shadows the %s declared at %s, which is read again after this scope",
+			ident.Name, ident.Name, pass.Fset.Position(outerVar.Pos()))
+	}
+}

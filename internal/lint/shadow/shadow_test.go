@@ -1,0 +1,12 @@
+package shadow_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/shadow"
+)
+
+func TestShadow(t *testing.T) {
+	linttest.Run(t, "testdata", shadow.Analyzer, "a")
+}

@@ -1,0 +1,68 @@
+package a
+
+import "errors"
+
+func f() error { return nil }
+
+func shadowedErr(fail bool) error {
+	err := errors.New("outer")
+	if fail {
+		err := f() // want `shadows the err declared at`
+		_ = err
+	}
+	return err // outer err consulted after the inner scope closed
+}
+
+func shadowedParam(n int) int {
+	if n > 0 {
+		n := n - 1 // want `shadows the n declared at`
+		_ = n
+	}
+	return n
+}
+
+// The guard idiom: the outer err is never consulted after the inner
+// scope, so there is nothing to confuse.
+func guardIdiom() error {
+	if err := f(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Outer variable's last use precedes the shadowing scope's end.
+func lastUseBefore(n int) int {
+	x := n + 1
+	if x > 1 {
+		x := n * 2
+		return x
+	}
+	return 0
+}
+
+// Function-literal parameters are the worker-pool idiom, not shadows.
+func workerIdiom(lo, hi int) {
+	done := make(chan struct{})
+	go func(lo, hi int) {
+		_ = hi - lo
+		close(done)
+	}(lo, hi)
+	<-done
+	_ = lo
+	_ = hi
+}
+
+// When the outer variable's first touch after the shadowing scope is a
+// store, every later read observes that store — no confusion possible.
+func storeAfter(n int) error {
+	v, err := n+1, f()
+	if err != nil {
+		return err
+	}
+	if err := f(); err != nil { // ok: next touch of the outer err is a store
+		return err
+	}
+	_ = v
+	err = f()
+	return err
+}

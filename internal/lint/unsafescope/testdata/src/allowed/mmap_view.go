@@ -1,0 +1,16 @@
+package allowed
+
+import (
+	"syscall"
+	"unsafe"
+)
+
+// Inside an mmap*.go file both unsafe and the mapping syscalls are
+// permitted — this is the blast-radius file.
+func view(b []byte) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[0]))
+}
+
+func unmap(b []byte) error {
+	return syscall.Munmap(b)
+}

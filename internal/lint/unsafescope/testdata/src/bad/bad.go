@@ -1,0 +1,19 @@
+package bad
+
+import (
+	"syscall"
+	"unsafe" // want `import of unsafe outside the allowed files`
+)
+
+// Pointer reinterpretation outside the fence.
+func view(b []byte) *uint64 {
+	return (*uint64)(unsafe.Pointer(&b[0]))
+}
+
+// Mapping syscalls outside the fence.
+func mapIt(fd int, n int) ([]byte, error) {
+	return syscall.Mmap(fd, 0, n, syscall.PROT_READ, syscall.MAP_SHARED) // want `syscall\.Mmap outside the allowed files`
+}
+
+// Signal/errno use of syscall stays legal everywhere.
+func errno() error { return syscall.EINVAL }

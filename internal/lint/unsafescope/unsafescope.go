@@ -1,0 +1,100 @@
+// Package unsafescope contains the PR 6 zero-copy blast radius: the
+// unsafe pointer reinterpretation that serves a KSPC file in place, and
+// the mmap/munmap syscalls backing it, are only permitted in
+// internal/kspectrum's mmap*.go files. Everywhere else, importing
+// unsafe or calling a memory-mapping syscall is a diagnostic — the
+// reviewer of a diff that widens the unsafe surface should see a
+// deliberate allowlist change, not a quiet new import.
+//
+// Importing syscall for signals and errnos (SIGTERM, EINVAL) stays
+// legal everywhere; only the mapping entry points are fenced.
+package unsafescope
+
+import (
+	"go/ast"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// DefaultAllowed is where unsafe and mapping syscalls may live.
+var DefaultAllowed = []string{"internal/kspectrum/mmap*.go"}
+
+// Analyzer enforces the project's default allowlist.
+var Analyzer = NewAnalyzer(DefaultAllowed...)
+
+// mappingSyscalls are the syscall-package entry points that create or
+// manage memory mappings.
+var mappingSyscalls = map[string]bool{
+	"Mmap": true, "Munmap": true, "Mprotect": true,
+	"Madvise": true, "Mlock": true, "Munlock": true, "Msync": true,
+}
+
+// NewAnalyzer builds an unsafescope analyzer with the given allowed
+// file patterns (matched segment-wise from the right, so
+// "internal/kspectrum/mmap*.go" matches any build of that package).
+func NewAnalyzer(allowed ...string) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "unsafescope",
+		Doc:  "confine unsafe and mmap syscalls to kspectrum's mmap*.go files",
+		Run: func(pass *lint.Pass) error {
+			return run(pass, allowed)
+		},
+	}
+}
+
+func run(pass *lint.Pass, allowed []string) error {
+	for _, file := range pass.Files {
+		name := pass.Fset.Position(file.Pos()).Filename
+		if fileAllowed(name, allowed) {
+			continue
+		}
+		for _, imp := range file.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				continue
+			}
+			if path == "unsafe" {
+				pass.Reportf(imp.Pos(), "import of unsafe outside the allowed files (%s); keep the zero-copy blast radius in kspectrum's mmap*.go", strings.Join(allowed, ", "))
+			}
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if lint.CalleePkgPath(pass.TypesInfo, call) == "syscall" && mappingSyscalls[lint.CalleeName(call)] {
+				pass.Reportf(call.Pos(), "syscall.%s outside the allowed files (%s); memory mappings belong in kspectrum's mmap*.go", lint.CalleeName(call), strings.Join(allowed, ", "))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// fileAllowed matches path against each pattern, segment-wise from the
+// right: the pattern's base globs against the file base, and every
+// further pattern segment globs against the corresponding path segment.
+func fileAllowed(path string, allowed []string) bool {
+	pathSegs := strings.Split(filepath.ToSlash(path), "/")
+	for _, pat := range allowed {
+		patSegs := strings.Split(pat, "/")
+		if len(patSegs) > len(pathSegs) {
+			continue
+		}
+		match := true
+		for i := 1; i <= len(patSegs); i++ {
+			ok, err := filepath.Match(patSegs[len(patSegs)-i], pathSegs[len(pathSegs)-i])
+			if err != nil || !ok {
+				match = false
+				break
+			}
+		}
+		if match {
+			return true
+		}
+	}
+	return false
+}

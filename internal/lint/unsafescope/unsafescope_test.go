@@ -1,0 +1,20 @@
+package unsafescope_test
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+	"repro/internal/lint/unsafescope"
+)
+
+func TestUnsafescope(t *testing.T) {
+	// Fixture allowlist: any mmap*.go file. The default analyzer pins
+	// the directory too (internal/kspectrum/mmap*.go).
+	linttest.Run(t, "testdata", unsafescope.NewAnalyzer("mmap*.go"), "bad", "allowed")
+}
+
+func TestDefaultPatternShape(t *testing.T) {
+	// The bad fixture is also bad under the project's default
+	// allowlist: it lives outside internal/kspectrum.
+	linttest.Run(t, "testdata", unsafescope.Analyzer, "bad")
+}

@@ -481,8 +481,8 @@ func (r *RemoteSpectrum) query(ctx context.Context, shard int, qr QueryRequest) 
 		status, respBody, retryAfter, err := postJSON(ctx, r.httpc, target, body)
 		if err == nil && status == http.StatusOK {
 			var resp QueryResponse
-			if err := json.Unmarshal(respBody, &resp); err != nil {
-				return nil, fmt.Errorf("remote: shard %d of %q at %s: decoding answer: %w", shard, r.name, loc.Node, err)
+			if uerr := json.Unmarshal(respBody, &resp); uerr != nil {
+				return nil, fmt.Errorf("remote: shard %d of %q at %s: decoding answer: %w", shard, r.name, loc.Node, uerr)
 			}
 			r.observe(shard, "ok")
 			return &resp, nil

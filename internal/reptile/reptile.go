@@ -577,6 +577,8 @@ func (c *Corrector) correctRead(r seq.Read, s *scratch) seq.Read {
 // CorrectInPlace corrects a read's bases in place (mutating bases and,
 // for converted ambiguous positions, qual) — the zero-allocation form of
 // CorrectRead for callers that own their buffers. qual may be nil.
+//
+//repro:noalloc
 func (c *Corrector) CorrectInPlace(bases, qual []byte) {
 	c.ensureQuerier()
 	s := scratchPool.Get().(*scratch)

@@ -111,6 +111,8 @@ func (km Kmer) Unpack(k int) []byte {
 // slice. It is the allocation-free decoding primitive of the correction
 // inner loop; callers keep the returned slice as the buffer for the next
 // call.
+//
+//repro:noalloc
 func (km Kmer) UnpackInto(dst []byte, k int) []byte {
 	if cap(dst) < k {
 		dst = make([]byte, k)
@@ -212,6 +214,8 @@ func ReverseComplement(s []byte) []byte {
 // slice. src and dst must not overlap partially; passing the same slice
 // for both is not supported (the forward scan would read already-written
 // bytes).
+//
+//repro:noalloc
 func ReverseComplementInto(dst, src []byte) []byte {
 	if cap(dst) < len(src) {
 		dst = make([]byte, len(src))
